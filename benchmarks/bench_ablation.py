@@ -1,0 +1,111 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+* **Delete policy in the base-ASG closure** (§5.1.2's remark): under
+  CASCADE the PSD `entry` closure swallows its children and UPoint
+  marks go dirty; under SET NULL the closure stays flat. We measure
+  the marking under both and assert the semantic difference.
+* **Narrow vs wide probes** (the Fig. 15 mechanism in isolation):
+  the same context probe with key/join columns only vs all columns.
+* **Index-assisted vs scan-only joins** (what hybrid's statements rely
+  on): the same probe with and without the engine's PK/FK indexes.
+"""
+
+import pytest
+
+from repro.core import UFilter, build_base_asg, build_view_asg, mark_view_asg
+from repro.core.translation import Translator
+from repro.core.update_binding import resolve_update
+from repro.workloads import psd, tpch
+
+from .helpers import Series, fresh_tpch
+
+
+# ---------------------------------------------------------------------------
+# delete-policy ablation
+# ---------------------------------------------------------------------------
+
+
+def _psd_schema_with_policy(policy_sql: str):
+    from repro.rdb import Database, Schema, SQLEngine, parse_script
+
+    ddl = psd.PSD_DDL.replace("ON DELETE SET NULL", policy_sql)
+    db = Database(Schema())
+    engine = SQLEngine(db)
+    for statement in parse_script(ddl):
+        engine.execute(statement)
+    return db.schema
+
+
+@pytest.mark.parametrize("policy", ["ON DELETE SET NULL", "ON DELETE CASCADE"])
+def test_marking_under_delete_policy(benchmark, policy):
+    schema = _psd_schema_with_policy(policy)
+    view = psd.psd_view()
+
+    def mark():
+        asg = build_view_asg(view, schema)
+        base = build_base_asg(asg, schema)
+        mark_view_asg(asg, base)
+        return asg
+
+    asg = benchmark(mark)
+    protein = next(n for n in asg.internal_nodes() if n.name == "protein")
+    if policy == "ON DELETE CASCADE":
+        # references now join entry's closure -> protein goes dirty
+        assert protein.upoint_clean is False
+    else:
+        assert protein.upoint_clean is True
+    Series.get("Ablation: delete policy during marking", "policy").add(
+        "marking", policy, benchmark.stats.stats.min
+    )
+
+
+# ---------------------------------------------------------------------------
+# narrow vs wide probes
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def probe_env():
+    db = fresh_tpch(2.0)
+    checker = UFilter(db, tpch.v_linear())
+    translator = Translator(db, checker.view_asg)
+    update = tpch.insert_lineitem_update(0, 500)
+    resolved = resolve_update(checker.view_asg, update)
+    return translator, resolved
+
+
+@pytest.mark.parametrize("narrow", [True, False])
+def test_probe_width(benchmark, probe_env, narrow):
+    translator, resolved = probe_env
+    node = resolved.target
+
+    result = benchmark(translator.run_probe, node, resolved, narrow)
+    assert result.rows
+    label = "narrow (keys+joins)" if narrow else "wide (all attributes)"
+    Series.get("Ablation: probe width (Fig. 15 mechanism)", "probe").add(
+        "probe", label, benchmark.stats.stats.min
+    )
+
+
+# ---------------------------------------------------------------------------
+# index-assisted vs scan-only joins
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("indexed", [True, False])
+def test_join_with_and_without_indexes(benchmark, indexed):
+    db = fresh_tpch(2.0)
+    if not indexed:
+        for name in list(db.indexes):
+            db.indexes[name] = []
+    checker = UFilter(db, tpch.v_linear())
+    translator = Translator(db, checker.view_asg)
+    update = tpch.insert_lineitem_update(0, 500)
+    resolved = resolve_update(checker.view_asg, update)
+
+    result = benchmark(translator.run_probe, resolved.target, resolved, True)
+    assert result.rows
+    label = "PK/FK indexes" if indexed else "no indexes (scans)"
+    Series.get("Ablation: join indexes (Fig. 16 mechanism)", "engine").add(
+        "probe", label, benchmark.stats.stats.min
+    )

@@ -1,0 +1,28 @@
+"""Fig. 12 — expressiveness of the view-ASG model on W3C use cases.
+
+Regenerates the Included/Reason table and benchmarks the audit itself
+(parse + ASG generation for 36 queries).
+"""
+
+from repro.workloads.w3c_usecases import PAPER_FIG12, run_audit
+
+_printed = False
+
+
+def test_fig12_audit(benchmark):
+    rows = benchmark(run_audit)
+
+    # correctness: the audit must match the paper's table exactly
+    for name, included, _reason in rows:
+        assert included == PAPER_FIG12[name], name
+
+    global _printed
+    if not _printed:
+        _printed = True
+        print("\n--- Fig. 12: Evaluation of W3C Use Cases ---")
+        print(f"{'View Query':12} {'Included':9} {'Reason':12}")
+        for name, included, reason in rows:
+            mark = "yes" if included else "no"
+            print(f"{name:12} {mark:9} {reason or '-':12}")
+        included_count = sum(1 for _, inc, _ in rows if inc)
+        print(f"({included_count}/{len(rows)} queries expressible)")

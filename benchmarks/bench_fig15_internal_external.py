@@ -1,0 +1,55 @@
+"""Fig. 15 — internal vs external strategy for an insert over Vlinear.
+
+Inserting a new lineitem: the *internal* approach goes through the
+mapping relational view and must retrieve **all** attributes of all
+four other relations to assemble the full view tuple; the *external*
+(hybrid) approach only fetches what the lineitem tuple needs.  The
+paper: internal is consistently more expensive, the gap growing with
+database size.
+"""
+
+import pytest
+
+from repro.core import Outcome, UFilter
+from repro.workloads import tpch
+
+from .helpers import SWEEP_MB, Series, fresh_tpch
+
+
+@pytest.fixture(scope="module")
+def environments():
+    envs = {}
+    for megabytes in SWEEP_MB:
+        db = fresh_tpch(megabytes)
+        envs[megabytes] = (db, UFilter(db, tpch.v_linear()))
+    return envs
+
+
+def _bench_insert(benchmark, environments, megabytes, strategy):
+    db, checker = environments[megabytes]
+    update = tpch.insert_lineitem_update(0, 999)
+
+    def setup():
+        rowids = db.find_rowids("lineitem", {"l_orderkey": 0, "l_linenumber": 999})
+        if rowids:
+            db.delete("lineitem", rowids)
+
+    def insert():
+        report = checker.check(update, strategy=strategy, execute=True)
+        assert report.outcome is Outcome.TRANSLATED, report.reason
+
+    benchmark.pedantic(insert, setup=setup, rounds=5, iterations=1)
+    label = "Internal" if strategy == "internal" else "External"
+    Series.get("Fig. 15: internal vs external insert over Vlinear").add(
+        label, megabytes, benchmark.stats.stats.min
+    )
+
+
+@pytest.mark.parametrize("megabytes", SWEEP_MB)
+def test_internal_strategy(benchmark, environments, megabytes):
+    _bench_insert(benchmark, environments, megabytes, "internal")
+
+
+@pytest.mark.parametrize("megabytes", SWEEP_MB)
+def test_external_strategy(benchmark, environments, megabytes):
+    _bench_insert(benchmark, environments, megabytes, "hybrid")

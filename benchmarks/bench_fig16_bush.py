@@ -1,0 +1,75 @@
+"""Fig. 16 — outside vs hybrid for a successful update over Vbush.
+
+The update deletes one customer element (its orders and lineitems
+nested below).  Both strategies translate into the same per-relation
+deletes; the outside strategy additionally materializes the context
+probe into an unindexed temp table and verifies every candidate row
+against it with a nested-loop membership join — the "joins over the
+materialized view, where indices do not exist" cost the paper blames
+for the gap.  Expected shape: hybrid below outside, gap growing with
+database size.
+"""
+
+import pytest
+
+from repro.core import Outcome, UFilter
+from repro.workloads import tpch
+from repro.xquery import parse_view_update
+
+from .helpers import SWEEP_MB, Series, fresh_tpch
+
+
+def delete_region_customers_update(region: str):
+    """Delete every customer element of one region — a low-selectivity
+    update whose context materialization grows with database size
+    (region count is capped, so matched customers scale linearly)."""
+    return parse_view_update(
+        f"""
+        FOR $c IN document("TpchBush.xml")/customer
+        WHERE $c/r_name/text() = "{region}"
+        UPDATE $c {{ DELETE $c }}
+        """,
+        name=f"bush-delete-customers-of-{region}",
+    )
+
+
+@pytest.fixture(scope="module")
+def environments():
+    envs = {}
+    for megabytes in SWEEP_MB:
+        db = fresh_tpch(megabytes)
+        envs[megabytes] = (db, UFilter(db, tpch.v_bush()))
+    return envs
+
+
+def _bench(benchmark, environments, megabytes, strategy):
+    db, checker = environments[megabytes]
+    update = delete_region_customers_update("AMERICA")
+
+    def setup():
+        if db.txn.active:
+            db.rollback()
+        db.begin()
+
+    def run():
+        report = checker.check(
+            update, strategy=strategy, execute=True, expand_cascades=True
+        )
+        assert report.outcome is Outcome.TRANSLATED, report.reason
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    if db.txn.active:
+        db.rollback()
+    Series.get("Fig. 16: outside vs hybrid over Vbush (success)").add(
+        strategy, megabytes, benchmark.stats.stats.min
+    )
+
+
+@pytest.mark.parametrize("megabytes", SWEEP_MB)
+def test_hybrid_strategy(benchmark, environments, megabytes):
+    _bench(benchmark, environments, megabytes, "hybrid")
+
+
+@pytest.mark.parametrize("megabytes", SWEEP_MB)
+def test_outside_strategy(benchmark, environments, megabytes):
+    _bench(benchmark, environments, megabytes, "outside")

@@ -1,0 +1,91 @@
+"""Fig. 17 — outside vs hybrid for FAILED updates over Vlinear.
+
+The update deletes a customer subtree (customer + orders + lineitem
+statements).  Two failure modes, as in the paper:
+
+* **Fail1** — the customer does not exist: nothing is deleted anywhere.
+  The outside strategy's first probe comes back empty and every deeper
+  statement is skipped; hybrid executes all three deletes for nothing.
+* **Fail2** — the customer and its orders exist but have no lineitems:
+  hybrid still executes the (large, useless) lineitem delete; outside
+  probes it away.
+
+Expected shape: outside below hybrid in both, the biggest saving on the
+biggest relation.
+"""
+
+import pytest
+
+from repro.core import UFilter
+from repro.workloads import tpch
+from repro.xquery import parse_view_update
+
+from .helpers import SWEEP_MB, Series, fresh_tpch
+
+
+def delete_customer_by_name(name: str):
+    return parse_view_update(
+        f"""
+        FOR $root IN document("TpchView.xml"),
+            $c IN $root/region/nation/customer
+        WHERE $c/c_name/text() = "{name}"
+        UPDATE $root {{ DELETE $c }}
+        """,
+        name=f"linear-delete-{name}",
+    )
+
+
+@pytest.fixture(scope="module")
+def environments():
+    envs = {}
+    for megabytes in SWEEP_MB:
+        db = fresh_tpch(megabytes)
+        # Fail2 preparation: strip the lineitems of customer #1's orders
+        order_keys = [
+            row["o_orderkey"]
+            for row in db.rows("orders")
+            if row["o_custkey"] == 1
+        ]
+        for key in order_keys:
+            db.delete("lineitem", db.find_rowids("lineitem", {"l_orderkey": key}))
+        envs[megabytes] = (db, UFilter(db, tpch.v_linear()))
+    return envs
+
+
+def _bench(benchmark, environments, megabytes, strategy, case):
+    db, checker = environments[megabytes]
+    if case == "Fail1":
+        update = delete_customer_by_name("No Such Customer")
+    else:
+        update = delete_customer_by_name("Customer#000001")
+
+    def setup():
+        if db.txn.active:
+            db.rollback()
+        db.begin()
+
+    def run():
+        report = checker.check(
+            update, strategy=strategy, execute=True, expand_cascades=True
+        )
+        if case == "Fail1":
+            assert report.data is None or report.data.rows_affected == 0
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    if db.txn.active:
+        db.rollback()
+    Series.get("Fig. 17: outside vs hybrid over Vlinear (failed cases)").add(
+        f"{strategy}-{case}", megabytes, benchmark.stats.stats.min
+    )
+
+
+@pytest.mark.parametrize("megabytes", SWEEP_MB)
+@pytest.mark.parametrize("case", ["Fail1", "Fail2"])
+def test_hybrid_failures(benchmark, environments, megabytes, case):
+    _bench(benchmark, environments, megabytes, "hybrid", case)
+
+
+@pytest.mark.parametrize("megabytes", SWEEP_MB)
+@pytest.mark.parametrize("case", ["Fail1", "Fail2"])
+def test_outside_failures(benchmark, environments, megabytes, case):
+    _bench(benchmark, environments, megabytes, "outside", case)

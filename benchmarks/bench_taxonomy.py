@@ -1,0 +1,62 @@
+"""Fig. 6 / Sections 4–6 — taxonomy coverage and filter throughput.
+
+Classifies all thirteen updates of Figs. 4 and 10 through the
+schema-level steps and asserts each lands in the class the paper
+states.  The benchmark shows how cheap the schema-only filter is: this
+is the work U-Filter spends on *every* incoming update before any data
+is touched.
+"""
+
+import pytest
+
+from repro.core import Outcome, UFilter
+from repro.workloads import books
+
+EXPECTED_SCHEMA_LEVEL = {
+    "u1": Outcome.INVALID,
+    "u2": Outcome.UNTRANSLATABLE,
+    "u3": Outcome.UNCONDITIONALLY_TRANSLATABLE,
+    "u4": Outcome.UNTRANSLATABLE,
+    "u5": Outcome.INVALID,
+    "u6": Outcome.INVALID,
+    "u7": Outcome.INVALID,
+    "u8": Outcome.UNCONDITIONALLY_TRANSLATABLE,
+    "u9": Outcome.CONDITIONALLY_TRANSLATABLE,
+    "u10": Outcome.UNTRANSLATABLE,
+    "u11": Outcome.UNCONDITIONALLY_TRANSLATABLE,
+    "u12": Outcome.UNCONDITIONALLY_TRANSLATABLE,
+    "u13": Outcome.UNCONDITIONALLY_TRANSLATABLE,
+}
+
+_printed = False
+
+
+@pytest.fixture(scope="module")
+def checker():
+    return UFilter(books.build_book_database(), books.book_view_query())
+
+
+def test_schema_level_taxonomy(benchmark, checker):
+    updates = books.book_updates()
+
+    def classify_all():
+        return {
+            name: checker.check(update, run_data_checks=False).outcome
+            for name, update in updates.items()
+        }
+
+    outcomes = benchmark(classify_all)
+    assert outcomes == EXPECTED_SCHEMA_LEVEL
+
+    global _printed
+    if not _printed:
+        _printed = True
+        print("\n--- Taxonomy of the paper's updates (schema-level) ---")
+        for name, outcome in outcomes.items():
+            print(f"{name:4} -> {outcome.value}")
+
+
+def test_single_update_filter_latency(benchmark, checker):
+    update = books.update("u9")
+    report = benchmark(checker.check, update, run_data_checks=False)
+    assert report.outcome is Outcome.CONDITIONALLY_TRANSLATABLE

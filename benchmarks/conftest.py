@@ -1,0 +1,13 @@
+"""Benchmark-session fixtures and the end-of-session table printer."""
+
+import pytest
+
+from .helpers import Series
+
+
+@pytest.fixture(scope="session", autouse=True)
+def print_series_tables():
+    """After the whole benchmark session, print every collected table."""
+    yield
+    for series in Series._instances.values():
+        series.print()

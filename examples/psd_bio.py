@@ -1,0 +1,83 @@
+"""PSD scenario (Section 7.3): non-well-nested views + SET NULL policy.
+
+The paper's practicality argument: earlier view-update work assumed
+views nested strictly along key/foreign-key constraints with CASCADE
+deletes — the Protein Sequence Database breaks both assumptions.
+This example shows U-Filter handling:
+
+* a view where <citation> embeds its entry (reverse of the FK),
+* a SET NULL foreign key, which changes the base-ASG closure and
+  therefore the UPoint marks,
+* the usual translatable / untranslatable spectrum over that view.
+
+Run:  python examples/psd_bio.py
+"""
+
+from repro.core import UFilter, check_rectangle
+from repro.core.closure import base_relation_closure
+from repro.workloads import psd
+from repro.xml import evaluate_path
+from repro.xquery import evaluate_view
+
+
+def main() -> None:
+    db = psd.build_psd_database(entries=12)
+    print(
+        "PSD-like database:",
+        {name: db.count(name) for name in ("entry", "reference", "feature")},
+    )
+
+    checker = UFilter(db, psd.psd_view())
+    doc = evaluate_view(db, checker.view)
+    print(
+        f"view: {len(evaluate_path(doc, 'protein'))} proteins, "
+        f"{len(evaluate_path(doc, 'citation'))} citations "
+        f"(each embedding its entry — NOT well-nested)"
+    )
+
+    print("\nASG marks:")
+    for node in checker.view_asg.internal_nodes():
+        print(f"  <{node.name}> ({node.mark})")
+
+    print("\nSET NULL vs CASCADE in the base-ASG closure of `entry`:")
+    closure = base_relation_closure(checker.base_asg, "entry")
+    nested = sorted(
+        {name.split(".")[0] for g in closure.groups for name in g.closure.leaf_names()}
+    )
+    print(f"  entry+ nests {nested} — features cascade, references do not")
+
+    print("\nChecking updates:")
+    cases = [
+        ("delete all DOMAIN features", psd.delete_feature_update("DOMAIN")),
+        ("delete a citation's embedded entry", psd.delete_entry_of_reference("R00000")),
+        ("insert a feature under P00003", psd.insert_feature_update("P00003")),
+    ]
+    for label, update in cases:
+        report = checker.check(update, strategy="outside")
+        print(f"  {label:38} -> {report.outcome.value}")
+        if report.reason and not report.outcome.accepted:
+            print(f"      {report.reason[:90]}")
+        for sql in report.sql_updates:
+            print(f"      SQL: {sql}")
+
+    verdict = check_rectangle(
+        db, psd.psd_view(), psd.insert_feature_update("P00005")
+    )
+    print(
+        f"\nrectangle rule for the feature insert: "
+        f"{'HOLDS' if verdict.holds else 'VIOLATED'} "
+        f"(a surrogate key was synthesized for feature.fid)"
+    )
+
+    print("\nSET NULL at work on the base (outside any view):")
+    before = db.count("reference")
+    db.delete("entry", db.find_rowids("entry", {"eid": "P00011"}))
+    orphans = sum(1 for row in db.rows("reference") if row["eid"] is None)
+    print(
+        f"  deleted entry P00011: references kept ({before} -> "
+        f"{db.count('reference')}), {orphans} now have eid = NULL"
+    )
+
+
+if __name__ == "__main__":
+    main()

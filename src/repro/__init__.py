@@ -1,0 +1,53 @@
+"""U-Filter — a lightweight XML view update checker.
+
+Reproduction of: Ling Wang, Elke A. Rundensteiner, Murali Mani,
+*U-Filter: A Lightweight XML View Update Checker* (WPI-CS-TR-05-11 /
+ICDE 2006).
+
+Quickstart::
+
+    from repro import books, UFilter
+
+    db = books.build_book_database()
+    view = books.book_view_query()
+    checker = UFilter(db, view)
+    report = checker.check(books.UPDATES["u1"])
+    print(report.outcome)          # Outcome.INVALID
+    print(report.reason)
+
+Subpackages:
+
+* :mod:`repro.rdb` — relational engine substrate
+* :mod:`repro.xml` — XML node model / parser / XPath
+* :mod:`repro.xquery` — view query + update language
+* :mod:`repro.publishing` — default XML view & mapping relational view
+* :mod:`repro.core` — the U-Filter checker itself
+* :mod:`repro.workloads` — paper workloads (books, TPC-H, W3C, PSD)
+"""
+
+__version__ = "1.0.0"
+
+from . import errors
+
+__all__ = ["errors", "__version__"]
+
+
+def __getattr__(name):
+    """Lazy re-exports of the most-used public names.
+
+    Keeps ``import repro`` cheap while still allowing
+    ``from repro import UFilter, books``.
+    """
+    if name in ("UFilter", "CheckReport", "Outcome"):
+        from .core import ufilter
+
+        return getattr(ufilter, name)
+    if name in ("books", "tpch", "w3c_usecases", "psd"):
+        from . import workloads
+
+        return getattr(workloads, name)
+    if name in ("rdb", "xml", "xquery", "publishing", "core", "workloads"):
+        import importlib
+
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

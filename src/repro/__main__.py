@@ -1,0 +1,5 @@
+"""Module entry point: ``python -m repro <subcommand>``."""
+
+from .cli import main
+
+raise SystemExit(main())

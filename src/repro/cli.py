@@ -1,0 +1,161 @@
+"""Command-line front end: ``python -m repro ...``.
+
+Subcommands:
+
+* ``demo``  — run the paper's running example end to end;
+* ``asg``   — print the annotated schema graph (marks included) for a
+  view over a schema;
+* ``check`` — check one update against a view over a populated
+  database;
+* ``audit`` — regenerate the Fig. 12 W3C expressiveness table;
+* ``wellnested`` — report whether a view is well-nested.
+
+Schemas/data are supplied as SQL scripts (CREATE TABLE + INSERT
+statements in the dialect of :mod:`repro.rdb.sql`), views and updates
+as files in the languages of :mod:`repro.xquery`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .core import UFilter
+from .core.wellnested import analyze_well_nestedness
+from .rdb import Database, Schema, SQLEngine, parse_script
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_database(sql_path: str) -> Database:
+    db = Database(Schema())
+    engine = SQLEngine(db)
+    script = Path(sql_path).read_text()
+    for statement in parse_script(script):
+        engine.execute(statement)
+    return db
+
+
+def _read(path_or_dash: str) -> str:
+    if path_or_dash == "-":
+        return sys.stdin.read()
+    return Path(path_or_dash).read_text()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="U-Filter: a lightweight XML view update checker",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="run the paper's running example")
+
+    asg = sub.add_parser("asg", help="print a view's annotated schema graph")
+    asg.add_argument("--db", required=True, help="SQL script (DDL [+ data])")
+    asg.add_argument("--view", required=True, help="view query file (or -)")
+
+    check = sub.add_parser("check", help="check an update against a view")
+    check.add_argument("--db", required=True, help="SQL script (DDL + data)")
+    check.add_argument("--view", required=True, help="view query file (or -)")
+    check.add_argument("--update", required=True, help="update file (or -)")
+    check.add_argument(
+        "--strategy",
+        choices=("internal", "hybrid", "outside"),
+        default="outside",
+    )
+    check.add_argument(
+        "--execute",
+        action="store_true",
+        help="apply the translated SQL to the loaded database",
+    )
+
+    sub.add_parser("audit", help="regenerate the Fig. 12 W3C table")
+
+    wn = sub.add_parser("wellnested", help="well-nestedness analysis")
+    wn.add_argument("--db", required=True)
+    wn.add_argument("--view", required=True)
+
+    return parser
+
+
+def _cmd_demo() -> int:
+    from .workloads import books
+
+    db = books.build_book_database()
+    checker = UFilter(db, books.book_view_query())
+    print("BookView annotated schema graph:")
+    for node in checker.view_asg.internal_nodes():
+        print(f"  {node.node_id}  <{node.name}>  ({node.mark})")
+    print()
+    for name in books.UPDATE_TEXTS:
+        report = checker.check(books.update(name))
+        line = f"{name:4} -> {report.outcome.value}"
+        if report.condition:
+            line += f" [{report.condition}]"
+        print(line)
+        if report.reason and not report.outcome.accepted:
+            print(f"        {report.reason[:96]}")
+        for sql in report.sql_updates:
+            print(f"        SQL: {sql}")
+    return 0
+
+
+def _cmd_asg(args: argparse.Namespace) -> int:
+    db = _load_database(args.db)
+    checker = UFilter(db, _read(args.view))
+    print(checker.describe_asg())
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    db = _load_database(args.db)
+    checker = UFilter(db, _read(args.view))
+    report = checker.check(
+        _read(args.update), strategy=args.strategy, execute=args.execute
+    )
+    print(report.summary())
+    return 0 if report.outcome.accepted else 1
+
+
+def _cmd_audit() -> int:
+    from .workloads.w3c_usecases import run_audit
+
+    print(f"{'View Query':12} {'Included':9} Reason")
+    for name, included, reason in run_audit():
+        print(f"{name:12} {'yes' if included else 'no':9} {reason or '-'}")
+    return 0
+
+
+def _cmd_wellnested(args: argparse.Namespace) -> int:
+    db = _load_database(args.db)
+    checker = UFilter(db, _read(args.view))
+    report = analyze_well_nestedness(checker.view_asg)
+    if report.well_nested:
+        print("well-nested: every valid update over this view is translatable")
+        return 0
+    print("NOT well-nested:")
+    for violation in report.violations:
+        print(f"  - {violation}")
+    return 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "asg":
+        return _cmd_asg(args)
+    if args.command == "check":
+        return _cmd_check(args)
+    if args.command == "audit":
+        return _cmd_audit()
+    if args.command == "wellnested":
+        return _cmd_wellnested(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

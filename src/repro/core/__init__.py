@@ -1,0 +1,104 @@
+"""U-Filter core: ASGs, the three checking steps, translation, verification."""
+
+from .asg import (
+    BaseASG,
+    BaseEdge,
+    BaseNode,
+    Cardinality,
+    JoinCondition,
+    NodeKind,
+    ValueConstraint,
+    ViewASG,
+    ViewEdge,
+    ViewNode,
+)
+from .asg_builder import audit_view_query, build_base_asg, build_view_asg
+from .closure import (
+    Closure,
+    Group,
+    base_leaf_closure,
+    base_relation_closure,
+    join_closures,
+    mapping_closure,
+    view_closure,
+)
+from .datacheck import STRATEGIES, DataChecker, DataCheckResult
+from .satisfiability import constraints_overlap, is_satisfiable, value_satisfies
+from .star import (
+    CONDITION_DUP_CONSISTENCY,
+    CONDITION_MINIMIZATION,
+    Category,
+    StarVerdict,
+    mark_view_asg,
+    star_check,
+)
+from .translation import (
+    ProbeResult,
+    Translator,
+    TupleDelete,
+    TupleInsert,
+    TupleUpdate,
+)
+from .ufilter import CheckReport, Outcome, UFilter
+from .update_binding import (
+    OpResolution,
+    PredicateResolution,
+    ResolvedUpdate,
+    resolve_update,
+)
+from .validation import ValidationResult, validate_update
+from .verify import RectangleReport, check_rectangle
+from .wellnested import WellNestedReport, analyze_well_nestedness
+
+__all__ = [
+    "analyze_well_nestedness",
+    "audit_view_query",
+    "BaseASG",
+    "BaseEdge",
+    "BaseNode",
+    "base_leaf_closure",
+    "base_relation_closure",
+    "build_base_asg",
+    "build_view_asg",
+    "Cardinality",
+    "Category",
+    "check_rectangle",
+    "CheckReport",
+    "Closure",
+    "CONDITION_DUP_CONSISTENCY",
+    "CONDITION_MINIMIZATION",
+    "constraints_overlap",
+    "DataChecker",
+    "DataCheckResult",
+    "Group",
+    "is_satisfiable",
+    "join_closures",
+    "JoinCondition",
+    "mapping_closure",
+    "mark_view_asg",
+    "NodeKind",
+    "OpResolution",
+    "Outcome",
+    "PredicateResolution",
+    "ProbeResult",
+    "RectangleReport",
+    "resolve_update",
+    "ResolvedUpdate",
+    "star_check",
+    "StarVerdict",
+    "STRATEGIES",
+    "Translator",
+    "TupleDelete",
+    "TupleInsert",
+    "TupleUpdate",
+    "UFilter",
+    "validate_update",
+    "ValidationResult",
+    "WellNestedReport",
+    "ValueConstraint",
+    "value_satisfies",
+    "view_closure",
+    "ViewASG",
+    "ViewEdge",
+    "ViewNode",
+]

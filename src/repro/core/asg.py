@@ -1,0 +1,402 @@
+"""Annotated Schema Graphs (Section 3 of the paper).
+
+Two graphs are generated per view:
+
+* the **view ASG** ``G_V`` — the hierarchical structure of the XML view
+  with node annotations (name / type / property / check for leaves,
+  UCBinding / UPBinding for internal nodes) and edge annotations
+  (cardinality ``1 ? + *`` plus correlation conditions);
+* the **base ASG** ``G_D`` — a DAG over the referenced relations and
+  attributes capturing key / foreign-key structure.
+
+This module holds the data model; :mod:`repro.core.asg_builder`
+constructs both graphs from a view query and a relational schema.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from ..errors import UFilterError
+from ..rdb.schema import Schema
+from ..rdb.types import SQLType
+
+__all__ = [
+    "NodeKind",
+    "Cardinality",
+    "JoinCondition",
+    "ValueConstraint",
+    "ViewNode",
+    "ViewEdge",
+    "ViewASG",
+    "BaseNode",
+    "BaseEdge",
+    "BaseASG",
+]
+
+
+class NodeKind(enum.Enum):
+    ROOT = "root"          # v_R
+    INTERNAL = "internal"  # v_C — complex view element
+    TAG = "tag"            # v_S — simple element wrapping a value
+    LEAF = "leaf"          # v_L — atomic value
+
+
+class Cardinality(enum.Enum):
+    ONE = "1"
+    OPTIONAL = "?"
+    PLUS = "+"
+    STAR = "*"
+
+    @property
+    def is_many(self) -> bool:
+        return self in (Cardinality.PLUS, Cardinality.STAR)
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """An equality correlation predicate ``relA.attrA = relB.attrB``."""
+
+    rel_a: str
+    attr_a: str
+    rel_b: str
+    attr_b: str
+    op: str = "="
+
+    def normalized(self) -> "JoinCondition":
+        """Orientation-independent canonical form (for closure labels)."""
+        left = (self.rel_a, self.attr_a)
+        right = (self.rel_b, self.attr_b)
+        if left <= right:
+            return self
+        return JoinCondition(self.rel_b, self.attr_b, self.rel_a, self.attr_a, self.op)
+
+    def label(self) -> str:
+        c = self.normalized()
+        return f"{c.rel_a}.{c.attr_a}{c.op}{c.rel_b}.{c.attr_b}"
+
+    def relations(self) -> tuple[str, str]:
+        return (self.rel_a, self.rel_b)
+
+    def __str__(self) -> str:
+        return f"{self.rel_a}.{self.attr_a} {self.op} {self.rel_b}.{self.attr_b}"
+
+
+@dataclass(frozen=True)
+class ValueConstraint:
+    """One atomic check on a leaf value: ``value op literal``.
+
+    The *check annotation* of a leaf is a set of these, merged from the
+    relational CHECK constraints and the view's non-correlation
+    predicates (e.g. book.price ends up with ``{> 0.00, < 50.00}``).
+    """
+
+    op: str
+    literal: Any
+
+    def __str__(self) -> str:
+        return f"value {self.op} {self.literal!r}"
+
+
+@dataclass
+class ViewNode:
+    """A node of the view ASG with its annotation set."""
+
+    node_id: str
+    kind: NodeKind
+    name: str                          # tag name; for leaves "rel.attr"
+    parent: Optional["ViewNode"] = None
+    children: list["ViewNode"] = field(default_factory=list)
+
+    # leaf annotations ------------------------------------------------------
+    relation: Optional[str] = None     # backing relation (leaf/tag)
+    attribute: Optional[str] = None    # backing attribute (leaf/tag)
+    sql_type: Optional[SQLType] = None
+    not_null: bool = False             # property = {Not Null}
+    checks: tuple[ValueConstraint, ...] = ()
+
+    # internal/root annotations --------------------------------------------
+    uc_binding: frozenset[str] = frozenset()
+    up_binding: frozenset[str] = frozenset()
+    #: non-correlation predicates of the FLWR that introduced this node,
+    #: as (relation, attribute, constraint) triples — they filter which
+    #: base tuples can appear here (used by validation and probe queries)
+    value_filters: tuple[tuple[str, str, "ValueConstraint"], ...] = ()
+
+    # STAR marks (filled by the marking procedure) ---------------------------
+    safe_delete: Optional[bool] = None
+    safe_insert: Optional[bool] = None
+    upoint_clean: Optional[bool] = None
+    #: witness relation for Rule 2 (the clean-source candidate), if any
+    clean_source: Optional[str] = None
+    #: the one undetermined relation driving this node's iteration
+    #: (Rule 1 analysis) — inserts must create a fresh tuple of it
+    driving_relation: Optional[str] = None
+    #: human-readable note on why the node was marked unsafe
+    unsafe_reason: str = ""
+
+    # -- structure -----------------------------------------------------------
+
+    def add_child(self, child: "ViewNode") -> "ViewNode":
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def iter_subtree(self) -> Iterator["ViewNode"]:
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def ancestors(self) -> Iterator["ViewNode"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def is_descendant_of(self, other: "ViewNode") -> bool:
+        return any(ancestor is other for ancestor in self.ancestors())
+
+    def child_by_tag(self, tag: str) -> Optional["ViewNode"]:
+        for child in self.children:
+            if child.name == tag:
+                return child
+        return None
+
+    @property
+    def mark(self) -> str:
+        """The paper's ``(UPoint | UContext)`` label, e.g. ``dirty | s-d∧u-i``."""
+        if self.kind not in (NodeKind.INTERNAL, NodeKind.ROOT):
+            return ""
+        upoint = (
+            "clean" if self.upoint_clean
+            else "dirty" if self.upoint_clean is not None
+            else "?"
+        )
+        d = "s-d" if self.safe_delete else "u-d"
+        i = "s-i" if self.safe_insert else "u-i"
+        return f"{upoint} | {d}∧{i}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ViewNode {self.node_id} {self.kind.value} {self.name!r}>"
+
+
+@dataclass
+class ViewEdge:
+    """Edge annotation: cardinality plus correlation conditions."""
+
+    parent: ViewNode
+    child: ViewNode
+    cardinality: Cardinality
+    conditions: tuple[JoinCondition, ...] = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        conditions = ", ".join(str(c) for c in self.conditions)
+        return (
+            f"<ViewEdge ({self.parent.node_id}, {self.child.node_id}) "
+            f"type={self.cardinality.value} {conditions}>"
+        )
+
+
+class ViewASG:
+    """The view Annotated Schema Graph ``G_V``."""
+
+    def __init__(self, root: ViewNode, schema: Schema) -> None:
+        self.root = root
+        self.schema = schema
+        self.edges: dict[tuple[str, str], ViewEdge] = {}
+        self._nodes: dict[str, ViewNode] = {}
+        for node in root.iter_subtree():
+            self._nodes[node.node_id] = node
+
+    # -- registration (builder API) -------------------------------------------
+
+    def register(self, node: ViewNode) -> None:
+        self._nodes[node.node_id] = node
+
+    def add_edge(self, edge: ViewEdge) -> None:
+        self.edges[(edge.parent.node_id, edge.child.node_id)] = edge
+
+    # -- lookups ----------------------------------------------------------------
+
+    def node(self, node_id: str) -> ViewNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UFilterError(f"no ASG node {node_id!r}") from None
+
+    def nodes(self) -> list[ViewNode]:
+        return list(self.root.iter_subtree())
+
+    def internal_nodes(self) -> list[ViewNode]:
+        return [
+            node for node in self.nodes() if node.kind is NodeKind.INTERNAL
+        ]
+
+    def leaf_nodes(self) -> list[ViewNode]:
+        return [node for node in self.nodes() if node.kind is NodeKind.LEAF]
+
+    def edge(self, parent: ViewNode, child: ViewNode) -> ViewEdge:
+        try:
+            return self.edges[(parent.node_id, child.node_id)]
+        except KeyError:
+            raise UFilterError(
+                f"no edge ({parent.node_id}, {child.node_id})"
+            ) from None
+
+    def incoming_edge(self, node: ViewNode) -> Optional[ViewEdge]:
+        if node.parent is None:
+            return None
+        return self.edge(node.parent, node)
+
+    def relations(self) -> frozenset[str]:
+        """``rel(DEF_V)`` — every base relation the view references."""
+        return self.root.up_binding
+
+    def conditions_in_scope(self, node: ViewNode) -> list[JoinCondition]:
+        """Join conditions on every edge from the root down to *node*."""
+        chain: list[ViewNode] = [node]
+        chain.extend(node.ancestors())
+        chain.reverse()
+        conditions: list[JoinCondition] = []
+        for parent, child in zip(chain, chain[1:]):
+            edge = self.edges.get((parent.node_id, child.node_id))
+            if edge is not None:
+                conditions.extend(edge.conditions)
+        return conditions
+
+    def value_filters_in_scope(
+        self, node: ViewNode
+    ) -> list[tuple[str, str, ValueConstraint]]:
+        """Non-correlation filters on every node from the root to *node*."""
+        chain: list[ViewNode] = [node]
+        chain.extend(node.ancestors())
+        filters: list[tuple[str, str, ValueConstraint]] = []
+        for member in reversed(chain):
+            filters.extend(member.value_filters)
+        return filters
+
+    def current_relations(self, node: ViewNode) -> frozenset[str]:
+        """The paper's ``CR(vC) = UCBinding(vC) − UCBinding(parent)``.
+
+        The parent is the nearest *internal-or-root* ancestor (tag and
+        leaf nodes never carry bindings).
+        """
+        parent = node.parent
+        while parent is not None and parent.kind not in (
+            NodeKind.INTERNAL, NodeKind.ROOT,
+        ):
+            parent = parent.parent
+        parent_binding = parent.uc_binding if parent is not None else frozenset()
+        return node.uc_binding - parent_binding
+
+    def resolve_tag_path(self, tags: tuple[str, ...]) -> Optional[ViewNode]:
+        """Walk tag names from the root; None when the path leaves G_V."""
+        node = self.root
+        for tag in tags:
+            child = node.child_by_tag(tag)
+            if child is None:
+                return None
+            node = child
+        return node
+
+    def describe(self) -> str:
+        """Multi-line dump mirroring the paper's node/edge tables."""
+        lines = []
+        for node in self.nodes():
+            mark = f"  ({node.mark})" if node.kind in (
+                NodeKind.INTERNAL, NodeKind.ROOT,
+            ) else ""
+            extra = ""
+            if node.kind is NodeKind.LEAF:
+                checks = ", ".join(str(c) for c in node.checks)
+                notnull = " Not Null" if node.not_null else ""
+                extra = f" [{node.sql_type.name if node.sql_type else '?'}{notnull}] {checks}"
+            if node.kind in (NodeKind.INTERNAL, NodeKind.ROOT):
+                extra = (
+                    f" UC={sorted(node.uc_binding)} UP={sorted(node.up_binding)}"
+                )
+            lines.append(
+                f"{node.node_id:5} {node.kind.value:8} {node.name:24}{extra}{mark}"
+            )
+        for (pid, cid), edge in self.edges.items():
+            conditions = ", ".join(str(c) for c in edge.conditions)
+            lines.append(
+                f"edge ({pid},{cid}) type={edge.cardinality.value} {conditions}"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Base ASG
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BaseNode:
+    """A node of the base ASG: a relation or a relational attribute."""
+
+    node_id: str
+    name: str                       # "book" or "book.bookid"
+    is_leaf: bool
+    relation: str = ""
+    attribute: Optional[str] = None
+    is_key: bool = False            # property = {Key}
+    parent: Optional["BaseNode"] = None
+    children: list["BaseNode"] = field(default_factory=list)
+
+
+@dataclass
+class BaseEdge:
+    """FK-derived edge between relation nodes."""
+
+    parent: BaseNode               # referenced relation
+    child: BaseNode                # referencing relation
+    cardinality: Cardinality
+    conditions: tuple[JoinCondition, ...]
+    cascades: bool = True          # False under SET NULL / RESTRICT
+
+    def condition_label(self) -> str:
+        return "&".join(c.label() for c in self.conditions)
+
+
+class BaseASG:
+    """The base Annotated Schema Graph ``G_D`` (a DAG over relations)."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self.relation_nodes: dict[str, BaseNode] = {}
+        self.leaf_nodes: dict[str, BaseNode] = {}   # keyed by "rel.attr"
+        self.edges: list[BaseEdge] = []
+
+    def relation_node(self, relation: str) -> BaseNode:
+        try:
+            return self.relation_nodes[relation]
+        except KeyError:
+            raise UFilterError(f"base ASG has no relation {relation!r}") from None
+
+    def leaf(self, name: str) -> Optional[BaseNode]:
+        return self.leaf_nodes.get(name)
+
+    def children_of(self, relation: str) -> list[BaseEdge]:
+        node = self.relation_node(relation)
+        return [edge for edge in self.edges if edge.parent is node]
+
+    def describe(self) -> str:
+        lines = []
+        for relation, node in self.relation_nodes.items():
+            leaves = ", ".join(
+                child.name + (" [Key]" if child.is_key else "")
+                for child in node.children
+                if child.is_leaf
+            )
+            lines.append(f"{node.node_id:5} {relation}: {leaves}")
+        for edge in self.edges:
+            conditions = ", ".join(str(c) for c in edge.conditions)
+            lines.append(
+                f"edge ({edge.parent.name}, {edge.child.name}) "
+                f"type={edge.cardinality.value} {conditions} "
+                f"{'cascade' if edge.cascades else 'no-cascade'}"
+            )
+        return "\n".join(lines)

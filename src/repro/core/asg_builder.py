@@ -1,0 +1,468 @@
+"""Construction of the view and base ASGs (Section 3.2).
+
+``build_view_asg`` walks a parsed :class:`ViewQuery` with the relational
+schema at hand and produces the annotated graph of Fig. 8;
+``build_base_asg`` derives the FK DAG of Fig. 9 from the leaves the view
+actually references.
+
+Any construct the ASG model cannot express — aggregates, ``distinct``,
+``if/then/else``, ``order by``, navigation deeper than one attribute —
+raises :class:`repro.errors.UnsupportedFeatureError` with the feature
+name.  The Fig. 12 audit calls :func:`audit_view_query` to harvest
+those reasons.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..errors import UnsupportedFeatureError, XQueryError
+from ..rdb.constraints import DeletePolicy
+from ..rdb.expr import ColumnRef, Comparison, Literal
+from ..rdb.schema import Schema
+from ..xquery.ast import (
+    Binding,
+    Content,
+    DocSource,
+    ElementCtor,
+    FLWR,
+    FunctionCall,
+    IfThenElse,
+    Predicate,
+    VarPath,
+    VarProjection,
+    ViewQuery,
+)
+from .asg import (
+    BaseASG,
+    BaseEdge,
+    BaseNode,
+    Cardinality,
+    JoinCondition,
+    NodeKind,
+    ValueConstraint,
+    ViewASG,
+    ViewEdge,
+    ViewNode,
+)
+
+__all__ = ["build_view_asg", "build_base_asg", "audit_view_query"]
+
+Scope = dict[str, str]  # variable -> relation name
+
+
+class _Counter:
+    def __init__(self) -> None:
+        self.counts = {"C": 0, "S": 0, "L": 0}
+
+    def next(self, kind: str) -> str:
+        self.counts[kind] += 1
+        return f"v{kind}{self.counts[kind]}"
+
+
+def build_view_asg(view: ViewQuery, schema: Schema) -> ViewASG:
+    """Build ``G_V`` for *view* over *schema* (annotations included)."""
+    counter = _Counter()
+    root = ViewNode(node_id="vR", kind=NodeKind.ROOT, name=view.root_tag)
+    asg = ViewASG(root, schema)
+    for item in view.items:
+        _build_content(asg, item, root, {}, counter, schema)
+    _compute_up_bindings(root)
+    _merge_view_checks(asg)
+    return asg
+
+
+def _build_content(
+    asg: ViewASG,
+    item: Content,
+    parent: ViewNode,
+    scope: Scope,
+    counter: _Counter,
+    schema: Schema,
+) -> None:
+    if isinstance(item, FLWR):
+        _build_flwr(asg, item, parent, scope, counter, schema)
+    elif isinstance(item, ElementCtor):
+        _build_element(asg, item, parent, scope, counter, schema)
+    elif isinstance(item, VarProjection):
+        _build_projection(asg, item.path, parent, scope, counter, schema)
+    elif isinstance(item, FunctionCall):
+        raise UnsupportedFeatureError(f"{item.name}()")
+    elif isinstance(item, IfThenElse):
+        raise UnsupportedFeatureError("if/then/else")
+    else:  # pragma: no cover - exhaustive over Content
+        raise XQueryError(f"cannot model {type(item).__name__} in an ASG")
+
+
+def _build_flwr(
+    asg: ViewASG,
+    flwr: FLWR,
+    parent: ViewNode,
+    scope: Scope,
+    counter: _Counter,
+    schema: Schema,
+) -> None:
+    if flwr.order_by is not None:
+        raise UnsupportedFeatureError("order by / sortby")
+    inner_scope = dict(scope)
+    new_relations: list[str] = []
+    for binding in flwr.bindings:
+        relation = _binding_relation(binding, inner_scope, schema)
+        if relation is not None:
+            inner_scope[binding.var] = relation
+            new_relations.append(relation)
+
+    conditions: list[JoinCondition] = []
+    filters: list[tuple[str, str, ValueConstraint]] = []
+    for predicate in flwr.where:
+        _classify_predicate(predicate, inner_scope, conditions, filters, schema)
+
+    ret = flwr.ret
+    if isinstance(ret, (FunctionCall,)):
+        raise UnsupportedFeatureError(f"{ret.name}()")
+    if isinstance(ret, IfThenElse):
+        raise UnsupportedFeatureError("if/then/else")
+
+    if isinstance(ret, ElementCtor):
+        node = ViewNode(
+            node_id=counter.next("C"),
+            kind=NodeKind.INTERNAL,
+            name=ret.tag,
+            uc_binding=parent.uc_binding | frozenset(new_relations),
+            value_filters=tuple(
+                (relation, attribute, constraint)
+                for relation, attribute, constraint in filters
+            ),
+        )
+        parent.add_child(node)
+        asg.register(node)
+        asg.add_edge(
+            ViewEdge(
+                parent=parent,
+                child=node,
+                cardinality=Cardinality.STAR,
+                conditions=tuple(conditions),
+            )
+        )
+        for child_item in ret.items:
+            _build_content(asg, child_item, node, inner_scope, counter, schema)
+        return
+    if isinstance(ret, VarProjection):
+        # RETURN { $var/attr } — a repeated simple element
+        tag = _build_projection(
+            asg, ret.path, parent, inner_scope, counter, schema,
+            cardinality=Cardinality.STAR,
+            conditions=tuple(conditions),
+            filters=tuple(filters),
+        )
+        return
+    if isinstance(ret, FLWR):
+        # directly nested FLWR without an enclosing constructor
+        _build_flwr(asg, ret, parent, inner_scope, counter, schema)
+        return
+    raise XQueryError(f"cannot model RETURN of {type(ret).__name__}")
+
+
+def _build_element(
+    asg: ViewASG,
+    ctor: ElementCtor,
+    parent: ViewNode,
+    scope: Scope,
+    counter: _Counter,
+    schema: Schema,
+) -> None:
+    node = ViewNode(
+        node_id=counter.next("C"),
+        kind=NodeKind.INTERNAL,
+        name=ctor.tag,
+        uc_binding=parent.uc_binding,
+    )
+    parent.add_child(node)
+    asg.register(node)
+    asg.add_edge(
+        ViewEdge(parent=parent, child=node, cardinality=Cardinality.ONE)
+    )
+    for item in ctor.items:
+        _build_content(asg, item, node, scope, counter, schema)
+
+
+def _build_projection(
+    asg: ViewASG,
+    path: VarPath,
+    parent: ViewNode,
+    scope: Scope,
+    counter: _Counter,
+    schema: Schema,
+    cardinality: Optional[Cardinality] = None,
+    conditions: tuple[JoinCondition, ...] = (),
+    filters: tuple[tuple[str, str, ValueConstraint], ...] = (),
+) -> ViewNode:
+    relation, attribute = _resolve_path(path, scope, schema)
+    rel_schema = schema.relation(relation)
+    attr_schema = rel_schema.attribute(attribute)
+    not_null = attribute in rel_schema.not_null_columns()
+    checks = _relational_checks(rel_schema, attribute)
+
+    leaf_cardinality = (
+        cardinality
+        if cardinality is not None
+        else (Cardinality.ONE if not_null else Cardinality.OPTIONAL)
+    )
+    tag = ViewNode(
+        node_id=counter.next("S"),
+        kind=NodeKind.TAG,
+        name=attribute,
+        relation=relation,
+        attribute=attribute,
+        uc_binding=parent.uc_binding,
+        value_filters=filters,
+    )
+    parent.add_child(tag)
+    asg.register(tag)
+    asg.add_edge(
+        ViewEdge(
+            parent=parent,
+            child=tag,
+            cardinality=leaf_cardinality,
+            conditions=conditions,
+        )
+    )
+    leaf = ViewNode(
+        node_id=counter.next("L"),
+        kind=NodeKind.LEAF,
+        name=f"{relation}.{attribute}",
+        relation=relation,
+        attribute=attribute,
+        sql_type=attr_schema.sql_type,
+        not_null=not_null,
+        checks=checks,
+        uc_binding=parent.uc_binding,
+    )
+    tag.add_child(leaf)
+    asg.register(leaf)
+    asg.add_edge(
+        ViewEdge(
+            parent=tag,
+            child=leaf,
+            cardinality=Cardinality.ONE if not_null else Cardinality.OPTIONAL,
+        )
+    )
+    return tag
+
+
+def _binding_relation(
+    binding: Binding, scope: Scope, schema: Schema
+) -> Optional[str]:
+    source = binding.source
+    if isinstance(source, DocSource):
+        relation = source.relation
+        if relation is None or len(source.path) != 2 or source.path[1] != "row":
+            raise UnsupportedFeatureError(
+                "non-default-view document source",
+                f"source {source} does not navigate document(...)/relation/row",
+            )
+        if relation not in schema:
+            raise XQueryError(f"view references unknown relation {relation!r}")
+        return relation
+    if isinstance(source, VarPath):
+        if source.segments or source.text_fn:
+            raise UnsupportedFeatureError("navigation into a bound variable")
+        if source.var not in scope:
+            raise XQueryError(f"unbound variable ${source.var}")
+        scope[binding.var] = scope[source.var]
+        return None
+    raise XQueryError(f"unsupported binding source {source!r}")
+
+
+def _resolve_path(path: VarPath, scope: Scope, schema: Schema) -> tuple[str, str]:
+    if path.var not in scope:
+        raise XQueryError(f"unbound variable ${path.var}")
+    relation = scope[path.var]
+    attribute = path.attribute
+    if attribute is None:
+        raise UnsupportedFeatureError(
+            "deep path navigation", f"path {path} must project one attribute"
+        )
+    schema.relation(relation).attribute(attribute)
+    return relation, attribute
+
+
+def _relational_checks(relation, attribute: str) -> tuple[ValueConstraint, ...]:
+    """Extract single-attribute CHECK constraints as value constraints."""
+    constraints: list[ValueConstraint] = []
+    for expression in relation.checks_for_column(attribute):
+        for conjunct in expression.conjuncts():
+            if not isinstance(conjunct, Comparison):
+                continue
+            left, right, op = conjunct.left, conjunct.right, conjunct.op
+            if isinstance(left, ColumnRef) and isinstance(right, Literal):
+                if left.column == attribute:
+                    constraints.append(ValueConstraint(op, right.value))
+            elif isinstance(right, ColumnRef) and isinstance(left, Literal):
+                if right.column == attribute:
+                    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+                    constraints.append(ValueConstraint(flipped, left.value))
+    return tuple(constraints)
+
+
+def _classify_predicate(
+    predicate: Predicate,
+    scope: Scope,
+    conditions: list[JoinCondition],
+    filters: list[tuple[str, str, ValueConstraint]],
+    schema: Schema,
+) -> None:
+    left, right = predicate.left, predicate.right
+    if isinstance(left, FunctionCall) or isinstance(right, FunctionCall):
+        name = left.name if isinstance(left, FunctionCall) else right.name
+        raise UnsupportedFeatureError(f"{name}()")
+    if isinstance(left, VarPath) and isinstance(right, VarPath):
+        rel_a, attr_a = _resolve_path(left, scope, schema)
+        rel_b, attr_b = _resolve_path(right, scope, schema)
+        conditions.append(
+            JoinCondition(rel_a, attr_a, rel_b, attr_b, op=predicate.op)
+        )
+        return
+    if isinstance(left, VarPath):
+        relation, attribute = _resolve_path(left, scope, schema)
+        filters.append((relation, attribute, ValueConstraint(predicate.op, right)))
+        return
+    if isinstance(right, VarPath):
+        relation, attribute = _resolve_path(right, scope, schema)
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(
+            predicate.op, predicate.op
+        )
+        filters.append((relation, attribute, ValueConstraint(flipped, left)))
+        return
+    raise XQueryError(f"predicate {predicate} references no variable")
+
+
+def _compute_up_bindings(root: ViewNode) -> None:
+    """UPBinding = relations used to construct the node's subtree.
+
+    That is: relations behind projected leaves plus relations *newly
+    bound* by the FLWR introducing each internal node (bound-but-never-
+    projected relations still participate in construction).  A plain
+    element constructor (vC2 in Fig. 8) binds nothing new, so its
+    UPBinding is just its subtree's — ``{publisher}``, not its UCBinding.
+    """
+
+    def visit(node: ViewNode, parent_uc: frozenset[str]) -> frozenset[str]:
+        relations: set[str] = set()
+        if node.relation is not None:
+            relations.add(node.relation)
+        if node.kind is NodeKind.INTERNAL:
+            relations.update(node.uc_binding - parent_uc)
+        for child in node.children:
+            relations.update(visit(child, node.uc_binding))
+        node.up_binding = frozenset(relations)
+        return node.up_binding
+
+    visit(root, frozenset())
+
+
+def _merge_view_checks(asg: ViewASG) -> None:
+    """Fold in-scope non-correlation predicates into leaf check sets.
+
+    This produces the paper's combined check annotation, e.g. vL3
+    (book.price) = {0.00 < value < 50.00}: ``> 0`` from the relational
+    CHECK, ``< 50`` from the view's WHERE.
+    """
+    for leaf in asg.leaf_nodes():
+        extra = [
+            constraint
+            for relation, attribute, constraint in asg.value_filters_in_scope(leaf)
+            if relation == leaf.relation and attribute == leaf.attribute
+        ]
+        if extra:
+            merged = list(leaf.checks)
+            for constraint in extra:
+                if constraint not in merged:
+                    merged.append(constraint)
+            leaf.checks = tuple(merged)
+
+
+def build_base_asg(
+    view_asg: ViewASG,
+    schema: Schema,
+) -> BaseASG:
+    """Build ``G_D`` from the relational attributes the view references."""
+    base = BaseASG(schema)
+    counter = 0
+
+    # leaf nodes: union of relational attributes behind view leaves
+    referenced: dict[str, list[str]] = {}
+    for leaf in view_asg.leaf_nodes():
+        assert leaf.relation is not None and leaf.attribute is not None
+        attributes = referenced.setdefault(leaf.relation, [])
+        if leaf.attribute not in attributes:
+            attributes.append(leaf.attribute)
+
+    for relation_name, attributes in referenced.items():
+        counter += 1
+        relation_node = BaseNode(
+            node_id=f"n{counter}",
+            name=relation_name,
+            is_leaf=False,
+            relation=relation_name,
+        )
+        base.relation_nodes[relation_name] = relation_node
+        relation_schema = schema.relation(relation_name)
+        key_columns = (
+            set(relation_schema.primary_key.columns)
+            if relation_schema.primary_key
+            else set()
+        )
+        for attribute in attributes:
+            counter += 1
+            leaf_node = BaseNode(
+                node_id=f"n{counter}",
+                name=f"{relation_name}.{attribute}",
+                is_leaf=True,
+                relation=relation_name,
+                attribute=attribute,
+                is_key=attribute in key_columns,
+                parent=relation_node,
+            )
+            relation_node.children.append(leaf_node)
+            base.leaf_nodes[leaf_node.name] = leaf_node
+
+    # FK edges between referenced relations
+    for relation_name in referenced:
+        for fk in schema.relation(relation_name).foreign_keys:
+            if fk.ref_relation not in base.relation_nodes:
+                continue
+            conditions = tuple(
+                JoinCondition(fk.ref_relation, ref_col, relation_name, col)
+                for col, ref_col in zip(fk.columns, fk.ref_columns)
+            )
+            base.edges.append(
+                BaseEdge(
+                    parent=base.relation_nodes[fk.ref_relation],
+                    child=base.relation_nodes[relation_name],
+                    cardinality=Cardinality.STAR,
+                    conditions=conditions,
+                    cascades=fk.on_delete is DeletePolicy.CASCADE,
+                )
+            )
+    return base
+
+
+def audit_view_query(text_or_query: Union[str, ViewQuery], schema: Schema):
+    """Fig. 12 helper: is this query expressible in a view ASG?
+
+    Returns ``(included, reason)`` — ``(True, "")`` when the ASG builds,
+    otherwise ``(False, feature)`` naming the offending construct.
+    """
+    from ..xquery.parser import parse_view_query
+
+    try:
+        query = (
+            parse_view_query(text_or_query)
+            if isinstance(text_or_query, str)
+            else text_or_query
+        )
+        build_view_asg(query, schema)
+    except UnsupportedFeatureError as exc:
+        return False, exc.feature
+    return True, ""

@@ -1,0 +1,174 @@
+"""Serialization of marked ASGs — the "compiled once" story of §3.1.
+
+The paper stresses that the constraints "are compiled once and reused
+thereafter for any future update checking specified over this same
+view".  This module makes that literal: a fully marked view ASG
+round-trips through JSON, so a deployment can build + mark at view
+definition time, persist the result, and rehydrate checkers without
+re-running the (schema-level, but still non-zero) marking procedure.
+
+Only the view ASG is persisted — the base ASG is cheap to derive and
+depends solely on the schema, which the caller must supply at load time
+anyway (leaf types and constraint objects are reattached from it).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from typing import Any, Optional
+
+from ..errors import UFilterError
+from ..rdb.schema import Schema
+from .asg import (
+    Cardinality,
+    JoinCondition,
+    NodeKind,
+    ValueConstraint,
+    ViewASG,
+    ViewEdge,
+    ViewNode,
+)
+
+__all__ = ["dump_view_asg", "load_view_asg"]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_literal(value: Any) -> Any:
+    if isinstance(value, datetime.date):
+        return {"$date": value.isoformat()}
+    return value
+
+
+def _decode_literal(value: Any) -> Any:
+    if isinstance(value, dict) and "$date" in value:
+        return datetime.date.fromisoformat(value["$date"])
+    return value
+
+
+def _encode_constraint(constraint: ValueConstraint) -> dict:
+    return {"op": constraint.op, "literal": _encode_literal(constraint.literal)}
+
+
+def _decode_constraint(payload: dict) -> ValueConstraint:
+    return ValueConstraint(payload["op"], _decode_literal(payload["literal"]))
+
+
+def _encode_node(node: ViewNode) -> dict:
+    return {
+        "id": node.node_id,
+        "kind": node.kind.value,
+        "name": node.name,
+        "relation": node.relation,
+        "attribute": node.attribute,
+        "not_null": node.not_null,
+        "checks": [_encode_constraint(c) for c in node.checks],
+        "uc_binding": sorted(node.uc_binding),
+        "up_binding": sorted(node.up_binding),
+        "value_filters": [
+            {"relation": r, "attribute": a, "constraint": _encode_constraint(c)}
+            for r, a, c in node.value_filters
+        ],
+        "safe_delete": node.safe_delete,
+        "safe_insert": node.safe_insert,
+        "upoint_clean": node.upoint_clean,
+        "clean_source": node.clean_source,
+        "driving_relation": node.driving_relation,
+        "unsafe_reason": node.unsafe_reason,
+        "children": [_encode_node(child) for child in node.children],
+    }
+
+
+def dump_view_asg(asg: ViewASG) -> str:
+    """Serialize a (marked) view ASG to a JSON string."""
+    edges = [
+        {
+            "parent": parent_id,
+            "child": child_id,
+            "cardinality": edge.cardinality.value,
+            "conditions": [
+                {
+                    "rel_a": c.rel_a, "attr_a": c.attr_a,
+                    "rel_b": c.rel_b, "attr_b": c.attr_b, "op": c.op,
+                }
+                for c in edge.conditions
+            ],
+        }
+        for (parent_id, child_id), edge in asg.edges.items()
+    ]
+    payload = {
+        "format": _FORMAT_VERSION,
+        "root": _encode_node(asg.root),
+        "edges": edges,
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _decode_node(payload: dict, schema: Schema) -> ViewNode:
+    node = ViewNode(
+        node_id=payload["id"],
+        kind=NodeKind(payload["kind"]),
+        name=payload["name"],
+        relation=payload["relation"],
+        attribute=payload["attribute"],
+        not_null=payload["not_null"],
+        checks=tuple(_decode_constraint(c) for c in payload["checks"]),
+        uc_binding=frozenset(payload["uc_binding"]),
+        up_binding=frozenset(payload["up_binding"]),
+        value_filters=tuple(
+            (
+                item["relation"],
+                item["attribute"],
+                _decode_constraint(item["constraint"]),
+            )
+            for item in payload["value_filters"]
+        ),
+        safe_delete=payload["safe_delete"],
+        safe_insert=payload["safe_insert"],
+        upoint_clean=payload["upoint_clean"],
+        clean_source=payload["clean_source"],
+        driving_relation=payload["driving_relation"],
+        unsafe_reason=payload["unsafe_reason"],
+    )
+    # reattach the live SQL type from the schema (types are not JSON)
+    if node.relation is not None and node.attribute is not None:
+        if node.relation in schema:
+            node.sql_type = (
+                schema.relation(node.relation).attribute(node.attribute).sql_type
+            )
+    for child_payload in payload["children"]:
+        node.add_child(_decode_node(child_payload, schema))
+    return node
+
+
+def load_view_asg(text: str, schema: Schema) -> ViewASG:
+    """Rehydrate a view ASG (marks included) against *schema*."""
+    payload = json.loads(text)
+    if payload.get("format") != _FORMAT_VERSION:
+        raise UFilterError(
+            f"unsupported ASG cache format {payload.get('format')!r}"
+        )
+    root = _decode_node(payload["root"], schema)
+    asg = ViewASG(root, schema)
+    nodes = {node.node_id: node for node in root.iter_subtree()}
+    for edge_payload in payload["edges"]:
+        try:
+            parent = nodes[edge_payload["parent"]]
+            child = nodes[edge_payload["child"]]
+        except KeyError as exc:
+            raise UFilterError(f"ASG cache references unknown node {exc}") from None
+        asg.add_edge(
+            ViewEdge(
+                parent=parent,
+                child=child,
+                cardinality=Cardinality(edge_payload["cardinality"]),
+                conditions=tuple(
+                    JoinCondition(
+                        c["rel_a"], c["attr_a"], c["rel_b"], c["attr_b"], c["op"]
+                    )
+                    for c in edge_payload["conditions"]
+                ),
+            )
+        )
+    return asg

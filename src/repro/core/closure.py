@@ -1,0 +1,195 @@
+"""Closure and mapping-closure algebra (Section 5.1.2).
+
+A closure is a canonical nested structure: a set of leaf names
+(``rel.attr``) plus a set of *starred groups*, each a nested closure
+labelled with its (normalized) join condition.  Cardinalities ``1``/``?``
+are flattened away and ``+``/``*`` both become groups, exactly as the
+paper simplifies.
+
+Operations:
+
+* ``contains`` — the paper's ``C1 ⊑ C2`` ("C1 appears in C2"): C1's
+  content is a subset of C2's top level or of any nested group;
+* ``equivalent`` — mutual containment (``≡``);
+* ``join`` — the ``⊔`` union that drops closures absorbed by others.
+
+The *mapping closure* of a view node takes the distinct leaf names of
+its view closure, maps them to base-ASG leaves of the same name, and
+joins their base closures.  ``UPoint(v) = clean`` iff the two are
+equivalent (Definition 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .asg import BaseASG, Cardinality, JoinCondition, ViewASG, ViewNode
+
+__all__ = [
+    "Closure",
+    "Group",
+    "view_closure",
+    "base_relation_closure",
+    "base_leaf_closure",
+    "mapping_closure",
+    "join_closures",
+]
+
+
+@dataclass(frozen=True)
+class Group:
+    """A starred sub-closure with its condition label."""
+
+    closure: "Closure"
+    condition: Optional[str] = None
+
+    def __str__(self) -> str:
+        label = self.condition or ""
+        return f"({self.closure})*{label}"
+
+
+@dataclass(frozen=True)
+class Closure:
+    leaves: frozenset[str]
+    groups: frozenset[Group]
+
+    # -- algebra ---------------------------------------------------------------
+
+    def all_levels(self) -> Iterable["Closure"]:
+        """This closure plus every nested group closure (any depth)."""
+        yield self
+        for group in self.groups:
+            yield from group.closure.all_levels()
+
+    def contains(self, other: "Closure") -> bool:
+        """``other ⊑ self``."""
+        for level in self.all_levels():
+            if other.leaves <= level.leaves and other.groups <= level.groups:
+                return True
+        return False
+
+    def equivalent(self, other: "Closure") -> bool:
+        """``self ≡ other``."""
+        return self.contains(other) and other.contains(self)
+
+    def leaf_names(self) -> frozenset[str]:
+        """``getNodes`` — every leaf name at any depth, deduplicated."""
+        names = set(self.leaves)
+        for group in self.groups:
+            names |= group.closure.leaf_names()
+        return frozenset(names)
+
+    def is_empty(self) -> bool:
+        return not self.leaves and not self.groups
+
+    def __str__(self) -> str:
+        parts = sorted(self.leaves)
+        parts.extend(sorted(str(group) for group in self.groups))
+        return "{" + ", ".join(parts) + "}"
+
+
+def _condition_label(conditions: tuple[JoinCondition, ...]) -> Optional[str]:
+    if not conditions:
+        return None
+    return "&".join(sorted(condition.label() for condition in conditions))
+
+
+def join_closures(closures: Iterable[Closure]) -> Closure:
+    """The paper's ``⊔``: drop absorbed closures, union the rest."""
+    pending = [c for c in closures if not c.is_empty()]
+    survivors: list[Closure] = []
+    for index, closure in enumerate(pending):
+        absorbed = False
+        for other_index, other in enumerate(pending):
+            if other_index == index:
+                continue
+            if other.contains(closure) and not (
+                closure.contains(other) and other_index > index
+            ):
+                # equal closures: keep only the first occurrence
+                absorbed = True
+                break
+        if not absorbed:
+            survivors.append(closure)
+    leaves: set[str] = set()
+    groups: set[Group] = set()
+    for closure in survivors:
+        leaves |= closure.leaves
+        groups |= closure.groups
+    return Closure(frozenset(leaves), frozenset(groups))
+
+
+# ---------------------------------------------------------------------------
+# view closures
+# ---------------------------------------------------------------------------
+
+
+def view_closure(asg: ViewASG, node: ViewNode) -> Closure:
+    """``v+`` in ``G_V``: children's closures grouped by cardinality."""
+    from .asg import NodeKind
+
+    if node.kind is NodeKind.LEAF:
+        return Closure(frozenset({node.name}), frozenset())
+    leaves: set[str] = set()
+    groups: set[Group] = set()
+    for child in node.children:
+        edge = asg.edge(node, child)
+        child_closure = view_closure(asg, child)
+        if edge.cardinality.is_many:
+            groups.add(
+                Group(child_closure, _condition_label(edge.conditions))
+            )
+        else:
+            leaves |= child_closure.leaves
+            groups |= child_closure.groups
+    return Closure(frozenset(leaves), frozenset(groups))
+
+
+# ---------------------------------------------------------------------------
+# base closures
+# ---------------------------------------------------------------------------
+
+
+def base_relation_closure(
+    base: BaseASG, relation: str, _visited: frozenset[str] = frozenset()
+) -> Closure:
+    """``n+`` for a relation node, honouring each FK's delete policy.
+
+    A referencing relation only joins the closure when its FK cascades —
+    the paper's SET NULL remark (§5.1.2): a non-cascade policy means the
+    children survive the delete, so they are not part of its effect.
+    """
+    node = base.relation_node(relation)
+    leaves = frozenset(child.name for child in node.children if child.is_leaf)
+    groups: set[Group] = set()
+    for edge in base.children_of(relation):
+        if not edge.cascades:
+            continue
+        child_relation = edge.child.relation
+        if child_relation in _visited:
+            continue  # FK cycle guard (self-references etc.)
+        child_closure = base_relation_closure(
+            base, child_relation, _visited | {relation}
+        )
+        groups.add(Group(child_closure, _condition_label(edge.conditions)))
+    return Closure(leaves, frozenset(groups))
+
+
+def base_leaf_closure(base: BaseASG, leaf_name: str) -> Optional[Closure]:
+    """``n+`` for a leaf: the closure of its parent relation."""
+    leaf = base.leaf(leaf_name)
+    if leaf is None:
+        return None
+    assert leaf.parent is not None
+    return base_relation_closure(base, leaf.parent.relation)
+
+
+def mapping_closure(base: BaseASG, view_node_closure: Closure) -> Closure:
+    """``C_D`` for a view node whose ``C_V`` is *view_node_closure*."""
+    closures = []
+    for name in sorted(view_node_closure.leaf_names()):
+        closure = base_leaf_closure(base, name)
+        if closure is not None:
+            closures.append(closure)
+    return join_closures(closures)

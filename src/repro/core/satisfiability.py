@@ -1,0 +1,166 @@
+"""Conjunction satisfiability over a single value.
+
+Step 1 of U-Filter must decide whether the predicate of a delete update
+can *overlap* the view's selection region (the check annotation of the
+leaf): u5 deletes reviews of books priced above $50 while the view only
+contains books under $50 — the conjunction ``value > 50 ∧ value < 50``
+is unsatisfiable, so the update can never affect the view and is
+invalid.
+
+Constraints are :class:`repro.core.asg.ValueConstraint` atoms
+``value op literal`` with op ∈ {=, <>, <, <=, >, >=}.  Values may be
+numbers, strings or dates; dates and bare-integer years are coerced the
+same way the evaluator compares them.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Iterable, Optional
+
+from ..xquery.values import compare_values
+from .asg import ValueConstraint
+
+__all__ = ["is_satisfiable", "value_satisfies", "constraints_overlap"]
+
+_CLOSED = "closed"
+_OPEN = "open"
+
+
+def _sort_key(value: Any) -> Any:
+    """Normalize a literal for ordering (dates become years-as-floats
+    when mixed with numbers; handled by caller grouping)."""
+    if isinstance(value, datetime.date):
+        return float(value.toordinal())
+    return value
+
+
+def _numericable(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _coerce_domain(values: list[Any]) -> Optional[list[Any]]:
+    """Bring all literals into one comparable domain, or None if mixed."""
+    if all(_numericable(v) for v in values):
+        return [float(v) for v in values]
+    if all(isinstance(v, str) for v in values):
+        return values
+    if all(isinstance(v, datetime.date) for v in values):
+        return [float(v.toordinal()) for v in values]
+    # dates mixed with bare years: compare by year (matches the
+    # evaluator's semantics for ``$book/year > 1990``)
+    if all(isinstance(v, (datetime.date, int, float)) for v in values):
+        return [
+            float(v.year) if isinstance(v, datetime.date) else float(v)
+            for v in values
+        ]
+    # strings mixed with numbers: try parsing the strings
+    coerced: list[Any] = []
+    for value in values:
+        if isinstance(value, str):
+            try:
+                coerced.append(float(value))
+            except ValueError:
+                return None
+        elif _numericable(value):
+            coerced.append(float(value))
+        else:
+            return None
+    return coerced
+
+
+def is_satisfiable(constraints: Iterable[ValueConstraint]) -> bool:
+    """Can any single value satisfy every constraint simultaneously?
+
+    Conservative: if the literals cannot be brought into one comparable
+    domain the answer is True (never reject an update we cannot reason
+    about — U-Filter must only filter updates *guaranteed* bad).
+    """
+    atoms = list(constraints)
+    if not atoms:
+        return True
+    domain = _coerce_domain([atom.literal for atom in atoms])
+    if domain is None:
+        return True
+    values = domain
+
+    equalities = [v for atom, v in zip(atoms, values) if atom.op == "="]
+    if equalities:
+        pivot = equalities[0]
+        if any(v != pivot for v in equalities[1:]):
+            return False
+        return all(
+            _holds(atom.op, pivot, v) for atom, v in zip(atoms, values)
+        )
+
+    lower: Optional[tuple[Any, str]] = None   # (bound, open/closed)
+    upper: Optional[tuple[Any, str]] = None
+    disequalities: list[Any] = []
+    for atom, value in zip(atoms, values):
+        if atom.op in ("<>", "!="):
+            disequalities.append(value)
+        elif atom.op == ">":
+            lower = _tighter_lower(lower, (value, _OPEN))
+        elif atom.op == ">=":
+            lower = _tighter_lower(lower, (value, _CLOSED))
+        elif atom.op == "<":
+            upper = _tighter_upper(upper, (value, _OPEN))
+        elif atom.op == "<=":
+            upper = _tighter_upper(upper, (value, _CLOSED))
+
+    if lower is not None and upper is not None:
+        try:
+            if lower[0] > upper[0]:
+                return False
+        except TypeError:
+            return True
+        if lower[0] == upper[0]:
+            if lower[1] == _OPEN or upper[1] == _OPEN:
+                return False
+            # interval is the single point; excluded by a disequality?
+            if any(d == lower[0] for d in disequalities):
+                return False
+    # an interval over a dense-enough domain always has room around
+    # finitely many excluded points
+    return True
+
+
+def _holds(op: str, value: Any, literal: Any) -> bool:
+    result = compare_values(op, value, literal)
+    return result is True
+
+
+def _tighter_lower(current, candidate):
+    if current is None:
+        return candidate
+    if candidate[0] > current[0]:
+        return candidate
+    if candidate[0] == current[0] and candidate[1] == _OPEN:
+        return candidate
+    return current
+
+
+def _tighter_upper(current, candidate):
+    if current is None:
+        return candidate
+    if candidate[0] < current[0]:
+        return candidate
+    if candidate[0] == current[0] and candidate[1] == _OPEN:
+        return candidate
+    return current
+
+
+def constraints_overlap(
+    update_constraints: Iterable[ValueConstraint],
+    view_constraints: Iterable[ValueConstraint],
+) -> bool:
+    """Step 1's overlap test: can both conjunctions hold at once?"""
+    return is_satisfiable(list(update_constraints) + list(view_constraints))
+
+
+def value_satisfies(value: Any, constraints: Iterable[ValueConstraint]) -> bool:
+    """Does a concrete value satisfy every constraint (insert checks)?"""
+    for constraint in constraints:
+        if compare_values(constraint.op, value, constraint.literal) is not True:
+            return False
+    return True

@@ -1,0 +1,397 @@
+"""Step 2 — Schema-driven TrAnslatability Reasoning (STAR, Section 5).
+
+**Marking** (compile time, Algorithm 1): every internal node of ``G_V``
+receives a ``(UPoint | UContext)`` label.
+
+* Rule 1 (duplication within the view region): a ``*``/``+`` edge whose
+  child is not *properly joined* makes the whole child subtree
+  unsafe-delete ∧ unsafe-insert.  Properly joined means (a) every newly
+  bound relation except one driving relation is functionally determined
+  through unique-attribute joins, and (b) a child nested under a
+  non-empty context determines that context from its own tuples — both
+  directions are chased over all equality conditions in scope.  (The
+  paper's one-line formulation is inconsistent with its own Fig. 8
+  example; this is the reading its three worked examples require, see
+  DESIGN.md.)
+* Rule 2 (unsafe deletes): ``vC`` is unsafe-delete unless some relation
+  in ``CR(vC)`` has an FK-extension disjoint from every non-descendant's
+  UCBinding — that relation is remembered as the node's *clean source*.
+* Rule 3 (unsafe inserts): inserting ``vC`` is unsafe when it shares
+  relations with the current relations of an unsafe-delete
+  non-descendant (the side-effect appearance case).
+
+UPoint: ``clean`` iff the node's view closure is equivalent to its
+mapping closure in ``G_D`` (Definition 2).
+
+**Checking** (per update, Observations 1 & 2) classifies a valid update
+as untranslatable, conditionally translatable (with the required
+condition: *translation minimization* for dirty deletes, *duplication
+consistency* for dirty inserts) or unconditionally translatable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .asg import (
+    BaseASG,
+    Cardinality,
+    JoinCondition,
+    NodeKind,
+    ViewASG,
+    ViewNode,
+)
+from .closure import mapping_closure, view_closure
+from .update_binding import OpResolution, ResolvedUpdate
+
+__all__ = ["Category", "StarVerdict", "mark_view_asg", "star_check"]
+
+
+class Category(enum.Enum):
+    UNTRANSLATABLE = "untranslatable"
+    CONDITIONALLY_TRANSLATABLE = "conditionally translatable"
+    UNCONDITIONALLY_TRANSLATABLE = "unconditionally translatable"
+
+    @property
+    def rank(self) -> int:
+        order = {
+            Category.UNCONDITIONALLY_TRANSLATABLE: 0,
+            Category.CONDITIONALLY_TRANSLATABLE: 1,
+            Category.UNTRANSLATABLE: 2,
+        }
+        return order[self]
+
+
+#: condition names attached to conditionally translatable updates
+CONDITION_MINIMIZATION = "translation minimization"
+CONDITION_DUP_CONSISTENCY = "duplication consistency"
+
+
+@dataclass
+class StarVerdict:
+    category: Category
+    node: Optional[ViewNode] = None
+    condition: Optional[str] = None
+    reason: str = ""
+
+    @staticmethod
+    def worst(verdicts: list["StarVerdict"]) -> "StarVerdict":
+        assert verdicts
+        chosen = max(verdicts, key=lambda v: v.category.rank)
+        conditions = {
+            v.condition for v in verdicts if v.condition is not None
+        }
+        if chosen.category is Category.CONDITIONALLY_TRANSLATABLE and conditions:
+            chosen = StarVerdict(
+                category=chosen.category,
+                node=chosen.node,
+                condition=" + ".join(sorted(conditions)),
+                reason=chosen.reason,
+            )
+        return chosen
+
+
+# ---------------------------------------------------------------------------
+# marking procedure
+# ---------------------------------------------------------------------------
+
+
+def mark_view_asg(asg: ViewASG, base: BaseASG) -> None:
+    """Algorithm 1: mark every internal node with (UPoint | UContext)."""
+    _apply_rule1(asg)
+    _apply_rule2(asg)
+    _apply_rule3(asg)
+    # unmarked nodes default to safe
+    for node in asg.nodes():
+        if node.kind not in (NodeKind.INTERNAL, NodeKind.ROOT):
+            continue
+        if node.safe_delete is None:
+            node.safe_delete = True
+        if node.safe_insert is None:
+            node.safe_insert = True
+    _mark_upoints(asg, base)
+
+
+def _internal_parent(node: ViewNode) -> Optional[ViewNode]:
+    parent = node.parent
+    while parent is not None and parent.kind not in (
+        NodeKind.INTERNAL, NodeKind.ROOT,
+    ):
+        parent = parent.parent
+    return parent
+
+
+def _equality_conditions(conditions: list[JoinCondition]) -> list[JoinCondition]:
+    return [condition for condition in conditions if condition.op == "="]
+
+
+def _chase(
+    asg: ViewASG,
+    determined: set[str],
+    conditions: list[JoinCondition],
+) -> set[str]:
+    """Functional-dependency chase over unique-attribute equality joins.
+
+    ``Ri.a = Rj.b`` determines Ri from Rj when ``Ri.a`` is a unique
+    identifier of Ri (each Rj tuple matches at most one Ri tuple).
+    """
+    schema = asg.schema
+    changed = True
+    result = set(determined)
+    while changed:
+        changed = False
+        for condition in conditions:
+            a_unique = schema.is_unique(condition.rel_a, condition.attr_a)
+            b_unique = schema.is_unique(condition.rel_b, condition.attr_b)
+            if condition.rel_b in result and condition.rel_a not in result and a_unique:
+                result.add(condition.rel_a)
+                changed = True
+            if condition.rel_a in result and condition.rel_b not in result and b_unique:
+                result.add(condition.rel_b)
+                changed = True
+    return result
+
+
+def _properly_joined(asg: ViewASG, node: ViewNode) -> tuple[bool, str]:
+    """Rule 1's test for the ``*`` edge into *node*."""
+    parent = _internal_parent(node)
+    context = parent.uc_binding if parent is not None else frozenset()
+    new = asg.current_relations(node)
+    conditions = _equality_conditions(asg.conditions_in_scope(node))
+
+    # (b) cross-context duplication: the child's tuples must pin their
+    # ancestor binding
+    if context:
+        determined = _chase(asg, set(new), conditions)
+        if not context <= determined:
+            missing = sorted(context - determined)
+            return False, (
+                f"relations {missing} of the ancestor context are not "
+                f"determined by a unique-attribute join — instances of "
+                f"<{node.name}> would be duplicated across the context"
+            )
+
+    # (a) intra-child duplication: all but one driving relation must be
+    # determined
+    if len(new) <= 1:
+        node.driving_relation = next(iter(new), None)
+        return True, ""
+    for driving in sorted(new):
+        determined = _chase(asg, set(context) | {driving}, conditions)
+        if new <= determined:
+            node.driving_relation = driving
+            return True, ""
+    return False, (
+        f"the relations {sorted(new)} joined at <{node.name}> are not "
+        f"linked through unique attributes — the join can duplicate "
+        f"instances"
+    )
+
+
+def _apply_rule1(asg: ViewASG) -> None:
+    for node in asg.internal_nodes():
+        edge = asg.incoming_edge(node)
+        if edge is None or not edge.cardinality.is_many:
+            continue
+        proper, reason = _properly_joined(asg, node)
+        if proper:
+            continue
+        for member in node.iter_subtree():
+            if member.kind in (NodeKind.INTERNAL, NodeKind.TAG, NodeKind.LEAF):
+                member.safe_delete = False
+                member.safe_insert = False
+                member.unsafe_reason = f"Rule 1: {reason}"
+
+
+def _non_descendant_internals(asg: ViewASG, node: ViewNode) -> list[ViewNode]:
+    subtree = set(id(member) for member in node.iter_subtree())
+    return [
+        other
+        for other in asg.internal_nodes()
+        if id(other) not in subtree
+    ]
+
+
+def _apply_rule2(asg: ViewASG) -> None:
+    relations_in_view = asg.relations()
+    for node in asg.internal_nodes():
+        if node.safe_delete is False:
+            continue  # already unsafe via Rule 1
+        current = asg.current_relations(node)
+        if not current:
+            node.safe_delete = False
+            node.unsafe_reason = (
+                "Rule 2: the node binds no relations of its own "
+                "(CR is empty) — no clean source exists for a delete"
+            )
+            continue
+        witness: Optional[str] = None
+        blocking = ""
+        for relation in sorted(current):
+            extend = asg.schema.extend(relation, within=set(relations_in_view))
+            conflict = None
+            for other in _non_descendant_internals(asg, node):
+                if extend & other.uc_binding:
+                    conflict = other
+                    break
+            if conflict is None:
+                witness = relation
+                break
+            blocking = (
+                f"deleting {relation} (extend = {sorted(extend)}) would "
+                f"affect <{conflict.name}> ({conflict.node_id})"
+            )
+        if witness is not None:
+            node.safe_delete = True
+            node.clean_source = witness
+        else:
+            node.safe_delete = False
+            node.unsafe_reason = f"Rule 2: {blocking}"
+
+
+def _apply_rule3(asg: ViewASG) -> None:
+    for node in asg.internal_nodes():
+        if node.safe_insert is False:
+            continue  # already unsafe via Rule 1
+        for other in _non_descendant_internals(asg, node):
+            if other is node:
+                continue
+            if other.safe_delete is not False:
+                continue
+            shared = node.up_binding & asg.current_relations(other)
+            if shared:
+                node.safe_insert = False
+                reason = (
+                    f"Rule 3: inserting <{node.name}> may make an instance "
+                    f"of <{other.name}> ({other.node_id}) appear — shared "
+                    f"relation(s) {sorted(shared)} with an unsafe-delete node"
+                )
+                node.unsafe_reason = (
+                    f"{node.unsafe_reason}; {reason}"
+                    if node.unsafe_reason
+                    else reason
+                )
+                break
+        else:
+            if node.safe_insert is None:
+                node.safe_insert = True
+
+
+def _mark_upoints(asg: ViewASG, base: BaseASG) -> None:
+    for node in asg.internal_nodes() + [asg.root]:
+        cv = view_closure(asg, node)
+        cd = mapping_closure(base, cv)
+        node.upoint_clean = cv.equivalent(cd)
+
+
+# ---------------------------------------------------------------------------
+# checking procedure
+# ---------------------------------------------------------------------------
+
+
+def star_check(asg: ViewASG, resolved: ResolvedUpdate) -> StarVerdict:
+    """Observations 1 & 2 applied to every operation of the update."""
+    verdicts = [_check_op(asg, op) for op in resolved.ops]
+    if not verdicts:
+        return StarVerdict(Category.UNCONDITIONALLY_TRANSLATABLE)
+    return StarVerdict.worst(verdicts)
+
+
+def _classification_node(node: ViewNode) -> ViewNode:
+    """vS/vL updates are judged through their governing internal node."""
+    if node.kind in (NodeKind.INTERNAL, NodeKind.ROOT):
+        return node
+    parent = _internal_parent(node)
+    assert parent is not None
+    return parent
+
+
+def _check_op(asg: ViewASG, op: OpResolution) -> StarVerdict:
+    assert op.node is not None
+    if op.kind == "delete":
+        return _check_delete(asg, op.node, op.text_delete)
+    if op.kind == "insert":
+        return _check_insert(asg, op.node)
+    # replace = delete then insert (footnote 4)
+    if op.node.kind in (NodeKind.TAG, NodeKind.LEAF):
+        # the composed effect on a simple element is a one-attribute
+        # UPDATE of the backing tuple — always translatable when valid
+        return StarVerdict(
+            Category.UNCONDITIONALLY_TRANSLATABLE,
+            node=op.node,
+            reason="replacing a simple element updates one attribute in place",
+        )
+    delete_verdict = _check_delete(asg, op.node, False)
+    insert_verdict = _check_insert(asg, op.node)
+    return StarVerdict.worst([delete_verdict, insert_verdict])
+
+
+def _check_delete(asg: ViewASG, node: ViewNode, text_delete: bool) -> StarVerdict:
+    if node.kind is NodeKind.ROOT:
+        return StarVerdict(
+            Category.UNCONDITIONALLY_TRANSLATABLE,
+            node=node,
+            reason="deleting the root is always translatable",
+        )
+    if node.kind is NodeKind.LEAF or text_delete:
+        # a valid leaf/text delete nullifies one attribute of one tuple
+        return StarVerdict(
+            Category.UNCONDITIONALLY_TRANSLATABLE,
+            node=node,
+            reason="valid leaf-value deletes are always translatable",
+        )
+    subject = _classification_node(node)
+    if subject.safe_delete is False:
+        return StarVerdict(
+            Category.UNTRANSLATABLE,
+            node=subject,
+            reason=f"deletion on an unsafe-delete node — {subject.unsafe_reason}",
+        )
+    if subject.upoint_clean:
+        return StarVerdict(
+            Category.UNCONDITIONALLY_TRANSLATABLE,
+            node=subject,
+            reason="deletion on a (clean | safe-delete) node",
+        )
+    return StarVerdict(
+        Category.CONDITIONALLY_TRANSLATABLE,
+        node=subject,
+        condition=CONDITION_MINIMIZATION,
+        reason=(
+            "deletion on a (dirty | safe-delete) node — shared base data "
+            "must not be over-deleted"
+        ),
+    )
+
+
+def _check_insert(asg: ViewASG, node: ViewNode) -> StarVerdict:
+    subject = _classification_node(node)
+    if subject.kind is NodeKind.ROOT:
+        return StarVerdict(
+            Category.UNCONDITIONALLY_TRANSLATABLE,
+            node=subject,
+            reason="insertions under the root are judged at the child node",
+        )
+    if subject.safe_insert is False:
+        return StarVerdict(
+            Category.UNTRANSLATABLE,
+            node=subject,
+            reason=f"insertion on an unsafe-insert node — {subject.unsafe_reason}",
+        )
+    if subject.upoint_clean:
+        return StarVerdict(
+            Category.UNCONDITIONALLY_TRANSLATABLE,
+            node=subject,
+            reason="insertion on a (clean | safe-insert) node",
+        )
+    return StarVerdict(
+        Category.CONDITIONALLY_TRANSLATABLE,
+        node=subject,
+        condition=CONDITION_DUP_CONSISTENCY,
+        reason=(
+            "insertion on a (dirty | safe-insert) node — duplicated parts "
+            "must carry consistent values"
+        ),
+    )

@@ -1,0 +1,650 @@
+"""The update translation engine (and the probe-query composer).
+
+Given an update that survived Steps 1–2, this module:
+
+* composes the **context probe query** — the view query joined with the
+  update's predicates (PQ1/PQ2 in the paper), returning the base tuples
+  (values + rowids) behind the view elements the update anchors at;
+* builds the **translated SQL**: single-table DELETEs addressing the
+  node's *clean source* relation, or parent-first INSERT sequences whose
+  missing values are completed from the probe result and the join
+  conditions (U1/U2/U3 in the paper);
+* applies **translation minimization** for dirty deletes (shared tuples
+  are only deleted when nothing else references them — and never when
+  the relation is republished elsewhere in the view);
+* enforces **duplication consistency** for dirty inserts (duplicate
+  parts must agree with existing data; the driving relation must be new).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import TypeMismatchError, UFilterError
+from ..rdb.database import Database
+from ..rdb.expr import ColumnRef, Comparison, Expr, Literal, conjoin
+from ..rdb.plan import FromItem, OutputColumn, SelectPlan, execute_select
+from ..rdb.types import sql_literal
+from ..xml.nodes import XMLElement
+from .asg import JoinCondition, NodeKind, ValueConstraint, ViewASG, ViewNode
+from .update_binding import OpResolution, ResolvedUpdate
+
+__all__ = [
+    "ProbeResult",
+    "TupleInsert",
+    "TupleDelete",
+    "TupleUpdate",
+    "Translator",
+]
+
+Row = dict[str, Any]
+
+
+@dataclass
+class ProbeResult:
+    """Rows returned by a probe query, with the SQL that produced them."""
+
+    sql: str
+    rows: list[Row]
+
+    @property
+    def empty(self) -> bool:
+        return not self.rows
+
+
+@dataclass
+class TupleInsert:
+    relation: str
+    values: dict[str, Any]
+    #: "driving" tuples must be new; "supporting" ones may already exist
+    role: str = "driving"
+
+    def sql(self) -> str:
+        rendered = ", ".join(sql_literal(v) for v in self.values.values())
+        columns = ", ".join(self.values)
+        return f"INSERT INTO {self.relation} ({columns}) VALUES ({rendered})"
+
+
+@dataclass
+class TupleDelete:
+    relation: str
+    rowids: set[int]
+    #: display form (the executed op addresses rowids directly)
+    description: str = ""
+
+    def sql(self) -> str:
+        ids = ", ".join(str(r) for r in sorted(self.rowids))
+        return f"DELETE FROM {self.relation} WHERE ROWID IN ({ids})"
+
+
+@dataclass
+class TupleUpdate:
+    """A single-attribute UPDATE — the natural translation of a REPLACE
+    over a simple (tag/leaf) view element."""
+
+    relation: str
+    rowids: set[int]
+    changes: dict[str, Any]
+
+    def sql(self) -> str:
+        ids = ", ".join(str(r) for r in sorted(self.rowids))
+        assignments = ", ".join(
+            f"{column} = {sql_literal(value)}" for column, value in self.changes.items()
+        )
+        return f"UPDATE {self.relation} SET {assignments} WHERE ROWID IN ({ids})"
+
+
+class Translator:
+    """Probe composition and SQL generation against one view's ASGs."""
+
+    def __init__(self, db: Database, asg: ViewASG) -> None:
+        self.db = db
+        self.asg = asg
+
+    # ------------------------------------------------------------------
+    # probe queries
+    # ------------------------------------------------------------------
+
+    def _relations_for(self, node: ViewNode) -> list[str]:
+        """UCBinding(node) ordered parents-first along the nesting path."""
+        ordered: list[str] = []
+        chain = [node]
+        chain.extend(
+            ancestor
+            for ancestor in node.ancestors()
+        )
+        for member in reversed(chain):
+            if member.kind not in (NodeKind.INTERNAL, NodeKind.ROOT):
+                continue
+            for relation in sorted(self.asg.current_relations(member)):
+                if relation not in ordered:
+                    ordered.append(relation)
+        return ordered
+
+    def _coerce_literal(self, relation: str, attribute: str, literal: Any) -> Any:
+        try:
+            return (
+                self.db.relation(relation).attribute(attribute).sql_type.coerce(literal)
+            )
+        except TypeMismatchError:
+            return literal
+
+    def _constraint_expr(
+        self, relation: str, attribute: str, constraint: ValueConstraint
+    ) -> Expr:
+        literal = self._coerce_literal(relation, attribute, constraint.literal)
+        return Comparison(
+            constraint.op, ColumnRef(attribute, relation), Literal(literal)
+        )
+
+    def probe_plan(
+        self,
+        node: ViewNode,
+        resolved: Optional[ResolvedUpdate] = None,
+        narrow: bool = False,
+    ) -> SelectPlan:
+        """The probe query for *node*'s context (PQ1/PQ2 composition).
+
+        ``narrow=True`` projects only what a translation needs — key
+        columns and join-condition attributes — the way the paper's
+        external strategy "only retrieves the necessary information to
+        form a lineitem tuple".  The internal strategy needs the full
+        width (all attributes of all joined relations), which is
+        exactly the Fig. 15 overhead.
+        """
+        relations = self._relations_for(node)
+        if not relations:
+            raise UFilterError(
+                f"node {node.node_id} binds no relations — nothing to probe"
+            )
+        predicates: list[Expr] = []
+        for condition in self.asg.conditions_in_scope(node):
+            predicates.append(
+                Comparison(
+                    condition.op,
+                    ColumnRef(condition.attr_a, condition.rel_a),
+                    ColumnRef(condition.attr_b, condition.rel_b),
+                )
+            )
+        for relation, attribute, constraint in self.asg.value_filters_in_scope(node):
+            predicates.append(self._constraint_expr(relation, attribute, constraint))
+        if resolved is not None:
+            for resolution in resolved.predicates:
+                if (
+                    resolution.constraint is not None
+                    and resolution.relation in relations
+                ):
+                    predicates.append(
+                        self._constraint_expr(
+                            resolution.relation,
+                            resolution.attribute,
+                            resolution.constraint,
+                        )
+                    )
+        if narrow:
+            needed: dict[str, set[str]] = {relation: set() for relation in relations}
+            for relation in relations:
+                key = self.db.relation(relation).primary_key
+                if key is not None:
+                    needed[relation].update(key.columns)
+            for condition in self.asg.conditions_in_scope(node):
+                for rel, attr in (
+                    (condition.rel_a, condition.attr_a),
+                    (condition.rel_b, condition.attr_b),
+                ):
+                    if rel in needed:
+                        needed[rel].add(attr)
+            columns = [
+                OutputColumn(
+                    column=attribute,
+                    qualifier=relation,
+                    label=f"{relation}.{attribute}",
+                )
+                for relation in relations
+                for attribute in sorted(needed[relation])
+            ]
+        else:
+            columns = [
+                OutputColumn(
+                    column=attribute,
+                    qualifier=relation,
+                    label=f"{relation}.{attribute}",
+                )
+                for relation in relations
+                for attribute in self.db.relation(relation).attribute_names
+            ]
+        return SelectPlan(
+            from_items=[FromItem(relation) for relation in relations],
+            columns=columns,
+            where=conjoin(predicates),
+            include_rowids=True,
+        )
+
+    def run_probe(
+        self,
+        node: ViewNode,
+        resolved: Optional[ResolvedUpdate] = None,
+        narrow: bool = False,
+    ) -> ProbeResult:
+        plan = self.probe_plan(node, resolved, narrow=narrow)
+        return ProbeResult(sql=plan.to_sql(), rows=execute_select(self.db, plan))
+
+    # ------------------------------------------------------------------
+    # delete translation
+    # ------------------------------------------------------------------
+
+    def build_deletes(
+        self,
+        op: OpResolution,
+        probe: ProbeResult,
+        minimize: bool,
+    ) -> tuple[list[TupleDelete], list[str]]:
+        """Translate a delete op given its probe rows.
+
+        Returns (deletes, notes).  The primary delete targets the clean
+        source; under minimization, other current relations' tuples are
+        deleted only when provably unreferenced and not republished.
+        """
+        node = op.node
+        assert node is not None
+        subject = node
+        while subject.kind not in (NodeKind.INTERNAL, NodeKind.ROOT):
+            assert subject.parent is not None
+            subject = subject.parent
+        source = subject.clean_source
+        if source is None:
+            raise UFilterError(
+                f"no clean source recorded for {subject.node_id} — "
+                f"STAR should have rejected this delete"
+            )
+        notes: list[str] = []
+        deletes: list[TupleDelete] = []
+        primary_rowids = {
+            row[f"{source}.ROWID"] for row in probe.rows if f"{source}.ROWID" in row
+        }
+        deletes.append(
+            TupleDelete(
+                relation=source,
+                rowids=primary_rowids,
+                description=f"delete the clean source tuples of <{subject.name}>",
+            )
+        )
+        if not minimize:
+            return deletes, notes
+
+        republished = self._republished_relations(subject)
+        for relation in sorted(self.asg.current_relations(subject) - {source}):
+            if relation in republished:
+                notes.append(
+                    f"minimization: keep {relation} tuples — the relation is "
+                    f"republished elsewhere in the view"
+                )
+                continue
+            keep, extra = self._deletable_shared_tuples(
+                relation, source, primary_rowids, probe
+            )
+            notes.extend(keep)
+            deletes.extend(extra)
+        return deletes, notes
+
+    def subtree_internal_nodes(
+        self, op: OpResolution
+    ) -> tuple[ViewNode, list[ViewNode]]:
+        """The delete subject plus its internal subtree, TOP first.
+
+        Used by the *expanded* translation mode: one DELETE statement
+        per relation of the subtree instead of relying on the engine's
+        cascades — the multi-statement shape the paper's Fig. 13/14/17
+        experiments execute (and the only correct one under RESTRICT
+        foreign keys).  Strategies iterate the levels themselves:
+        outside walks top-first and stops at the first empty probe;
+        hybrid executes every level (deepest first).
+        """
+        node = op.node
+        assert node is not None
+        subject = node
+        while subject.kind not in (NodeKind.INTERNAL, NodeKind.ROOT):
+            assert subject.parent is not None
+            subject = subject.parent
+        members = [
+            member
+            for member in subject.iter_subtree()
+            if member.kind is NodeKind.INTERNAL
+        ]
+        members.sort(key=lambda member: len(list(member.ancestors())))
+        return subject, members
+
+    def member_deletes(
+        self,
+        member: ViewNode,
+        subject: ViewNode,
+        probe: ProbeResult,
+        minimize: bool,
+    ) -> tuple[list[TupleDelete], list[str]]:
+        """Per-relation deletes for one subtree level, given its probe."""
+        deletes: list[TupleDelete] = []
+        notes: list[str] = []
+        republished = self._republished_relations(subject)
+        targets = set(self.asg.current_relations(member))
+        if member is subject and subject.clean_source is not None:
+            primary: Optional[str] = subject.clean_source
+        else:
+            primary = member.driving_relation or (
+                sorted(targets)[0] if targets else None
+            )
+        for relation in sorted(targets):
+            if relation != primary and minimize and relation in republished:
+                notes.append(
+                    f"minimization: keep {relation} tuples — republished "
+                    f"elsewhere in the view"
+                )
+                continue
+            rowids = {
+                row[f"{relation}.ROWID"]
+                for row in probe.rows
+                if f"{relation}.ROWID" in row
+            }
+            deletes.append(
+                TupleDelete(
+                    relation=relation,
+                    rowids=rowids,
+                    description=f"expanded delete at <{member.name}>",
+                )
+            )
+        return deletes, notes
+
+    def _republished_relations(self, node: ViewNode) -> set[str]:
+        subtree = {id(member) for member in node.iter_subtree()}
+        republished: set[str] = set()
+        for other in self.asg.internal_nodes():
+            if id(other) in subtree:
+                continue
+            republished |= set(other.uc_binding)
+        return republished
+
+    def _deletable_shared_tuples(
+        self,
+        relation: str,
+        source: str,
+        deleted_rowids: set[int],
+        probe: ProbeResult,
+    ) -> tuple[list[str], list[TupleDelete]]:
+        """Shared tuples are deletable when nothing else references them."""
+        notes: list[str] = []
+        deletes: list[TupleDelete] = []
+        for row in probe.rows:
+            rowid = row.get(f"{relation}.ROWID")
+            if rowid is None:
+                continue
+            referenced = False
+            for fk in self.db.schema.foreign_keys_into(relation):
+                target = self.db.row(relation, rowid)
+                key = {
+                    column: target[ref_column]
+                    for column, ref_column in zip(fk.columns, fk.ref_columns)
+                }
+                referrers = self.db.find_rowids(fk.relation_name, key)
+                if fk.relation_name == source:
+                    referrers = referrers - deleted_rowids
+                if referrers:
+                    referenced = True
+                    break
+            if referenced:
+                notes.append(
+                    f"minimization: keep {relation} rowid {rowid} — still "
+                    f"referenced after the delete"
+                )
+            else:
+                deletes.append(
+                    TupleDelete(
+                        relation=relation,
+                        rowids={rowid},
+                        description=f"minimized delete of unshared {relation} tuple",
+                    )
+                )
+        return notes, deletes
+
+    # ------------------------------------------------------------------
+    # insert translation
+    # ------------------------------------------------------------------
+
+    def build_inserts(
+        self,
+        op: OpResolution,
+        context_row: Optional[Row],
+    ) -> list[TupleInsert]:
+        """Translate an insert op into parent-first tuple inserts."""
+        node = op.node
+        assert node is not None and op.fragment is not None
+        known: dict[tuple[str, str], Any] = {}
+        if context_row is not None:
+            for key, value in context_row.items():
+                if key.endswith(".ROWID"):
+                    continue
+                relation, attribute = key.split(".", 1)
+                known[(relation, attribute)] = value
+        tuples: list[TupleInsert] = []
+        self._collect_region(node, op.fragment, dict(known), tuples)
+        for tuple_insert in tuples:
+            self._synthesize_missing_key(tuple_insert)
+        return self._order_parent_first(tuples)
+
+    def _synthesize_missing_key(self, insert: TupleInsert) -> None:
+        """Generate surrogate key values the view does not publish.
+
+        PSD-style schemas key tuples by ids (feature.fid) that the view
+        never exposes; an insert through the view must mint fresh ones,
+        the way a production view-update system would use a sequence.
+        """
+        relation_schema = self.db.relation(insert.relation)
+        key = relation_schema.primary_key
+        if key is None:
+            return
+        for column in key.columns:
+            if insert.values.get(column) is not None:
+                continue
+            sql_type = relation_schema.attribute(column).sql_type
+            existing = [
+                row[column]
+                for _, row in self.db.table(insert.relation).scan()
+                if row.get(column) is not None
+            ]
+            from ..rdb.types import Integer
+
+            if isinstance(sql_type, Integer):
+                insert.values[column] = (
+                    max((v for v in existing if isinstance(v, int)), default=0) + 1
+                )
+            else:
+                counter = len(existing) + 1
+                candidate = f"GEN{counter:06d}"
+                taken = set(existing)
+                while candidate in taken:
+                    counter += 1
+                    candidate = f"GEN{counter:06d}"
+                insert.values[column] = candidate
+
+    def _collect_region(
+        self,
+        node: ViewNode,
+        fragment: XMLElement,
+        known: dict[tuple[str, str], Any],
+        out: list[TupleInsert],
+    ) -> None:
+        """One region = one instance of a many-cardinality node."""
+        values: dict[tuple[str, str], Any] = {}
+        nested: list[tuple[ViewNode, XMLElement]] = []
+        self._harvest(node, fragment, values, nested)
+        merged = dict(known)
+        merged.update(values)
+        self._propagate(node, merged)
+        region_relations = self.asg.current_relations(node)
+        driving = node.driving_relation
+        for relation in sorted(region_relations):
+            relation_schema = self.db.relation(relation)
+            tuple_values = {
+                attribute: merged.get((relation, attribute))
+                for attribute in relation_schema.attribute_names
+            }
+            out.append(
+                TupleInsert(
+                    relation=relation,
+                    values=tuple_values,
+                    role="driving" if relation == driving else "supporting",
+                )
+            )
+        for child_node, child_fragment in nested:
+            self._collect_region(child_node, child_fragment, merged, out)
+
+    def _harvest(
+        self,
+        node: ViewNode,
+        fragment: XMLElement,
+        values: dict[tuple[str, str], Any],
+        nested: list[tuple[ViewNode, XMLElement]],
+    ) -> None:
+        """Read leaf values of the flat (cardinality 1/?) region."""
+        for child_node in node.children:
+            edge = self.asg.edge(node, child_node)
+            elements = fragment.child_elements(child_node.name)
+            if child_node.kind is NodeKind.TAG:
+                if not elements:
+                    continue
+                leaf = child_node.children[0] if child_node.children else None
+                if leaf is None or leaf.kind is not NodeKind.LEAF:
+                    continue
+                text = elements[0].text_content().strip()
+                value: Any = text if text else None
+                if value is not None and leaf.sql_type is not None:
+                    try:
+                        value = leaf.sql_type.coerce(value)
+                    except TypeMismatchError:
+                        pass
+                assert leaf.relation is not None and leaf.attribute is not None
+                values[(leaf.relation, leaf.attribute)] = value
+            elif child_node.kind is NodeKind.INTERNAL:
+                if edge.cardinality.is_many:
+                    for element in elements:
+                        nested.append((child_node, element))
+                elif elements:
+                    self._harvest(child_node, elements[0], values, nested)
+
+    def _propagate(
+        self, node: ViewNode, values: dict[tuple[str, str], Any]
+    ) -> None:
+        """Complete missing values through equality join conditions."""
+        conditions = [
+            condition
+            for condition in self.asg.conditions_in_scope(node)
+            if condition.op == "="
+        ]
+        changed = True
+        while changed:
+            changed = False
+            for condition in conditions:
+                a = (condition.rel_a, condition.attr_a)
+                b = (condition.rel_b, condition.attr_b)
+                if values.get(a) is not None and values.get(b) is None:
+                    values[b] = values[a]
+                    changed = True
+                elif values.get(b) is not None and values.get(a) is None:
+                    values[a] = values[b]
+                    changed = True
+
+    def _order_parent_first(self, tuples: list[TupleInsert]) -> list[TupleInsert]:
+        schema = self.db.schema
+        ordered: list[TupleInsert] = []
+        remaining = list(tuples)
+        placed: set[int] = set()
+        progress = True
+        while remaining and progress:
+            progress = False
+            for index, candidate in enumerate(list(remaining)):
+                parents = {
+                    fk.ref_relation
+                    for fk in schema.relation(candidate.relation).foreign_keys
+                }
+                pending_parents = {
+                    other.relation
+                    for other in remaining
+                    if other is not candidate and other.relation in parents
+                }
+                if not pending_parents:
+                    ordered.append(candidate)
+                    remaining.remove(candidate)
+                    progress = True
+        ordered.extend(remaining)  # FK cycles: best-effort order
+        return ordered
+
+    # ------------------------------------------------------------------
+    # leaf replacement (REPLACE over a simple element)
+    # ------------------------------------------------------------------
+
+    def build_leaf_replace(
+        self, op: OpResolution, probe: ProbeResult
+    ) -> TupleUpdate:
+        """Translate ``REPLACE $x/attr WITH <attr>value</attr>``.
+
+        The paper folds replace into delete-then-insert (footnote 4);
+        for simple elements the composed effect is a one-attribute SQL
+        UPDATE on the tuples the probe located.
+        """
+        node = op.node
+        assert node is not None and op.fragment is not None
+        leaf = node
+        if leaf.kind is not NodeKind.LEAF:
+            for child in node.children:
+                if child.kind is NodeKind.LEAF:
+                    leaf = child
+                    break
+        if leaf.kind is not NodeKind.LEAF or leaf.relation is None:
+            raise UFilterError(
+                f"replace target <{node.name}> is not a simple element"
+            )
+        text = op.fragment.text_content().strip()
+        value: Any = text if text else None
+        if value is not None and leaf.sql_type is not None:
+            try:
+                value = leaf.sql_type.coerce(value)
+            except TypeMismatchError:
+                pass
+        rowids = {
+            row[f"{leaf.relation}.ROWID"]
+            for row in probe.rows
+            if f"{leaf.relation}.ROWID" in row
+        }
+        assert leaf.attribute is not None
+        return TupleUpdate(
+            relation=leaf.relation,
+            rowids=rowids,
+            changes={leaf.attribute: value},
+        )
+
+    # ------------------------------------------------------------------
+    # point probes (outside strategy)
+    # ------------------------------------------------------------------
+
+    def key_probe(self, insert: TupleInsert) -> Optional[ProbeResult]:
+        """PQ3-style probe: does the keyed tuple already exist?"""
+        relation_schema = self.db.relation(insert.relation)
+        key = relation_schema.primary_key
+        if key is None:
+            return None
+        if any(insert.values.get(column) is None for column in key.columns):
+            return None
+        predicates = [
+            Comparison(
+                "=",
+                ColumnRef(column, insert.relation),
+                Literal(insert.values[column]),
+            )
+            for column in key.columns
+        ]
+        plan = SelectPlan(
+            from_items=[FromItem(insert.relation)],
+            columns=None,
+            where=conjoin(predicates),
+            include_rowids=True,
+        )
+        return ProbeResult(sql=plan.to_sql(), rows=execute_select(self.db, plan))

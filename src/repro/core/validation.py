@@ -1,0 +1,245 @@
+"""Step 1 — update validation against local constraints (Section 4).
+
+Checks performed, per the paper:
+
+**Delete**
+
+1. *Overlap*: the update's non-correlation predicates must be jointly
+   satisfiable with the check annotations of the leaves they constrain
+   (u5: ``price > 50`` vs the view's ``price < 50`` → invalid).
+2. *Deletability*: a node whose incoming edge has cardinality ``1``
+   cannot be deleted (u6: ``bookid`` text is NOT NULL).
+
+**Insert**
+
+1. *Hierarchy conformance*: the fragment's tags must exist in the view
+   schema with compatible cardinalities — required (type ``1``) children
+   must be present, single-valued children must not repeat, unknown tags
+   are rejected (u7: a book without its mandatory publisher).
+2. *Value conformance*: each leaf value must be in its type's domain,
+   satisfy the check annotation, and be non-empty when NOT NULL
+   (u1: empty title, price 0.00).
+
+Paths that do not resolve against the view schema at all are invalid as
+well (resolution errors surface here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import TypeMismatchError
+from ..xml.nodes import XMLElement
+from .asg import Cardinality, NodeKind, ViewASG, ViewNode
+from .satisfiability import constraints_overlap, value_satisfies
+from .update_binding import OpResolution, ResolvedUpdate
+
+__all__ = ["ValidationResult", "validate_update"]
+
+
+@dataclass
+class ValidationResult:
+    valid: bool
+    reason: str = ""
+    #: every individual failure found (reason holds the first)
+    failures: list[str] = field(default_factory=list)
+
+    @classmethod
+    def ok(cls) -> "ValidationResult":
+        return cls(valid=True)
+
+    @classmethod
+    def fail(cls, failures: list[str]) -> "ValidationResult":
+        return cls(valid=False, reason=failures[0], failures=failures)
+
+
+def validate_update(asg: ViewASG, resolved: ResolvedUpdate) -> ValidationResult:
+    """Run every Step-1 check; collects all failures."""
+    failures: list[str] = []
+    if resolved.error:
+        failures.append(resolved.error)
+        return ValidationResult.fail(failures)
+
+    for resolution in resolved.predicates:
+        if resolution.error:
+            failures.append(resolution.error)
+        elif resolution.constraint is not None and resolution.leaf is not None:
+            if not constraints_overlap(
+                [resolution.constraint], resolution.leaf.checks
+            ):
+                checks = " and ".join(str(c) for c in resolution.leaf.checks)
+                failures.append(
+                    f"predicate {resolution.predicate} cannot overlap the "
+                    f"view region ({resolution.leaf.name}: {checks}) — the "
+                    f"updated element can never appear in the view"
+                )
+    if failures:
+        return ValidationResult.fail(failures)
+
+    for op in resolved.ops:
+        if op.error:
+            failures.append(op.error)
+            continue
+        if op.kind == "delete":
+            failures.extend(_validate_delete(asg, op))
+        elif op.kind == "insert":
+            failures.extend(_validate_insert(asg, op))
+        elif op.kind == "replace":
+            # replace = delete followed by insert (paper footnote 4).
+            # For simple elements the composed effect is an in-place
+            # value update, so the delete-side cardinality check does
+            # not apply — only the new value must conform.
+            if op.node is not None and op.node.kind in (
+                NodeKind.TAG, NodeKind.LEAF,
+            ):
+                if op.fragment is not None:
+                    failures.extend(
+                        _validate_fragment(asg, op.node, op.fragment)
+                    )
+            else:
+                failures.extend(_validate_delete(asg, op))
+                if op.node is not None and op.fragment is not None:
+                    failures.extend(
+                        _validate_fragment(asg, op.node, op.fragment)
+                    )
+    if failures:
+        return ValidationResult.fail(failures)
+    return ValidationResult.ok()
+
+
+# ---------------------------------------------------------------------------
+# delete
+# ---------------------------------------------------------------------------
+
+
+def _validate_delete(asg: ViewASG, op: OpResolution) -> list[str]:
+    node = op.node
+    assert node is not None
+    if op.text_delete:
+        leaf = _leaf_of(node)
+        if leaf is None:
+            return [f"delete: {node.name} has no text content"]
+        if leaf.not_null:
+            return [
+                f"delete: {leaf.name} is NOT NULL — its text cannot be removed"
+            ]
+        return []
+    if node.kind is NodeKind.ROOT:
+        return []  # deleting the root is always translatable (Section 5)
+    # The cardinality-1 rejection applies to *value* nodes (tag/leaf):
+    # removing them would leave a NOT NULL attribute empty (u6).  For
+    # complex elements (u2: a book's publisher) the paper keeps the
+    # update valid and lets STAR's unsafe-delete marking reject it.
+    if node.kind in (NodeKind.TAG, NodeKind.LEAF):
+        edge = asg.incoming_edge(node)
+        assert edge is not None
+        if edge.cardinality is Cardinality.ONE:
+            return [
+                f"delete: <{node.name}> has cardinality 1 under "
+                f"<{node.parent.name}> — every instance must keep exactly one"
+            ]
+        leaf = _leaf_of(node)
+        if leaf is not None and leaf.not_null:
+            return [f"delete: {leaf.name} is NOT NULL and cannot be removed"]
+    return []
+
+
+def _leaf_of(node: ViewNode) -> Optional[ViewNode]:
+    if node.kind is NodeKind.LEAF:
+        return node
+    for child in node.children:
+        if child.kind is NodeKind.LEAF:
+            return child
+    return None
+
+
+# ---------------------------------------------------------------------------
+# insert
+# ---------------------------------------------------------------------------
+
+
+def _validate_insert(asg: ViewASG, op: OpResolution) -> list[str]:
+    node = op.node
+    assert node is not None and op.fragment is not None
+    edge = asg.incoming_edge(node)
+    if edge is not None and edge.cardinality is Cardinality.ONE:
+        return [
+            f"insert: <{node.name}> has cardinality 1 under "
+            f"<{node.parent.name}> — another instance cannot be added"
+        ]
+    return _validate_fragment(asg, node, op.fragment)
+
+
+def _validate_fragment(
+    asg: ViewASG, node: ViewNode, fragment: XMLElement
+) -> list[str]:
+    """Check the fragment against the subtree rooted at *node*."""
+    failures: list[str] = []
+    if node.kind is NodeKind.LEAF:
+        return failures
+    if node.kind is NodeKind.TAG:
+        leaf = _leaf_of(node)
+        if leaf is not None:
+            failures.extend(_validate_leaf_value(leaf, fragment))
+        return failures
+
+    # group fragment children by tag
+    children_by_tag: dict[str, list[XMLElement]] = {}
+    for child in fragment.child_elements():
+        children_by_tag.setdefault(child.tag, []).append(child)
+
+    for tag, instances in children_by_tag.items():
+        child_node = node.child_by_tag(tag)
+        if child_node is None:
+            failures.append(
+                f"insert: the view schema allows no <{tag}> inside "
+                f"<{node.name}>"
+            )
+            continue
+        edge = asg.edge(node, child_node)
+        if edge.cardinality in (Cardinality.ONE, Cardinality.OPTIONAL):
+            if len(instances) > 1:
+                failures.append(
+                    f"insert: <{tag}> may occur at most once inside "
+                    f"<{node.name}> (found {len(instances)})"
+                )
+        for instance in instances:
+            failures.extend(_validate_fragment(asg, child_node, instance))
+
+    # required children (cardinality 1, or NOT NULL leaves) must appear
+    for child_node in node.children:
+        edge = asg.edge(node, child_node)
+        required = edge.cardinality is Cardinality.ONE or (
+            edge.cardinality is Cardinality.PLUS
+        )
+        if required and child_node.name not in children_by_tag:
+            failures.append(
+                f"insert: <{node.name}> requires a <{child_node.name}> child "
+                f"(cardinality {edge.cardinality.value})"
+            )
+    return failures
+
+
+def _validate_leaf_value(leaf: ViewNode, element: XMLElement) -> list[str]:
+    text = element.text_content().strip()
+    if not text:
+        if leaf.not_null:
+            return [f"insert: {leaf.name} is NOT NULL but the value is empty"]
+        return []
+    value: object = text
+    if leaf.sql_type is not None:
+        try:
+            value = leaf.sql_type.coerce(text)
+        except TypeMismatchError:
+            return [
+                f"insert: value {text!r} is outside the domain "
+                f"{leaf.sql_type.name} of {leaf.name}"
+            ]
+    if not value_satisfies(value, leaf.checks):
+        checks = " and ".join(str(c) for c in leaf.checks)
+        return [
+            f"insert: value {text!r} for {leaf.name} violates its check "
+            f"annotation ({checks})"
+        ]
+    return []

@@ -1,0 +1,98 @@
+"""Rectangle-rule verification (Definition 1 / Fig. 7).
+
+A translation ``U`` of view update ``u`` is correct iff
+
+* ``u(DEF_V(D)) == DEF_V(U(D))`` — applying the update to the
+  materialized view equals recomputing the view over the updated base;
+* ``u(DEF_V(D)) == DEF_V(D)  ⇒  U(D) == D`` — a no-op on the view must
+  be a no-op on the base.
+
+The checker never needs this module; the test-suite uses it to prove,
+end to end, that every update U-Filter accepts really is side-effect
+free — and that the naive (non-minimized) translation of the rejected
+ones is not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..rdb.database import Database
+from ..xml.nodes import XMLElement
+from ..xquery.ast import ViewQuery
+from ..xquery.evaluator import evaluate_view
+from ..xquery.update_apply import apply_view_update
+from ..xquery.update_ast import ViewUpdate
+from .ufilter import CheckReport, Outcome, UFilter
+
+__all__ = ["RectangleReport", "check_rectangle"]
+
+
+@dataclass
+class RectangleReport:
+    #: was the update accepted (and hence a translation applied)?
+    accepted: bool
+    #: does u(DEF_V(D)) equal DEF_V(U(D))? (None when not accepted)
+    holds: Optional[bool]
+    #: the checker's report
+    report: CheckReport
+    #: materialized trees for debugging
+    expected: Optional[XMLElement] = None
+    actual: Optional[XMLElement] = None
+    #: criterion (ii): the base changed although the view did not
+    spurious_base_change: bool = False
+
+
+def check_rectangle(
+    db: Database,
+    view: Union[str, ViewQuery],
+    update: Union[str, ViewUpdate],
+    strategy: str = "outside",
+) -> RectangleReport:
+    """Verify Definition 1 for *update* over *view* on a copy of *db*."""
+    working = db.clone()
+    ufilter = UFilter(working, view)
+    parsed = ufilter.parse(update)
+
+    # left/top edge: u applied to the materialized view of the ORIGINAL db
+    before = evaluate_view(db, ufilter.view)
+    expected = before.clone()
+    application = apply_view_update(expected, parsed)
+
+    report = ufilter.check(parsed, strategy=strategy, execute=True)
+    if report.outcome is not Outcome.TRANSLATED:
+        return RectangleReport(accepted=False, holds=None, report=report)
+
+    # right/bottom edge: the view recomputed over the updated base
+    actual = evaluate_view(working, ufilter.view)
+    holds = expected.equals(actual, ordered=False)
+
+    # criterion (ii): view unchanged ⇒ base unchanged
+    spurious = False
+    if not application.changed:
+        for relation_name in db.tables:
+            if db.count(relation_name) != working.count(relation_name):
+                spurious = True
+                break
+            original_rows = {
+                rowid: tuple(sorted(row.items()))
+                for rowid, row in db.table(relation_name).scan()
+            }
+            updated_rows = {
+                rowid: tuple(sorted(row.items()))
+                for rowid, row in working.table(relation_name).scan()
+            }
+            if original_rows != updated_rows:
+                spurious = True
+                break
+        holds = holds and not spurious
+
+    return RectangleReport(
+        accepted=True,
+        holds=holds,
+        report=report,
+        expected=expected,
+        actual=actual,
+        spurious_base_change=spurious,
+    )

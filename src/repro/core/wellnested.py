@@ -1,0 +1,126 @@
+"""Well-nestedness analysis (the assumption of prior work, §8).
+
+Braganholo et al. [7, 8] only handle *well-nested* views: nesting
+follows key/foreign-key constraints, joins go through keys, and no
+relation is published twice — under those restrictions every valid
+update is translatable. The paper positions U-Filter as the general
+tool for views where none of that is guaranteed.
+
+This module makes the boundary checkable: given a marked view ASG it
+reports whether the view is well-nested, and why not. It doubles as a
+fast path — for a well-nested view a caller may skip STAR entirely
+(every internal node is provably ``clean | safe``), which
+``tests/core/test_wellnested.py`` verifies against the marking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .asg import Cardinality, NodeKind, ViewASG, ViewNode
+
+__all__ = ["WellNestedReport", "analyze_well_nestedness"]
+
+
+@dataclass
+class WellNestedReport:
+    well_nested: bool
+    #: human-readable violations, empty when well nested
+    violations: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.well_nested
+
+
+def analyze_well_nestedness(asg: ViewASG) -> WellNestedReport:
+    """Check the three well-nestedness conditions of prior work.
+
+    1. **No republication** — every base relation is bound by at most
+       one internal node (multiple references create duplication);
+    2. **FK-aligned nesting** — every many-cardinality edge between
+       internal nodes is joined through an actual foreign key whose
+       direction matches the nesting (child references parent);
+    3. **One relation per node** — each internal node binds exactly one
+       new relation (no cross-products or multi-relation elements).
+    """
+    violations: list[str] = []
+    schema = asg.schema
+
+    # 1. republication
+    seen: dict[str, ViewNode] = {}
+    for node in asg.internal_nodes():
+        for relation in asg.current_relations(node):
+            if relation in seen:
+                violations.append(
+                    f"relation {relation!r} is published by both "
+                    f"<{seen[relation].name}> ({seen[relation].node_id}) and "
+                    f"<{node.name}> ({node.node_id})"
+                )
+            else:
+                seen[relation] = node
+
+    for node in asg.internal_nodes():
+        current = asg.current_relations(node)
+        edge = asg.incoming_edge(node)
+        if edge is None:
+            continue
+
+        # 3. exactly one new relation per element
+        if edge.cardinality.is_many and len(current) != 1:
+            violations.append(
+                f"<{node.name}> ({node.node_id}) binds "
+                f"{sorted(current) or 'no'} relations — well-nested views "
+                f"bind exactly one per element"
+            )
+            continue
+
+        # 2. FK-aligned nesting for nested many-edges
+        parent = node.parent
+        while parent is not None and parent.kind not in (
+            NodeKind.INTERNAL, NodeKind.ROOT,
+        ):
+            parent = parent.parent
+        if (
+            parent is None
+            or parent.kind is NodeKind.ROOT
+            or not edge.cardinality.is_many
+        ):
+            continue
+        child_relation = next(iter(current), None)
+        if child_relation is None:
+            continue
+        parent_relations = set(parent.uc_binding)
+        fk_aligned = False
+        for condition in edge.conditions:
+            for own, other in (
+                (condition.rel_a, condition.rel_b),
+                (condition.rel_b, condition.rel_a),
+            ):
+                if own != child_relation or other not in parent_relations:
+                    continue
+                for fk in schema.relation(child_relation).foreign_keys:
+                    if fk.ref_relation == other:
+                        own_attr = (
+                            condition.attr_a
+                            if own == condition.rel_a
+                            else condition.attr_b
+                        )
+                        other_attr = (
+                            condition.attr_b
+                            if own == condition.rel_a
+                            else condition.attr_a
+                        )
+                        if (
+                            own_attr in fk.columns
+                            and other_attr in fk.ref_columns
+                        ):
+                            fk_aligned = True
+        if not fk_aligned:
+            rendered = ", ".join(str(c) for c in edge.conditions) or "none"
+            violations.append(
+                f"<{node.name}> ({node.node_id}) nests under "
+                f"<{parent.name}> without a foreign-key-aligned join "
+                f"(conditions: {rendered})"
+            )
+
+    return WellNestedReport(well_nested=not violations, violations=violations)

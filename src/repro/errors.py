@@ -1,0 +1,113 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+The hierarchy mirrors the layers of the system:
+
+* :class:`ReproError` — root of everything raised on purpose.
+* :class:`DatabaseError` and its children — raised by the relational
+  engine substrate (``repro.rdb``) when DDL/DML violates the schema or
+  its constraints.  The *hybrid* data-checking strategy of the paper
+  relies on catching these, exactly as the paper relies on the error
+  codes of a commercial RDBMS.
+* :class:`XMLError` / :class:`XQueryError` — raised by the XML and view
+  language substrates on malformed input.
+* :class:`UFilterError` — raised by the checker itself for internal
+  misuse (e.g. checking an update against the wrong view).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Relational engine errors
+# ---------------------------------------------------------------------------
+
+class DatabaseError(ReproError):
+    """Base class for relational-engine failures."""
+
+
+class SchemaError(DatabaseError):
+    """DDL-level problem: unknown relation/attribute, duplicate names."""
+
+
+class TypeMismatchError(DatabaseError):
+    """A value does not belong to the declared domain of its attribute."""
+
+
+class ConstraintViolation(DatabaseError):
+    """Base class for integrity-constraint violations raised by DML."""
+
+    #: short machine-readable code, akin to a SQLSTATE class
+    code = "23000"
+
+
+class NotNullViolation(ConstraintViolation):
+    code = "23502"
+
+
+class UniqueViolation(ConstraintViolation):
+    code = "23505"
+
+
+class PrimaryKeyViolation(UniqueViolation):
+    code = "23505"
+
+
+class ForeignKeyViolation(ConstraintViolation):
+    code = "23503"
+
+
+class CheckViolation(ConstraintViolation):
+    code = "23514"
+
+
+class TransactionError(DatabaseError):
+    """Misuse of the transaction API (commit without begin, ...)."""
+
+
+class SQLSyntaxError(DatabaseError):
+    """Raised by the SQL lexer/parser on malformed statements."""
+
+
+# ---------------------------------------------------------------------------
+# XML / XQuery substrate errors
+# ---------------------------------------------------------------------------
+
+class XMLError(ReproError):
+    """Malformed XML input or an invalid tree operation."""
+
+
+class XPathError(XMLError):
+    """Malformed or unsupported XPath expression."""
+
+
+class XQueryError(ReproError):
+    """Malformed view query, or a query outside the supported subset."""
+
+
+class UnsupportedFeatureError(XQueryError):
+    """The query uses a feature the view ASG cannot express.
+
+    The Fig. 12 expressiveness audit is driven by this exception: the
+    ASG generator raises it with :attr:`feature` naming the offending
+    construct (``count()``, ``distinct()``, ...).
+    """
+
+    def __init__(self, feature: str, message: str | None = None) -> None:
+        self.feature = feature
+        super().__init__(message or f"feature not expressible in a view ASG: {feature}")
+
+
+class UpdateSyntaxError(XQueryError):
+    """Malformed view-update statement."""
+
+
+# ---------------------------------------------------------------------------
+# U-Filter core errors
+# ---------------------------------------------------------------------------
+
+class UFilterError(ReproError):
+    """Internal misuse of the U-Filter pipeline."""

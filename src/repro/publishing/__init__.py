@@ -1,0 +1,7 @@
+"""Publishing substrate: the default XML view (Fig. 2) and the mapping
+relational view (Fig. 11) used by the *internal* checking strategy."""
+
+from .default_view import default_xml_view
+from .relational_view import MappingRelationalView
+
+__all__ = ["default_xml_view", "MappingRelationalView"]

@@ -1,0 +1,39 @@
+"""The default XML view (Fig. 2): one-to-one relational → XML mapping.
+
+Every relation becomes ``<relname>`` holding one ``<row>`` per tuple,
+each attribute a child element.  View queries navigate this document as
+``document("default.xml")/relation/row`` — our evaluator shortcuts the
+navigation straight into the tables, but materializing the default view
+itself is still useful for documentation, tests and the XPath substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..rdb.database import Database
+from ..xml.nodes import XMLElement, XMLText
+from ..xquery.values import render_value
+
+__all__ = ["default_xml_view"]
+
+
+def default_xml_view(
+    db: Database, relations: Optional[Iterable[str]] = None
+) -> XMLElement:
+    """Materialize the default view of *db* (optionally a subset)."""
+    root = XMLElement("DB")
+    names = list(relations) if relations is not None else list(db.tables)
+    for relation_name in names:
+        relation_element = XMLElement(relation_name)
+        root.append(relation_element)
+        for _, row in db.table(relation_name).scan():
+            row_element = XMLElement("row")
+            relation_element.append(row_element)
+            for attribute, value in row.items():
+                attribute_element = XMLElement(attribute)
+                text = render_value(value)
+                if text:
+                    attribute_element.append(XMLText(text))
+                row_element.append(attribute_element)
+    return root

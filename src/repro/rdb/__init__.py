@@ -1,0 +1,87 @@
+"""Relational engine substrate (stands in for Oracle 10g in the paper).
+
+Public surface:
+
+* :class:`Schema`, :class:`Relation`, :class:`Attribute` — DDL metadata
+* constraint classes (:class:`PrimaryKey`, :class:`ForeignKey`, ...)
+  with :class:`DeletePolicy` (CASCADE / SET NULL / RESTRICT)
+* :class:`Database` — storage, DML, constraint enforcement, transactions
+* :class:`SelectPlan` / :func:`execute_select` — programmatic queries
+* :class:`SQLEngine` and the parser — textual SQL subset
+* the expression algebra of :mod:`repro.rdb.expr`
+"""
+
+from .constraints import (
+    Check,
+    Constraint,
+    DeletePolicy,
+    ForeignKey,
+    NotNull,
+    PrimaryKey,
+    Unique,
+)
+from .database import Database
+from .expr import (
+    And,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InSubquery,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    col,
+    conjoin,
+    lit,
+)
+from .index import HashIndex
+from .plan import FromItem, OutputColumn, SelectPlan, execute_select
+from .schema import Attribute, Relation, Schema
+from .sql import SQLEngine, parse_script, parse_statement
+from .sql.parser import parse_expression
+from .table import Table
+from .types import Date, Double, Integer, SQLType, VarChar, sql_literal, type_from_name
+
+__all__ = [
+    "Attribute",
+    "And",
+    "Check",
+    "col",
+    "ColumnRef",
+    "Comparison",
+    "conjoin",
+    "Constraint",
+    "Database",
+    "Date",
+    "DeletePolicy",
+    "Double",
+    "execute_select",
+    "Expr",
+    "ForeignKey",
+    "FromItem",
+    "HashIndex",
+    "InSubquery",
+    "Integer",
+    "IsNull",
+    "lit",
+    "Literal",
+    "Not",
+    "NotNull",
+    "Or",
+    "OutputColumn",
+    "parse_expression",
+    "parse_script",
+    "parse_statement",
+    "PrimaryKey",
+    "Relation",
+    "Schema",
+    "SelectPlan",
+    "SQLEngine",
+    "sql_literal",
+    "SQLType",
+    "Table",
+    "type_from_name",
+    "Unique",
+    "VarChar",
+]

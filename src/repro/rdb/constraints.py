@@ -1,0 +1,135 @@
+"""Integrity constraints of the relational schema.
+
+The paper's Section 3.1 splits constraints into *local* (affect one tuple
+of one relation: domain, NOT NULL, CHECK) and *global* (span relations or
+tuples: PRIMARY KEY, UNIQUE, FOREIGN KEY).  That classification drives
+which U-Filter step consumes each constraint: Step 1 (validation) uses
+local constraints, Step 2 (STAR) uses the global ones.
+
+Foreign keys carry a *delete policy*.  The paper's closure definition in
+Section 5.1.2 assumes ``CASCADE`` but explicitly notes that other
+policies (the PSD domain of Section 7.3 uses ``SET NULL``) only change
+the base-ASG closure; we support CASCADE, SET NULL and RESTRICT.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+from .expr import Expr
+
+__all__ = [
+    "DeletePolicy",
+    "Constraint",
+    "NotNull",
+    "Check",
+    "Unique",
+    "PrimaryKey",
+    "ForeignKey",
+]
+
+
+class DeletePolicy(enum.Enum):
+    """What happens to referencing tuples when a referenced tuple dies."""
+
+    CASCADE = "cascade"
+    SET_NULL = "set null"
+    RESTRICT = "restrict"
+
+    def __str__(self) -> str:
+        return self.value.upper()
+
+
+class Constraint:
+    """Base class; every constraint belongs to exactly one relation."""
+
+    #: relation the constraint is declared on (set by Relation.attach)
+    relation_name: str = ""
+
+    #: True for constraints Section 3.1 calls local
+    is_local: bool = False
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class NotNull(Constraint):
+    """``NOT NULL`` on a single attribute (local)."""
+
+    is_local = True
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+
+    def describe(self) -> str:
+        return f"{self.column} NOT NULL"
+
+
+class Check(Constraint):
+    """``CHECK (expr)`` over a single tuple (local).
+
+    The expression uses unqualified column references of the owning
+    relation, e.g. ``price > 0.00``.
+    """
+
+    is_local = True
+
+    def __init__(self, expression: Expr, name: Optional[str] = None) -> None:
+        self.expression = expression
+        self.name = name
+
+    def describe(self) -> str:
+        return f"CHECK ({self.expression.to_sql()})"
+
+
+class Unique(Constraint):
+    """``UNIQUE`` over one or more attributes (global)."""
+
+    def __init__(self, columns: Sequence[str], name: Optional[str] = None) -> None:
+        if not columns:
+            raise ValueError("UNIQUE constraint needs at least one column")
+        self.columns = tuple(columns)
+        self.name = name
+
+    def describe(self) -> str:
+        return f"UNIQUE ({', '.join(self.columns)})"
+
+
+class PrimaryKey(Unique):
+    """``PRIMARY KEY`` — unique plus implied NOT NULL on every column."""
+
+    def describe(self) -> str:
+        return f"PRIMARY KEY ({', '.join(self.columns)})"
+
+
+class ForeignKey(Constraint):
+    """``FOREIGN KEY (cols) REFERENCES ref_relation (ref_cols)`` (global)."""
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        ref_relation: str,
+        ref_columns: Sequence[str],
+        on_delete: DeletePolicy = DeletePolicy.CASCADE,
+        name: Optional[str] = None,
+    ) -> None:
+        if len(columns) != len(ref_columns):
+            raise ValueError("foreign key column lists must have equal length")
+        if not columns:
+            raise ValueError("foreign key needs at least one column")
+        self.columns = tuple(columns)
+        self.ref_relation = ref_relation
+        self.ref_columns = tuple(ref_columns)
+        self.on_delete = on_delete
+        self.name = name
+
+    def describe(self) -> str:
+        return (
+            f"FOREIGN KEY ({', '.join(self.columns)}) REFERENCES "
+            f"{self.ref_relation} ({', '.join(self.ref_columns)}) "
+            f"ON DELETE {self.on_delete}"
+        )

@@ -1,0 +1,480 @@
+"""The relational database engine: DML with full constraint enforcement.
+
+This is the substrate standing in for Oracle 10g in the paper's
+experiments.  It provides:
+
+* typed tuple storage per relation (:class:`repro.rdb.table.Table`),
+* automatic hash indexes on PRIMARY KEY / UNIQUE / FOREIGN KEY columns,
+* INSERT / DELETE / UPDATE with NOT NULL, CHECK, unique and referential
+  integrity enforcement,
+* delete policies CASCADE, SET NULL and RESTRICT,
+* single-level transactions with undo-log rollback.
+
+Constraint violations raise the exceptions of :mod:`repro.errors`, which
+is what the *hybrid* strategy of U-Filter's Step 3 catches — just as the
+paper's hybrid strategy "waits for the error or success response" of the
+relational engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence
+
+from ..errors import (
+    CheckViolation,
+    DatabaseError,
+    ForeignKeyViolation,
+    NotNullViolation,
+    PrimaryKeyViolation,
+    SchemaError,
+    UniqueViolation,
+)
+from .constraints import DeletePolicy, ForeignKey, PrimaryKey, Unique
+from .expr import Expr
+from .index import HashIndex
+from .schema import Attribute, Relation, Schema
+from .table import Table
+from .transactions import TransactionManager, UndoAction, UndoKind
+
+__all__ = ["Database"]
+
+Row = dict[str, Any]
+
+
+class Database:
+    """A populated instance of a :class:`Schema`."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self.tables: dict[str, Table] = {}
+        self.indexes: dict[str, list[HashIndex]] = {}
+        self.txn = TransactionManager()
+        #: engine statistics exposed to benchmarks and tests
+        self.stats = {
+            "inserts": 0,
+            "deletes": 0,
+            "updates": 0,
+            "rows_scanned": 0,
+            "rollbacks": 0,
+        }
+        for relation in schema:
+            self.tables[relation.name] = Table(
+                relation.name, relation.attribute_names
+            )
+            self.indexes[relation.name] = list(self._build_indexes(relation))
+
+    @staticmethod
+    def _build_indexes(relation: Relation) -> Iterator[HashIndex]:
+        seen: set[tuple[str, ...]] = set()
+        counter = 0
+        for constraint in relation.constraints:
+            if isinstance(constraint, Unique):
+                columns = tuple(constraint.columns)
+                unique = True
+            elif isinstance(constraint, ForeignKey):
+                columns = tuple(constraint.columns)
+                unique = False
+            else:
+                continue
+            if columns in seen:
+                continue
+            seen.add(columns)
+            counter += 1
+            prefix = "pk" if isinstance(constraint, PrimaryKey) else (
+                "uq" if unique else "fk"
+            )
+            yield HashIndex(
+                name=f"{prefix}_{relation.name}_{counter}",
+                relation_name=relation.name,
+                columns=columns,
+                unique=unique,
+            )
+
+    # ------------------------------------------------------------------
+    # DDL after construction
+    # ------------------------------------------------------------------
+
+    def add_relation(self, relation: Relation) -> None:
+        """CREATE TABLE: register a new relation with its indexes."""
+        self.schema.add_relation(relation)
+        self.schema._validate_foreign_keys()
+        self.tables[relation.name] = Table(relation.name, relation.attribute_names)
+        self.indexes[relation.name] = list(self._build_indexes(relation))
+
+    def create_temp_table(
+        self,
+        name: str,
+        columns: Sequence[str],
+        rows: Iterable[Mapping[str, Any]] = (),
+    ) -> None:
+        """Materialize a probe-query result as an *unindexed* table.
+
+        This models the paper's ``TAB_book`` materialized view: the
+        outside strategy joins against it, and since "indices do not
+        exist" on such tables those joins fall back to scans — the
+        asymmetry behind Fig. 16.
+        """
+        from .types import VarChar
+
+        if name in self.tables:
+            self.drop_table(name)
+        relation = Relation(name, [Attribute(c, VarChar(4000)) for c in columns])
+        self.schema.add_relation(relation)
+        self.tables[name] = Table(name, relation.attribute_names)
+        self.indexes[name] = []
+        table = self.tables[name]
+        for row in rows:
+            table.insert_row(row)
+
+    def drop_table(self, name: str) -> None:
+        self.schema.relations.pop(name, None)
+        self.tables.pop(name, None)
+        self.indexes.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def table(self, relation_name: str) -> Table:
+        try:
+            return self.tables[relation_name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {relation_name!r}") from None
+
+    def relation(self, relation_name: str) -> Relation:
+        return self.schema.relation(relation_name)
+
+    def row(self, relation_name: str, rowid: int) -> Row:
+        return dict(self.table(relation_name).get(rowid))
+
+    def count(self, relation_name: str) -> int:
+        return len(self.table(relation_name))
+
+    def rows(self, relation_name: str) -> list[Row]:
+        return [dict(row) for _, row in self.table(relation_name).scan()]
+
+    def index_on(self, relation_name: str, columns: Iterable[str]) -> Optional[HashIndex]:
+        """An index covering exactly *columns*, if one exists."""
+        wanted = set(columns)
+        for index in self.indexes.get(relation_name, ()):
+            if index.matches(wanted):
+                return index
+        return None
+
+    def find_rowids(self, relation_name: str, equalities: Mapping[str, Any]) -> set[int]:
+        """Rowids whose columns equal *equalities* (index-assisted)."""
+        table = self.table(relation_name)
+        if not equalities:
+            return set(table.rowids())
+        index = self.index_on(relation_name, equalities.keys())
+        if index is not None:
+            key = tuple(equalities[column] for column in index.columns)
+            return index.lookup(key)
+        # fall back to a scan; try a partial index to narrow it first
+        candidates: Optional[set[int]] = None
+        for index in self.indexes.get(relation_name, ()):
+            if set(index.columns) <= set(equalities):
+                key = tuple(equalities[column] for column in index.columns)
+                candidates = index.lookup(key)
+                break
+        result = set()
+        if candidates is not None:
+            for rowid in candidates:
+                row = table.get(rowid)
+                self.stats["rows_scanned"] += 1
+                if all(row.get(c) == v for c, v in equalities.items()):
+                    result.add(rowid)
+            return result
+        for rowid, row in table.scan():
+            self.stats["rows_scanned"] += 1
+            if all(row.get(c) == v for c, v in equalities.items()):
+                result.add(rowid)
+        return result
+
+    def select_rowids(self, relation_name: str, predicate: Optional[Expr]) -> list[int]:
+        """Rowids satisfying a predicate over this single relation."""
+        matched = []
+        for rowid, row in self.table(relation_name).scan():
+            self.stats["rows_scanned"] += 1
+            env = {relation_name: row}
+            if predicate is None or predicate.eval(env) is True:
+                matched.append(rowid)
+        return matched
+
+    # ------------------------------------------------------------------
+    # constraint checking helpers
+    # ------------------------------------------------------------------
+
+    def _coerce(self, relation: Relation, values: Mapping[str, Any]) -> Row:
+        row: Row = {}
+        for name, attribute in relation.attributes.items():
+            row[name] = attribute.sql_type.coerce(values.get(name))
+        unknown = set(values) - set(relation.attributes)
+        if unknown:
+            raise SchemaError(
+                f"unknown column(s) {sorted(unknown)} for {relation.name!r}"
+            )
+        return row
+
+    def _check_not_null(self, relation: Relation, row: Row) -> None:
+        for column in relation.not_null_columns():
+            if row.get(column) is None:
+                raise NotNullViolation(
+                    f"{relation.name}.{column} may not be NULL"
+                )
+
+    def _check_checks(self, relation: Relation, row: Row) -> None:
+        env = {relation.name: row}
+        for check in relation.check_constraints:
+            if check.expression.eval(env) is False:
+                raise CheckViolation(
+                    f"{relation.name}: CHECK ({check.expression.to_sql()}) "
+                    f"violated by {row!r}"
+                )
+
+    def _check_unique(
+        self, relation: Relation, row: Row, ignore: Optional[int] = None
+    ) -> None:
+        for index in self.indexes[relation.name]:
+            if index.would_conflict(row, ignore=ignore):
+                message = (
+                    f"{relation.name}: duplicate key "
+                    f"({', '.join(index.columns)}) = "
+                    f"{tuple(row.get(c) for c in index.columns)!r}"
+                )
+                if index.name.startswith("pk_"):
+                    raise PrimaryKeyViolation(message)
+                raise UniqueViolation(message)
+
+    def _check_foreign_keys(self, relation: Relation, row: Row) -> None:
+        for fk in relation.foreign_keys:
+            key = tuple(row.get(column) for column in fk.columns)
+            if any(component is None for component in key):
+                continue  # NULL FK components never violate (SQL MATCH SIMPLE)
+            parents = self.find_rowids(
+                fk.ref_relation, dict(zip(fk.ref_columns, key))
+            )
+            if not parents:
+                raise ForeignKeyViolation(
+                    f"{relation.name}({', '.join(fk.columns)}) = {key!r} has "
+                    f"no parent in {fk.ref_relation}"
+                )
+
+    # ------------------------------------------------------------------
+    # physical operations (index maintenance only, no constraints)
+    # ------------------------------------------------------------------
+
+    def _physical_insert(
+        self, relation_name: str, row: Row, rowid: Optional[int] = None
+    ) -> int:
+        table = self.table(relation_name)
+        if rowid is None:
+            rowid = table.insert_row(row)
+        else:
+            table.restore_row(rowid, row)
+        stored = table.get(rowid)
+        for index in self.indexes[relation_name]:
+            index.add(rowid, stored)
+        return rowid
+
+    def _physical_delete(self, relation_name: str, rowid: int) -> Row:
+        table = self.table(relation_name)
+        row = table.get(rowid)
+        for index in self.indexes[relation_name]:
+            index.remove(rowid, row)
+        return table.delete_row(rowid)
+
+    def _physical_update(
+        self, relation_name: str, rowid: int, changes: Mapping[str, Any]
+    ) -> Row:
+        table = self.table(relation_name)
+        row = table.get(rowid)
+        for index in self.indexes[relation_name]:
+            index.remove(rowid, row)
+        old = table.update_row(rowid, changes)
+        for index in self.indexes[relation_name]:
+            index.add(rowid, table.get(rowid))
+        return old
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def insert(self, relation_name: str, values: Mapping[str, Any]) -> int:
+        """INSERT a tuple, enforcing every constraint.  Returns the rowid."""
+        relation = self.relation(relation_name)
+        row = self._coerce(relation, values)
+        self._check_not_null(relation, row)
+        self._check_checks(relation, row)
+        self._check_unique(relation, row)
+        self._check_foreign_keys(relation, row)
+        rowid = self._physical_insert(relation_name, row)
+        self.txn.record(UndoAction(UndoKind.INSERT, relation_name, rowid))
+        self.stats["inserts"] += 1
+        return rowid
+
+    def delete(self, relation_name: str, rowids: Iterable[int]) -> int:
+        """DELETE the given rows, honouring each FK's delete policy.
+
+        Returns the total number of rows removed (cascades included).
+        """
+        removed = 0
+        for rowid in list(rowids):
+            if rowid in self.table(relation_name):
+                removed += self._delete_one(relation_name, rowid)
+        return removed
+
+    def delete_where(self, relation_name: str, predicate: Optional[Expr]) -> int:
+        return self.delete(
+            relation_name, self.select_rowids(relation_name, predicate)
+        )
+
+    def _delete_one(self, relation_name: str, rowid: int) -> int:
+        table = self.table(relation_name)
+        row = dict(table.get(rowid))
+        removed = 0
+        # resolve children first so RESTRICT fires before the parent dies
+        for fk in self.schema.foreign_keys_into(relation_name):
+            referrer = fk.relation_name
+            key = tuple(row.get(column) for column in fk.ref_columns)
+            if any(component is None for component in key):
+                continue
+            children = self.find_rowids(referrer, dict(zip(fk.columns, key)))
+            if not children:
+                continue
+            if fk.on_delete is DeletePolicy.RESTRICT:
+                raise ForeignKeyViolation(
+                    f"cannot delete from {relation_name}: {len(children)} "
+                    f"row(s) in {referrer} still reference it"
+                )
+            if fk.on_delete is DeletePolicy.CASCADE:
+                for child in children:
+                    if child in self.table(referrer):
+                        removed += self._delete_one(referrer, child)
+            else:  # SET NULL
+                nulls = {column: None for column in fk.columns}
+                for child in children:
+                    if child in self.table(referrer):
+                        self.update(referrer, child, nulls)
+        if rowid not in table:  # a cascade cycle already removed it
+            return removed
+        old = self._physical_delete(relation_name, rowid)
+        self.txn.record(
+            UndoAction(UndoKind.DELETE, relation_name, rowid, dict(old))
+        )
+        self.stats["deletes"] += 1
+        return removed + 1
+
+    def update(
+        self, relation_name: str, rowid: int, changes: Mapping[str, Any]
+    ) -> None:
+        """UPDATE one row, enforcing constraints on the new image."""
+        relation = self.relation(relation_name)
+        table = self.table(relation_name)
+        current = dict(table.get(rowid))
+        coerced_changes = {}
+        for column, value in changes.items():
+            attribute = relation.attribute(column)
+            coerced_changes[column] = attribute.sql_type.coerce(value)
+        new_row = dict(current)
+        new_row.update(coerced_changes)
+        self._check_not_null(relation, new_row)
+        self._check_checks(relation, new_row)
+        self._check_unique(relation, new_row, ignore=rowid)
+        self._check_foreign_keys(relation, new_row)
+        self._forbid_orphaning_update(relation, current, coerced_changes)
+        old = self._physical_update(relation_name, rowid, coerced_changes)
+        old_changed = {column: old[column] for column in coerced_changes}
+        self.txn.record(
+            UndoAction(UndoKind.UPDATE, relation_name, rowid, old_changed)
+        )
+        self.stats["updates"] += 1
+
+    def _forbid_orphaning_update(
+        self, relation: Relation, current: Row, changes: Mapping[str, Any]
+    ) -> None:
+        """Reject updates of referenced key columns that still have children."""
+        for fk in self.schema.foreign_keys_into(relation.name):
+            touched = set(fk.ref_columns) & set(changes)
+            if not touched:
+                continue
+            unchanged = all(
+                changes.get(column, current.get(column)) == current.get(column)
+                for column in touched
+            )
+            if unchanged:
+                continue
+            key = tuple(current.get(column) for column in fk.ref_columns)
+            children = self.find_rowids(
+                fk.relation_name, dict(zip(fk.columns, key))
+            )
+            if children:
+                raise ForeignKeyViolation(
+                    f"cannot update referenced key of {relation.name}: "
+                    f"{len(children)} row(s) in {fk.relation_name} reference it"
+                )
+
+    def update_where(
+        self, relation_name: str, predicate: Optional[Expr], changes: Mapping[str, Any]
+    ) -> int:
+        rowids = self.select_rowids(relation_name, predicate)
+        for rowid in rowids:
+            self.update(relation_name, rowid, changes)
+        return len(rowids)
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+
+    def begin(self) -> None:
+        self.txn.begin()
+
+    def commit(self) -> None:
+        self.txn.commit()
+
+    def rollback(self) -> int:
+        """Undo every change of the active transaction.
+
+        Returns the number of undo records replayed (the cost Fig. 14
+        charges the no-checking baseline with).
+        """
+        log = self.txn.take_rollback_log()
+        for action in log:
+            if action.kind is UndoKind.INSERT:
+                self._physical_delete(action.relation_name, action.rowid)
+            elif action.kind is UndoKind.DELETE:
+                self._physical_insert(
+                    action.relation_name, action.old_values, action.rowid
+                )
+            else:
+                self._physical_update(
+                    action.relation_name, action.rowid, action.old_values
+                )
+        self.stats["rollbacks"] += 1
+        return len(log)
+
+    # ------------------------------------------------------------------
+    # bulk loading / cloning
+    # ------------------------------------------------------------------
+
+    def load(self, relation_name: str, rows: Sequence[Mapping[str, Any]]) -> list[int]:
+        """Insert many rows (constraints enforced row by row)."""
+        return [self.insert(relation_name, row) for row in rows]
+
+    def clone(self) -> "Database":
+        """A deep copy sharing the schema: same rows under the same rowids.
+
+        Used by the rectangle-rule verifier, which needs to apply a
+        translation to a copy and compare the recomputed views.
+        """
+        copy = Database(self.schema)
+        for relation_name, table in self.tables.items():
+            if relation_name not in copy.tables:  # temp tables
+                copy.create_temp_table(relation_name, table.columns)
+            for rowid, row in table.scan():
+                copy._physical_insert(relation_name, dict(row), rowid)
+        return copy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = ", ".join(f"{n}={len(t)}" for n, t in self.tables.items())
+        return f"Database({sizes})"

@@ -1,0 +1,363 @@
+"""Scalar and boolean expressions over relational tuples.
+
+These expression trees serve three masters:
+
+* CHECK constraints on a relation (``price > 0.00``),
+* WHERE clauses of queries executed by the engine,
+* the *probe queries* U-Filter composes in its data-driven step, which
+  must also be renderable back into SQL text (``to_sql``).
+
+An expression is evaluated against an *environment*: a mapping from
+range-variable name (usually the relation name or an alias) to a row
+mapping.  Single-relation expressions (CHECK constraints) may use bare
+column references which resolve against the sole row in the environment.
+
+SQL three-valued logic is honoured: comparisons involving NULL yield
+``None`` (unknown), ``AND``/``OR``/``NOT`` propagate unknowns, and a
+WHERE clause only keeps rows for which the predicate is truly ``True``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Optional
+
+from ..errors import SchemaError
+from .types import sql_literal
+
+__all__ = [
+    "Expr",
+    "Literal",
+    "ColumnRef",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "IsNull",
+    "InSubquery",
+    "COMPARATORS",
+    "col",
+    "lit",
+    "conjoin",
+]
+
+Row = Mapping[str, Any]
+Env = Mapping[str, Row]
+
+
+def _cmp_eq(a: Any, b: Any) -> bool:
+    return a == b
+
+
+def _cmp_ne(a: Any, b: Any) -> bool:
+    return a != b
+
+
+def _cmp_lt(a: Any, b: Any) -> bool:
+    return a < b
+
+
+def _cmp_le(a: Any, b: Any) -> bool:
+    return a <= b
+
+
+def _cmp_gt(a: Any, b: Any) -> bool:
+    return a > b
+
+
+def _cmp_ge(a: Any, b: Any) -> bool:
+    return a >= b
+
+
+COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": _cmp_eq,
+    "<>": _cmp_ne,
+    "!=": _cmp_ne,
+    "<": _cmp_lt,
+    "<=": _cmp_le,
+    ">": _cmp_gt,
+    ">=": _cmp_ge,
+}
+
+#: logical negation of each comparison operator, used by the
+#: satisfiability analysis in the core package.
+NEGATED_OP = {
+    "=": "<>",
+    "<>": "=",
+    "!=": "=",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+
+class Expr:
+    """Base class of all expression nodes."""
+
+    def eval(self, env: Env) -> Any:
+        raise NotImplementedError
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+    def columns(self) -> set[tuple[Optional[str], str]]:
+        """All ``(qualifier, column)`` references appearing in the tree."""
+        out: set[tuple[Optional[str], str]] = set()
+        self._collect_columns(out)
+        return out
+
+    def _collect_columns(self, out: set[tuple[Optional[str], str]]) -> None:
+        pass
+
+    # conjunction flattening, handy for predicate analysis ------------------
+
+    def conjuncts(self) -> list["Expr"]:
+        """Flatten top-level ANDs into a list of conjuncts."""
+        return [self]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.to_sql()}>"
+
+
+class Literal(Expr):
+    """A constant value."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def eval(self, env: Env) -> Any:
+        return self.value
+
+    def to_sql(self) -> str:
+        return sql_literal(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Literal) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("lit", self.value))
+
+
+class ColumnRef(Expr):
+    """A (possibly qualified) column reference, e.g. ``book.pubid``."""
+
+    def __init__(self, column: str, qualifier: Optional[str] = None) -> None:
+        self.column = column
+        self.qualifier = qualifier
+
+    def eval(self, env: Env) -> Any:
+        if self.qualifier is not None:
+            row = env.get(self.qualifier)
+            if row is None:
+                raise SchemaError(f"unknown range variable {self.qualifier!r}")
+            if self.column not in row:
+                raise SchemaError(
+                    f"relation {self.qualifier!r} has no column {self.column!r}"
+                )
+            return row[self.column]
+        # Unqualified: resolve against the unique row that has the column.
+        # An ambiguity is tolerated when every candidate agrees on the
+        # value (the paper's PQ1 selects an unqualified ``bookid`` from a
+        # book ⋈ review join where both sides carry equal values).
+        hits = [row for row in env.values() if self.column in row]
+        if not hits:
+            raise SchemaError(f"unknown column {self.column!r}")
+        values = {row[self.column] for row in hits}
+        if len(values) > 1:
+            raise SchemaError(f"ambiguous column {self.column!r}")
+        return hits[0][self.column]
+
+    def to_sql(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.column}"
+        return self.column
+
+    def _collect_columns(self, out: set[tuple[Optional[str], str]]) -> None:
+        out.add((self.qualifier, self.column))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ColumnRef)
+            and self.column == other.column
+            and self.qualifier == other.qualifier
+        )
+
+    def __hash__(self) -> int:
+        return hash(("col", self.qualifier, self.column))
+
+
+class Comparison(Expr):
+    """``left op right`` with SQL NULL semantics."""
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in COMPARATORS:
+            raise SchemaError(f"unknown comparison operator {op!r}")
+        self.op = "<>" if op == "!=" else op
+        self.left = left
+        self.right = right
+
+    def eval(self, env: Env) -> Optional[bool]:
+        lhs = self.left.eval(env)
+        rhs = self.right.eval(env)
+        if lhs is None or rhs is None:
+            return None
+        return COMPARATORS[self.op](lhs, rhs)
+
+    def to_sql(self) -> str:
+        return f"{self.left.to_sql()} {self.op} {self.right.to_sql()}"
+
+    def _collect_columns(self, out: set[tuple[Optional[str], str]]) -> None:
+        self.left._collect_columns(out)
+        self.right._collect_columns(out)
+
+    def negated(self) -> "Comparison":
+        return Comparison(NEGATED_OP[self.op], self.left, self.right)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and self.op == other.op
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("cmp", self.op, self.left, self.right))
+
+
+class And(Expr):
+    def __init__(self, left: Expr, right: Expr) -> None:
+        self.left = left
+        self.right = right
+
+    def eval(self, env: Env) -> Optional[bool]:
+        lhs = self.left.eval(env)
+        if lhs is False:
+            return False
+        rhs = self.right.eval(env)
+        if rhs is False:
+            return False
+        if lhs is None or rhs is None:
+            return None
+        return True
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} AND {self.right.to_sql()})"
+
+    def _collect_columns(self, out: set[tuple[Optional[str], str]]) -> None:
+        self.left._collect_columns(out)
+        self.right._collect_columns(out)
+
+    def conjuncts(self) -> list[Expr]:
+        return self.left.conjuncts() + self.right.conjuncts()
+
+
+class Or(Expr):
+    def __init__(self, left: Expr, right: Expr) -> None:
+        self.left = left
+        self.right = right
+
+    def eval(self, env: Env) -> Optional[bool]:
+        lhs = self.left.eval(env)
+        if lhs is True:
+            return True
+        rhs = self.right.eval(env)
+        if rhs is True:
+            return True
+        if lhs is None or rhs is None:
+            return None
+        return False
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} OR {self.right.to_sql()})"
+
+    def _collect_columns(self, out: set[tuple[Optional[str], str]]) -> None:
+        self.left._collect_columns(out)
+        self.right._collect_columns(out)
+
+
+class Not(Expr):
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+
+    def eval(self, env: Env) -> Optional[bool]:
+        value = self.operand.eval(env)
+        if value is None:
+            return None
+        return not value
+
+    def to_sql(self) -> str:
+        return f"(NOT {self.operand.to_sql()})"
+
+    def _collect_columns(self, out: set[tuple[Optional[str], str]]) -> None:
+        self.operand._collect_columns(out)
+
+
+class IsNull(Expr):
+    """``expr IS [NOT] NULL`` — never unknown."""
+
+    def __init__(self, operand: Expr, negate: bool = False) -> None:
+        self.operand = operand
+        self.negate = negate
+
+    def eval(self, env: Env) -> bool:
+        value = self.operand.eval(env)
+        result = value is None
+        return not result if self.negate else result
+
+    def to_sql(self) -> str:
+        suffix = "IS NOT NULL" if self.negate else "IS NULL"
+        return f"{self.operand.to_sql()} {suffix}"
+
+    def _collect_columns(self, out: set[tuple[Optional[str], str]]) -> None:
+        self.operand._collect_columns(out)
+
+
+class InSubquery(Expr):
+    """``expr IN (SELECT ...)`` with the subquery pre-materialized.
+
+    The engine resolves the subquery into a set of values before
+    evaluation; this node keeps the original SQL text so probe queries
+    can still be displayed (e.g. U3/PQ4 in the paper).
+    """
+
+    def __init__(self, operand: Expr, values: Iterable[Any], sql_text: str) -> None:
+        self.operand = operand
+        self.values = set(values)
+        self.sql_text = sql_text
+
+    def eval(self, env: Env) -> Optional[bool]:
+        value = self.operand.eval(env)
+        if value is None:
+            return None
+        return value in self.values
+
+    def to_sql(self) -> str:
+        return f"{self.operand.to_sql()} IN ({self.sql_text})"
+
+    def _collect_columns(self, out: set[tuple[Optional[str], str]]) -> None:
+        self.operand._collect_columns(out)
+
+
+# ---------------------------------------------------------------------------
+# small construction helpers
+# ---------------------------------------------------------------------------
+
+def col(name: str) -> ColumnRef:
+    """Build a column reference from ``"rel.attr"`` or ``"attr"``."""
+    if "." in name:
+        qualifier, column = name.split(".", 1)
+        return ColumnRef(column, qualifier)
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> Literal:
+    return Literal(value)
+
+
+def conjoin(predicates: Iterable[Expr]) -> Optional[Expr]:
+    """AND together a sequence of predicates (None for the empty sequence)."""
+    result: Optional[Expr] = None
+    for predicate in predicates:
+        result = predicate if result is None else And(result, predicate)
+    return result

@@ -1,0 +1,247 @@
+"""SELECT execution: nested-loop joins with index assistance.
+
+The executor implements exactly what the paper's experiments exercise:
+
+* multi-relation joins driven by equality predicates,
+* index nested-loop joins when a hash index covers the join columns of
+  the inner relation (the *hybrid* strategy benefits from the PK/FK
+  indexes the engine builds automatically),
+* plain nested-loop + filter otherwise (which is what joins against a
+  *materialized probe result* degrade to in the outside strategy —
+  temp tables carry no indexes).
+
+Queries are represented programmatically (:class:`SelectPlan`); the
+textual SQL layer (:mod:`repro.rdb.sql`) parses into the same structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import SchemaError
+from .database import Database
+from .expr import And, ColumnRef, Comparison, Expr, Literal, conjoin
+
+__all__ = ["FromItem", "OutputColumn", "SelectPlan", "execute_select"]
+
+Row = dict[str, Any]
+
+
+@dataclass(frozen=True)
+class FromItem:
+    """One entry of the FROM clause: a relation with an optional alias."""
+
+    relation_name: str
+    alias: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.alias or self.relation_name
+
+
+@dataclass(frozen=True)
+class OutputColumn:
+    """One entry of the SELECT list."""
+
+    column: str
+    qualifier: Optional[str] = None
+    #: output name; defaults to the column name
+    label: Optional[str] = None
+
+    @property
+    def output_name(self) -> str:
+        return self.label or self.column
+
+
+@dataclass
+class SelectPlan:
+    """A select-project-join query (no DISTINCT, no aggregates).
+
+    ``columns=None`` means ``SELECT *`` (all columns of all FROM items,
+    qualified names used on collisions).
+    """
+
+    from_items: list[FromItem]
+    columns: Optional[list[OutputColumn]] = None
+    where: Optional[Expr] = None
+    #: special ROWID projection support (the paper's PQ4 selects ROWID)
+    select_rowids: bool = False
+    #: add "<alias>.ROWID" entries next to the projected columns —
+    #: probe queries use this to feed translated DELETE statements
+    include_rowids: bool = False
+
+    def to_sql(self) -> str:
+        if self.select_rowids:
+            select_list = "ROWID"
+        elif self.columns is None:
+            select_list = "*"
+        else:
+            parts = []
+            for column in self.columns:
+                text = (
+                    f"{column.qualifier}.{column.column}"
+                    if column.qualifier
+                    else column.column
+                )
+                if column.label and column.label != column.column:
+                    text += f" AS {column.label}"
+                parts.append(text)
+            select_list = ", ".join(parts)
+        from_list = ", ".join(
+            f"{item.relation_name} {item.alias}" if item.alias else item.relation_name
+            for item in self.from_items
+        )
+        sql = f"SELECT {select_list} FROM {from_list}"
+        if self.where is not None:
+            sql += f" WHERE {self.where.to_sql()}"
+        return sql
+
+
+def _split_conjuncts(where: Optional[Expr]) -> list[Expr]:
+    if where is None:
+        return []
+    return where.conjuncts()
+
+
+def _binding_equalities(
+    conjunct: Expr, target: str, bound: set[str]
+) -> Optional[tuple[str, Expr]]:
+    """If *conjunct* pins a column of *target* to an evaluable value,
+    return ``(column, value_expr)``.
+
+    A value expression is evaluable when it is a literal or references
+    only already-bound FROM items.
+    """
+    if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+        return None
+    for this, other in ((conjunct.left, conjunct.right), (conjunct.right, conjunct.left)):
+        if isinstance(this, ColumnRef) and this.qualifier == target:
+            if isinstance(other, Literal):
+                return this.column, other
+            if isinstance(other, ColumnRef) and other.qualifier in bound:
+                return this.column, other
+    return None
+
+
+def _applicable(conjunct: Expr, bound: set[str]) -> bool:
+    """True iff every column reference of *conjunct* is bound."""
+    return all(
+        qualifier in bound
+        for qualifier, _ in conjunct.columns()
+        if qualifier is not None
+    ) and all(qualifier is not None for qualifier, _ in conjunct.columns())
+
+
+def execute_select(db: Database, plan: SelectPlan) -> list[Row]:
+    """Run the plan; returns projected rows (dicts keyed by output name)."""
+    for item in plan.from_items:
+        if item.relation_name not in db.tables:
+            raise SchemaError(f"unknown relation {item.relation_name!r}")
+    names = [item.name for item in plan.from_items]
+    if len(set(names)) != len(names):
+        raise SchemaError("duplicate FROM aliases")
+
+    conjuncts = _split_conjuncts(plan.where)
+    results: list[Row] = []
+
+    def recurse(position: int, env: dict[str, Row], rowids: dict[str, int],
+                remaining: list[Expr]) -> None:
+        if position == len(plan.from_items):
+            if remaining:
+                residual = conjoin(remaining)
+                if residual is not None and residual.eval(env) is not True:
+                    return
+            results.append(_project(db, plan, env, rowids))
+            return
+        item = plan.from_items[position]
+        bound = set(env)
+        target = item.name
+        # collect equality bindings usable for an index probe
+        equalities: dict[str, Expr] = {}
+        used: list[tuple[Expr, str]] = []
+        deferred: list[Expr] = []
+        for conjunct in remaining:
+            binding = _binding_equalities(conjunct, target, bound)
+            if binding is not None and binding[0] not in equalities:
+                equalities[binding[0]] = binding[1]
+                used.append((conjunct, binding[0]))
+            else:
+                deferred.append(conjunct)
+        # evaluate now-applicable residual predicates for this level
+        bound_after = bound | {target}
+        applicable_now = [c for c in deferred if _applicable(c, bound_after)]
+        still_remaining = [c for c in deferred if c not in applicable_now]
+
+        table = db.table(item.relation_name)
+        candidate_rowids = None
+        if equalities:
+            index = _choose_index(db, item.relation_name, set(equalities))
+            if index is not None:
+                key = tuple(equalities[column].eval(env) for column in index.columns)
+                candidate_rowids = index.lookup(key)
+                # equalities covered by the index are consumed; others filter
+                covered = set(index.columns)
+                applicable_now = applicable_now + [
+                    conjunct for conjunct, column in used if column not in covered
+                ]
+            else:
+                applicable_now = applicable_now + [conjunct for conjunct, _ in used]
+        if candidate_rowids is None:
+            iterator = table.scan()
+        else:
+            iterator = (
+                (rowid, table.get(rowid))
+                for rowid in sorted(candidate_rowids)
+                if rowid in table
+            )
+        for rowid, row in iterator:
+            db.stats["rows_scanned"] += 1
+            env[target] = row
+            rowids[target] = rowid
+            if applicable_now:
+                predicate = conjoin(applicable_now)
+                if predicate is not None and predicate.eval(env) is not True:
+                    del env[target]
+                    del rowids[target]
+                    continue
+            recurse(position + 1, env, rowids, still_remaining)
+            del env[target]
+            del rowids[target]
+
+    recurse(0, {}, {}, conjuncts)
+    return results
+
+
+def _choose_index(db: Database, relation_name: str, columns: set[str]):
+    """Best index whose columns are all pinned by the equalities."""
+    best = None
+    for index in db.indexes.get(relation_name, ()):
+        if set(index.columns) <= columns:
+            if best is None or len(index.columns) > len(best.columns):
+                best = index
+    return best
+
+
+def _project(
+    db: Database, plan: SelectPlan, env: dict[str, Row], rowids: dict[str, int]
+) -> Row:
+    if plan.select_rowids:
+        if len(plan.from_items) == 1:
+            return {"ROWID": rowids[plan.from_items[0].name]}
+        return {f"{name}.ROWID": rid for name, rid in rowids.items()}
+    projected: Row = {}
+    if plan.columns is None:
+        for item in plan.from_items:
+            row = env[item.name]
+            for column, value in row.items():
+                key = column if column not in projected else f"{item.name}.{column}"
+                projected[key] = value
+    else:
+        for column in plan.columns:
+            ref = ColumnRef(column.column, column.qualifier)
+            projected[column.output_name] = ref.eval(env)
+    if plan.include_rowids:
+        for name, rowid in rowids.items():
+            projected[f"{name}.ROWID"] = rowid
+    return projected

@@ -1,0 +1,34 @@
+"""Textual SQL subset: lexer, AST, parser and executor.
+
+U-Filter's probe queries (PQ1–PQ4) and translated updates (U1–U3) are
+plain SQL strings in the paper; this package lets the reproduction
+round-trip the same strings through a real parser and executor so the
+listings in EXPERIMENTS.md are genuinely executable.
+"""
+
+from .ast import (
+    CreateTableStatement,
+    DeleteStatement,
+    InsertStatement,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
+from .engine import SQLEngine
+from .lexer import Token, TokenKind, tokenize
+from .parser import parse_statement, parse_script
+
+__all__ = [
+    "CreateTableStatement",
+    "DeleteStatement",
+    "InsertStatement",
+    "SelectStatement",
+    "Statement",
+    "UpdateStatement",
+    "SQLEngine",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse_statement",
+    "parse_script",
+]

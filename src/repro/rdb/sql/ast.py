@@ -1,0 +1,125 @@
+"""Statement-level AST for the SQL subset.
+
+Expressions reuse :mod:`repro.rdb.expr`; this module only adds the
+statement shells (SELECT / INSERT / DELETE / UPDATE / CREATE TABLE) plus
+an unresolved ``IN (SELECT ...)`` placeholder the engine materializes at
+execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..expr import Expr
+from ..plan import FromItem, OutputColumn
+
+__all__ = [
+    "Statement",
+    "SelectStatement",
+    "InsertStatement",
+    "DeleteStatement",
+    "UpdateStatement",
+    "ColumnDef",
+    "TableConstraintDef",
+    "CreateTableStatement",
+    "InSelect",
+]
+
+
+class Statement:
+    """Base class of executable statements."""
+
+
+@dataclass
+class SelectStatement(Statement):
+    from_items: list[FromItem]
+    columns: Optional[list[OutputColumn]]  # None = SELECT *
+    where: Optional[Expr] = None
+    select_rowids: bool = False
+    distinct: bool = False
+
+
+class InSelect(Expr):
+    """Unresolved ``expr IN (SELECT ...)``.
+
+    The parser cannot evaluate the subquery; the engine rewrites this
+    node into :class:`repro.rdb.expr.InSubquery` with materialized
+    values before evaluation.
+    """
+
+    def __init__(self, operand: Expr, subquery: SelectStatement) -> None:
+        self.operand = operand
+        self.subquery = subquery
+
+    def eval(self, env):  # pragma: no cover - engine always resolves first
+        raise NotImplementedError("InSelect must be resolved by the engine")
+
+    def to_sql(self) -> str:
+        sub = _select_to_sql(self.subquery)
+        return f"{self.operand.to_sql()} IN ({sub})"
+
+    def _collect_columns(self, out) -> None:
+        self.operand._collect_columns(out)
+
+
+def _select_to_sql(statement: SelectStatement) -> str:
+    from ..plan import SelectPlan
+
+    plan = SelectPlan(
+        from_items=statement.from_items,
+        columns=statement.columns,
+        where=statement.where,
+        select_rowids=statement.select_rowids,
+    )
+    sql = plan.to_sql()
+    if statement.distinct:
+        sql = sql.replace("SELECT ", "SELECT DISTINCT ", 1)
+    return sql
+
+
+@dataclass
+class InsertStatement(Statement):
+    relation_name: str
+    values: list[Any]
+    columns: Optional[list[str]] = None  # None = positional over all columns
+
+
+@dataclass
+class DeleteStatement(Statement):
+    relation_name: str
+    where: Optional[Expr] = None
+
+
+@dataclass
+class UpdateStatement(Statement):
+    relation_name: str
+    assignments: dict[str, Any] = field(default_factory=dict)
+    where: Optional[Expr] = None
+
+
+@dataclass
+class ColumnDef:
+    name: str
+    type_name: str
+    not_null: bool = False
+    unique: bool = False
+    check: Optional[Expr] = None
+
+
+@dataclass
+class TableConstraintDef:
+    kind: str  # "primary key" | "foreign key" | "unique" | "check"
+    columns: tuple[str, ...] = ()
+    ref_relation: Optional[str] = None
+    ref_columns: tuple[str, ...] = ()
+    on_delete: Optional[str] = None
+    check: Optional[Expr] = None
+    name: Optional[str] = None
+
+
+@dataclass
+class CreateTableStatement(Statement):
+    relation_name: str
+    columns: list[ColumnDef]
+    constraints: list[TableConstraintDef]

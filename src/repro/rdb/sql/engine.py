@@ -1,0 +1,203 @@
+"""Executor tying parsed SQL statements to a :class:`Database`.
+
+``SQLEngine.execute`` accepts either statement objects or SQL text and
+returns SELECT rows / DML row counts.  ``IN (SELECT ...)`` subqueries
+are materialized before the outer statement runs (uncorrelated
+subqueries only — exactly what the paper's U3/PQ4 need).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from ...errors import SchemaError, SQLSyntaxError
+from ..constraints import (
+    Check,
+    DeletePolicy,
+    ForeignKey,
+    NotNull,
+    PrimaryKey,
+    Unique,
+)
+from ..database import Database
+from ..expr import And, Comparison, Expr, InSubquery, IsNull, Literal, Not, Or
+from ..plan import SelectPlan, execute_select
+from ..schema import Attribute, Relation
+from .ast import (
+    CreateTableStatement,
+    DeleteStatement,
+    InSelect,
+    InsertStatement,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
+from .parser import parse_statement
+
+__all__ = ["SQLEngine"]
+
+Row = dict[str, Any]
+
+
+class SQLEngine:
+    """Stateful façade executing SQL against one database instance."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        #: statements executed, for benchmark reporting
+        self.statements_executed = 0
+
+    # ------------------------------------------------------------------
+
+    def execute(self, statement: Union[str, Statement]) -> Any:
+        """Execute one statement.
+
+        Returns a list of rows for SELECT, an affected-row count for
+        INSERT/DELETE/UPDATE, and ``None`` for CREATE TABLE.
+        """
+        if isinstance(statement, str):
+            statement = parse_statement(statement)
+        self.statements_executed += 1
+        if isinstance(statement, SelectStatement):
+            return self._execute_select(statement)
+        if isinstance(statement, InsertStatement):
+            return self._execute_insert(statement)
+        if isinstance(statement, DeleteStatement):
+            return self._execute_delete(statement)
+        if isinstance(statement, UpdateStatement):
+            return self._execute_update(statement)
+        if isinstance(statement, CreateTableStatement):
+            self._execute_create(statement)
+            return None
+        raise SQLSyntaxError(f"cannot execute {type(statement).__name__}")
+
+    def query(self, text: str) -> list[Row]:
+        """Execute a SELECT and return its rows."""
+        result = self.execute(text)
+        if not isinstance(result, list):
+            raise SQLSyntaxError("query() requires a SELECT statement")
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _execute_select(self, statement: SelectStatement) -> list[Row]:
+        where = self._resolve_subqueries(statement.where)
+        plan = SelectPlan(
+            from_items=statement.from_items,
+            columns=statement.columns,
+            where=where,
+            select_rowids=statement.select_rowids,
+        )
+        rows = execute_select(self.db, plan)
+        if statement.distinct:
+            seen: set[tuple] = set()
+            unique_rows = []
+            for row in rows:
+                key = tuple(sorted(row.items(), key=lambda kv: kv[0]))
+                if key not in seen:
+                    seen.add(key)
+                    unique_rows.append(row)
+            rows = unique_rows
+        return rows
+
+    def _resolve_subqueries(self, expression: Optional[Expr]) -> Optional[Expr]:
+        if expression is None:
+            return None
+        if isinstance(expression, InSelect):
+            inner_rows = self._execute_select(expression.subquery)
+            values = []
+            for row in inner_rows:
+                if len(row) != 1:
+                    raise SQLSyntaxError(
+                        "IN subquery must produce a single column"
+                    )
+                values.append(next(iter(row.values())))
+            return InSubquery(
+                expression.operand,
+                values,
+                expression.to_sql().split(" IN (", 1)[1].rstrip(")"),
+            )
+        if isinstance(expression, And):
+            return And(
+                self._resolve_subqueries(expression.left),
+                self._resolve_subqueries(expression.right),
+            )
+        if isinstance(expression, Or):
+            return Or(
+                self._resolve_subqueries(expression.left),
+                self._resolve_subqueries(expression.right),
+            )
+        if isinstance(expression, Not):
+            return Not(self._resolve_subqueries(expression.operand))
+        return expression
+
+    def _execute_insert(self, statement: InsertStatement) -> int:
+        relation = self.db.relation(statement.relation_name)
+        if statement.columns is None:
+            names = relation.attribute_names
+            if len(statement.values) != len(names):
+                raise SQLSyntaxError(
+                    f"INSERT into {relation.name} expects {len(names)} values, "
+                    f"got {len(statement.values)}"
+                )
+            values = dict(zip(names, statement.values))
+        else:
+            if len(statement.columns) != len(statement.values):
+                raise SQLSyntaxError("INSERT column/value count mismatch")
+            values = dict(zip(statement.columns, statement.values))
+        self.db.insert(statement.relation_name, values)
+        return 1
+
+    def _execute_delete(self, statement: DeleteStatement) -> int:
+        where = self._resolve_subqueries(statement.where)
+        return self.db.delete_where(statement.relation_name, where)
+
+    def _execute_update(self, statement: UpdateStatement) -> int:
+        where = self._resolve_subqueries(statement.where)
+        return self.db.update_where(
+            statement.relation_name, where, statement.assignments
+        )
+
+    def _execute_create(self, statement: CreateTableStatement) -> None:
+        attributes = [
+            Attribute(column.name, column.type_name) for column in statement.columns
+        ]
+        relation = Relation(statement.relation_name, attributes)
+        for column in statement.columns:
+            if column.not_null:
+                relation.add_constraint(NotNull(column.name))
+            if column.unique:
+                relation.add_constraint(Unique((column.name,)))
+            if column.check is not None:
+                relation.add_constraint(Check(column.check))
+        for definition in statement.constraints:
+            if definition.kind == "primary key":
+                relation.add_constraint(
+                    PrimaryKey(definition.columns, name=definition.name)
+                )
+            elif definition.kind == "unique":
+                relation.add_constraint(
+                    Unique(definition.columns, name=definition.name)
+                )
+            elif definition.kind == "check":
+                assert definition.check is not None
+                relation.add_constraint(Check(definition.check, name=definition.name))
+            elif definition.kind == "foreign key":
+                policy = DeletePolicy.CASCADE
+                if definition.on_delete == "set null":
+                    policy = DeletePolicy.SET_NULL
+                elif definition.on_delete == "restrict":
+                    policy = DeletePolicy.RESTRICT
+                assert definition.ref_relation is not None
+                relation.add_constraint(
+                    ForeignKey(
+                        definition.columns,
+                        definition.ref_relation,
+                        definition.ref_columns,
+                        on_delete=policy,
+                        name=definition.name,
+                    )
+                )
+            else:  # pragma: no cover - parser only emits the kinds above
+                raise SchemaError(f"unknown constraint kind {definition.kind!r}")
+        self.db.add_relation(relation)

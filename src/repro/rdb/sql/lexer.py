@@ -1,0 +1,132 @@
+"""Tokenizer for the SQL subset.
+
+Handles identifiers, keywords (case-insensitive), string literals with
+doubled-quote escaping, numeric literals, punctuation and the multi-char
+operators ``<=``, ``>=``, ``<>``, ``!=``.  Comments (``-- ...`` to end
+of line) are skipped.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from ...errors import SQLSyntaxError
+
+__all__ = ["TokenKind", "Token", "tokenize", "KEYWORDS"]
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    STRING = "string"
+    NUMBER = "number"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "IS", "NULL",
+    "INSERT", "INTO", "VALUES", "DELETE", "UPDATE", "SET", "AS",
+    "CREATE", "TABLE", "CONSTRAINT", "CONSTRAINTS", "PRIMARY", "KEY",
+    "FOREIGN", "REFERENCES", "UNIQUE", "CHECK", "ON", "CASCADE",
+    "RESTRICT", "ROWID", "DISTINCT", "LEFT", "JOIN", "VIEW",
+}
+
+_PUNCT = {"(", ")", ",", ";", ".", "*", "-", "+"}
+_OPERATOR_CHARS = {"=", "<", ">", "!"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.value == word.upper()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.value}, {self.value!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            newline = text.find("\n", i)
+            i = n if newline == -1 else newline + 1
+            continue
+        if ch == "'" or ch == '"':
+            quote = ch
+            j = i + 1
+            pieces = []
+            while True:
+                if j >= n:
+                    raise SQLSyntaxError(f"unterminated string at offset {i}")
+                if text[j] == quote:
+                    if j + 1 < n and text[j + 1] == quote:  # doubled quote
+                        pieces.append(quote)
+                        j += 2
+                        continue
+                    break
+                pieces.append(text[j])
+                j += 1
+            yield Token(TokenKind.STRING, "".join(pieces), i)
+            i = j + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # a dot not followed by a digit is punctuation (r.col)
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            yield Token(TokenKind.NUMBER, text[i:j], i)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_" or ch == "$":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "_$"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token(TokenKind.KEYWORD, upper, i)
+            else:
+                yield Token(TokenKind.IDENT, word, i)
+            i = j
+            continue
+        if ch in _OPERATOR_CHARS:
+            two = text[i:i + 2]
+            if two in ("<=", ">=", "<>", "!="):
+                yield Token(TokenKind.OPERATOR, two, i)
+                i += 2
+            elif ch in ("=", "<", ">"):
+                yield Token(TokenKind.OPERATOR, ch, i)
+                i += 1
+            else:
+                raise SQLSyntaxError(f"unexpected character {ch!r} at offset {i}")
+            continue
+        if ch in _PUNCT:
+            yield Token(TokenKind.PUNCT, ch, i)
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r} at offset {i}")
+    yield Token(TokenKind.EOF, "", n)

@@ -1,0 +1,453 @@
+"""Recursive-descent parser for the SQL subset.
+
+Accepted statements::
+
+    SELECT [DISTINCT] * | ROWID | col[, col...] FROM rel [alias], ... [WHERE expr]
+    INSERT INTO rel [(cols)] VALUES [(] literal, ... [)]
+    DELETE FROM rel [WHERE expr]
+    UPDATE rel SET col = literal, ... [WHERE expr]
+    CREATE TABLE rel (coldefs and table constraints)
+
+Expressions support comparisons, AND/OR/NOT, IS [NOT] NULL and
+``IN (SELECT ...)``.  The paper's slightly informal DDL spellings
+(``CONSTRAINTS BookPK PRIMARYKEY (...)``, ``FOREIGNKEY``) are accepted
+alongside standard SQL.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ...errors import SQLSyntaxError
+from ..expr import And, ColumnRef, Comparison, Expr, IsNull, Literal, Not, Or
+from ..plan import FromItem, OutputColumn
+from .ast import (
+    ColumnDef,
+    CreateTableStatement,
+    DeleteStatement,
+    InSelect,
+    InsertStatement,
+    SelectStatement,
+    Statement,
+    TableConstraintDef,
+    UpdateStatement,
+)
+from .lexer import Token, TokenKind, tokenize
+
+__all__ = ["parse_statement", "parse_script", "parse_expression"]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind is not TokenKind.EOF:
+            self.position += 1
+        return token
+
+    def error(self, message: str) -> SQLSyntaxError:
+        token = self.peek()
+        return SQLSyntaxError(f"{message} (at {token.value!r}, offset {token.position})")
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(word):
+            raise self.error(f"expected {word}")
+        return self.advance()
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek().is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, char: str) -> Token:
+        token = self.peek()
+        if token.kind is not TokenKind.PUNCT or token.value != char:
+            raise self.error(f"expected {char!r}")
+        return self.advance()
+
+    def accept_punct(self, char: str) -> bool:
+        token = self.peek()
+        if token.kind is TokenKind.PUNCT and token.value == char:
+            self.advance()
+            return True
+        return False
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.kind is not TokenKind.IDENT:
+            raise self.error("expected identifier")
+        return self.advance().value
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        token = self.peek()
+        if token.is_keyword("SELECT"):
+            return self.parse_select()
+        if token.is_keyword("INSERT"):
+            return self.parse_insert()
+        if token.is_keyword("DELETE"):
+            return self.parse_delete()
+        if token.is_keyword("UPDATE"):
+            return self.parse_update()
+        if token.is_keyword("CREATE"):
+            return self.parse_create_table()
+        raise self.error("expected a statement")
+
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        select_rowids = False
+        columns: Optional[list[OutputColumn]] = None
+        if self.accept_punct("*"):
+            columns = None
+        elif self.peek().is_keyword("ROWID"):
+            self.advance()
+            select_rowids = True
+        else:
+            columns = [self.parse_output_column()]
+            while self.accept_punct(","):
+                columns.append(self.parse_output_column())
+        self.expect_keyword("FROM")
+        from_items = [self.parse_from_item()]
+        while self.accept_punct(","):
+            from_items.append(self.parse_from_item())
+        where = self.parse_expression() if self.accept_keyword("WHERE") else None
+        return SelectStatement(
+            from_items=from_items,
+            columns=columns,
+            where=where,
+            select_rowids=select_rowids,
+            distinct=distinct,
+        )
+
+    def parse_output_column(self) -> OutputColumn:
+        first = self.expect_ident()
+        qualifier: Optional[str] = None
+        column = first
+        if self.accept_punct("."):
+            qualifier = first
+            column = self.expect_ident()
+        label: Optional[str] = None
+        if self.accept_keyword("AS"):
+            label = self.expect_ident()
+        return OutputColumn(column=column, qualifier=qualifier, label=label)
+
+    def parse_from_item(self) -> FromItem:
+        relation = self.expect_ident()
+        alias: Optional[str] = None
+        if self.peek().kind is TokenKind.IDENT:
+            alias = self.expect_ident()
+        return FromItem(relation_name=relation, alias=alias)
+
+    def parse_insert(self) -> InsertStatement:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        relation = self.expect_ident()
+        columns: Optional[list[str]] = None
+        if self.accept_punct("("):
+            columns = [self.expect_ident()]
+            while self.accept_punct(","):
+                columns.append(self.expect_ident())
+            self.expect_punct(")")
+        self.expect_keyword("VALUES")
+        parenthesized = self.accept_punct("(")
+        values = [self.parse_literal_value()]
+        while self.accept_punct(","):
+            values.append(self.parse_literal_value())
+        if parenthesized:
+            self.expect_punct(")")
+        return InsertStatement(relation_name=relation, values=values, columns=columns)
+
+    def parse_delete(self) -> DeleteStatement:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        relation = self.expect_ident()
+        where = self.parse_expression() if self.accept_keyword("WHERE") else None
+        return DeleteStatement(relation_name=relation, where=where)
+
+    def parse_update(self) -> UpdateStatement:
+        self.expect_keyword("UPDATE")
+        relation = self.expect_ident()
+        self.expect_keyword("SET")
+        assignments: dict[str, Any] = {}
+        while True:
+            column = self.expect_ident()
+            token = self.peek()
+            if token.kind is not TokenKind.OPERATOR or token.value != "=":
+                raise self.error("expected = in SET clause")
+            self.advance()
+            assignments[column] = self.parse_literal_value()
+            if not self.accept_punct(","):
+                break
+        where = self.parse_expression() if self.accept_keyword("WHERE") else None
+        return UpdateStatement(
+            relation_name=relation, assignments=assignments, where=where
+        )
+
+    # -- CREATE TABLE ---------------------------------------------------------
+
+    def parse_create_table(self) -> CreateTableStatement:
+        self.expect_keyword("CREATE")
+        self.expect_keyword("TABLE")
+        relation = self.expect_ident()
+        self.expect_punct("(")
+        columns: list[ColumnDef] = []
+        constraints: list[TableConstraintDef] = []
+        while True:
+            if self._at_table_constraint():
+                constraints.append(self.parse_table_constraint())
+            else:
+                columns.append(self.parse_column_def())
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(")")
+        return CreateTableStatement(
+            relation_name=relation, columns=columns, constraints=constraints
+        )
+
+    def _at_table_constraint(self) -> bool:
+        token = self.peek()
+        if token.kind is TokenKind.KEYWORD and token.value in (
+            "CONSTRAINT", "CONSTRAINTS", "PRIMARY", "FOREIGN", "UNIQUE", "CHECK",
+        ):
+            return True
+        if token.kind is TokenKind.IDENT and token.value.upper() in (
+            "PRIMARYKEY", "FOREIGNKEY",
+        ):
+            return True
+        return False
+
+    def parse_table_constraint(self) -> TableConstraintDef:
+        name: Optional[str] = None
+        if self.accept_keyword("CONSTRAINT") or self.accept_keyword("CONSTRAINTS"):
+            name = self.expect_ident()
+        token = self.peek()
+        if token.is_keyword("PRIMARY") or (
+            token.kind is TokenKind.IDENT and token.value.upper() == "PRIMARYKEY"
+        ):
+            if token.is_keyword("PRIMARY"):
+                self.advance()
+                self.expect_keyword("KEY")
+            else:
+                self.advance()
+            columns = self.parse_column_name_list()
+            return TableConstraintDef(kind="primary key", columns=columns, name=name)
+        if token.is_keyword("FOREIGN") or (
+            token.kind is TokenKind.IDENT and token.value.upper() == "FOREIGNKEY"
+        ):
+            if token.is_keyword("FOREIGN"):
+                self.advance()
+                self.expect_keyword("KEY")
+            else:
+                self.advance()
+            columns = self.parse_column_name_list()
+            self.expect_keyword("REFERENCES")
+            ref_relation = self.expect_ident()
+            ref_columns = self.parse_column_name_list()
+            on_delete: Optional[str] = None
+            if self.accept_keyword("ON"):
+                self.expect_keyword("DELETE")
+                if self.accept_keyword("CASCADE"):
+                    on_delete = "cascade"
+                elif self.accept_keyword("SET"):
+                    self.expect_keyword("NULL")
+                    on_delete = "set null"
+                elif self.accept_keyword("RESTRICT"):
+                    on_delete = "restrict"
+                else:
+                    raise self.error("expected CASCADE, SET NULL or RESTRICT")
+            return TableConstraintDef(
+                kind="foreign key",
+                columns=columns,
+                ref_relation=ref_relation,
+                ref_columns=ref_columns,
+                on_delete=on_delete,
+                name=name,
+            )
+        if token.is_keyword("UNIQUE"):
+            self.advance()
+            columns = self.parse_column_name_list()
+            return TableConstraintDef(kind="unique", columns=columns, name=name)
+        if token.is_keyword("CHECK"):
+            self.advance()
+            self.expect_punct("(")
+            expression = self.parse_expression()
+            self.expect_punct(")")
+            return TableConstraintDef(kind="check", check=expression, name=name)
+        raise self.error("expected a table constraint")
+
+    def parse_column_name_list(self) -> tuple[str, ...]:
+        self.expect_punct("(")
+        columns = [self.expect_ident()]
+        while self.accept_punct(","):
+            columns.append(self.expect_ident())
+        self.expect_punct(")")
+        return tuple(columns)
+
+    def parse_column_def(self) -> ColumnDef:
+        name = self.expect_ident()
+        type_name = self.expect_ident()
+        if self.accept_punct("("):
+            size = self.peek()
+            if size.kind is not TokenKind.NUMBER:
+                raise self.error("expected a size")
+            self.advance()
+            self.expect_punct(")")
+            type_name = f"{type_name}({size.value})"
+        column = ColumnDef(name=name, type_name=type_name)
+        while True:
+            if self.accept_keyword("NOT"):
+                self.expect_keyword("NULL")
+                column.not_null = True
+            elif self.accept_keyword("UNIQUE"):
+                column.unique = True
+            elif self.accept_keyword("CHECK"):
+                self.expect_punct("(")
+                column.check = self.parse_expression()
+                self.expect_punct(")")
+            else:
+                break
+        return column
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expression(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.accept_keyword("OR"):
+            left = Or(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.accept_keyword("AND"):
+            left = And(left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.accept_keyword("NOT"):
+            return Not(self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> Expr:
+        if self.accept_punct("("):
+            inner = self.parse_expression()
+            self.expect_punct(")")
+            return inner
+        operand = self.parse_operand()
+        token = self.peek()
+        if token.kind is TokenKind.OPERATOR:
+            op = self.advance().value
+            right = self.parse_operand()
+            return Comparison(op, operand, right)
+        if token.is_keyword("IS"):
+            self.advance()
+            negate = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            return IsNull(operand, negate=negate)
+        if token.is_keyword("IN"):
+            self.advance()
+            had_paren = self.accept_punct("(")
+            subquery = self.parse_select()
+            if had_paren:
+                self.expect_punct(")")
+            return InSelect(operand, subquery)
+        raise self.error("expected a comparison, IS NULL or IN")
+
+    def parse_operand(self) -> Expr:
+        token = self.peek()
+        if token.kind is TokenKind.PUNCT and token.value in ("-", "+"):
+            sign = self.advance().value
+            number = self.peek()
+            if number.kind is not TokenKind.NUMBER:
+                raise self.error("expected a number after unary sign")
+            self.advance()
+            value = _number(number.value)
+            return Literal(-value if sign == "-" else value)
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            return Literal(_number(token.value))
+        if token.is_keyword("NULL"):
+            self.advance()
+            return Literal(None)
+        if token.kind is TokenKind.IDENT:
+            first = self.advance().value
+            if self.accept_punct("."):
+                column = self.expect_ident()
+                return ColumnRef(column, first)
+            return ColumnRef(first)
+        raise self.error("expected a value or column reference")
+
+    def parse_literal_value(self) -> Any:
+        token = self.peek()
+        if token.kind is TokenKind.PUNCT and token.value in ("-", "+"):
+            sign = self.advance().value
+            number = self.peek()
+            if number.kind is not TokenKind.NUMBER:
+                raise self.error("expected a number after unary sign")
+            self.advance()
+            value = _number(number.value)
+            return -value if sign == "-" else value
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return token.value
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            return _number(token.value)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return None
+        raise self.error("expected a literal value")
+
+
+def _number(text: str) -> Any:
+    if "." in text:
+        return float(text)
+    return int(text)
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse a single SQL statement (a trailing ``;`` is allowed)."""
+    parser = _Parser(tokenize(text))
+    statement = parser.parse_statement()
+    parser.accept_punct(";")
+    if parser.peek().kind is not TokenKind.EOF:
+        raise parser.error("trailing input after statement")
+    return statement
+
+
+def parse_script(text: str) -> list[Statement]:
+    """Parse ``;``-separated statements."""
+    parser = _Parser(tokenize(text))
+    statements = []
+    while parser.peek().kind is not TokenKind.EOF:
+        statements.append(parser.parse_statement())
+        while parser.accept_punct(";"):
+            pass
+    return statements
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a bare boolean expression (used for CHECK constraints)."""
+    parser = _Parser(tokenize(text))
+    expression = parser.parse_expression()
+    if parser.peek().kind is not TokenKind.EOF:
+        raise parser.error("trailing input after expression")
+    return expression

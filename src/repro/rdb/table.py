@@ -1,0 +1,101 @@
+"""Tuple storage with stable rowids.
+
+A :class:`Table` stores tuples of a single relation as dicts keyed by a
+monotonically increasing *rowid* — mirroring the ``ROWID`` pseudo-column
+the paper's probe query PQ4 selects.  Iteration preserves insertion
+order.  The table knows nothing about constraints; enforcement lives in
+:class:`repro.rdb.database.Database`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from ..errors import DatabaseError
+
+__all__ = ["Table"]
+
+Row = dict[str, Any]
+
+
+class Table:
+    """Physical storage for one relation."""
+
+    def __init__(self, relation_name: str, columns: tuple[str, ...]) -> None:
+        self.relation_name = relation_name
+        self.columns = columns
+        self._rows: dict[int, Row] = {}
+        self._next_rowid = 1
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert_row(self, values: Mapping[str, Any]) -> int:
+        """Store a fully-formed row; returns its rowid."""
+        row = {column: values.get(column) for column in self.columns}
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        self._rows[rowid] = row
+        return rowid
+
+    def restore_row(self, rowid: int, values: Mapping[str, Any]) -> None:
+        """Re-insert a previously deleted row under its old rowid (undo)."""
+        if rowid in self._rows:
+            raise DatabaseError(
+                f"rowid {rowid} already present in {self.relation_name}"
+            )
+        self._rows[rowid] = {column: values.get(column) for column in self.columns}
+        self._next_rowid = max(self._next_rowid, rowid + 1)
+
+    def delete_row(self, rowid: int) -> Row:
+        """Remove and return the row stored under *rowid*."""
+        try:
+            return self._rows.pop(rowid)
+        except KeyError:
+            raise DatabaseError(
+                f"no row {rowid} in {self.relation_name}"
+            ) from None
+
+    def update_row(self, rowid: int, changes: Mapping[str, Any]) -> Row:
+        """Apply *changes* in place; returns the previous image of the row."""
+        row = self.get(rowid)
+        old = dict(row)
+        for column, value in changes.items():
+            if column not in self.columns:
+                raise DatabaseError(
+                    f"{self.relation_name} has no column {column!r}"
+                )
+            row[column] = value
+        return old
+
+    # -- access --------------------------------------------------------------
+
+    def get(self, rowid: int) -> Row:
+        try:
+            return self._rows[rowid]
+        except KeyError:
+            raise DatabaseError(
+                f"no row {rowid} in {self.relation_name}"
+            ) from None
+
+    def __contains__(self, rowid: int) -> bool:
+        return rowid in self._rows
+
+    def scan(self) -> Iterator[tuple[int, Row]]:
+        """Yield ``(rowid, row)`` pairs in insertion order.
+
+        Materializes the id list first so callers may delete during the
+        scan (deleted rows simply stop appearing).
+        """
+        for rowid in list(self._rows):
+            row = self._rows.get(rowid)
+            if row is not None:
+                yield rowid, row
+
+    def rowids(self) -> list[int]:
+        return list(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.relation_name}, {len(self)} rows)"

@@ -1,0 +1,90 @@
+"""Undo-log transactions for the relational engine.
+
+The paper's Fig. 14 experiment hinges on rollback cost: without STAR
+checking, a blind translation executes, the side effect is discovered,
+and *"the transaction has to rollback to undo all the changes"*, which
+grows with the number of cascaded modifications.  This module provides
+exactly that mechanism: every DML statement appends compensating
+actions to the undo log; :meth:`TransactionManager.rollback` replays
+them in reverse.
+
+The log is also how the *hybrid* strategy of Step 3 recovers when the
+engine raises a constraint violation mid-sequence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import TransactionError
+
+__all__ = ["UndoAction", "UndoKind", "TransactionManager"]
+
+
+class UndoKind(enum.Enum):
+    """What the *forward* operation was (the undo inverts it)."""
+
+    INSERT = "insert"   # undo by deleting the inserted row
+    DELETE = "delete"   # undo by restoring the deleted row image
+    UPDATE = "update"   # undo by restoring the old column values
+
+
+@dataclass
+class UndoAction:
+    kind: UndoKind
+    relation_name: str
+    rowid: int
+    #: full old row image for DELETE, changed-columns old image for UPDATE
+    old_values: dict[str, Any] = field(default_factory=dict)
+
+
+class TransactionManager:
+    """Single-level transaction scope over a database.
+
+    The database calls :meth:`record` on every physical mutation; when
+    no transaction is active the record is discarded (auto-commit).
+    """
+
+    def __init__(self) -> None:
+        self._log: list[UndoAction] = []
+        self._active = False
+        #: statistics for benchmarks: undo records written / replayed
+        self.records_written = 0
+        self.records_replayed = 0
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    @property
+    def log_length(self) -> int:
+        return len(self._log)
+
+    def begin(self) -> None:
+        if self._active:
+            raise TransactionError("transaction already active")
+        self._active = True
+        self._log.clear()
+
+    def record(self, action: UndoAction) -> None:
+        if self._active:
+            self._log.append(action)
+            self.records_written += 1
+
+    def commit(self) -> None:
+        if not self._active:
+            raise TransactionError("no active transaction to commit")
+        self._active = False
+        self._log.clear()
+
+    def take_rollback_log(self) -> list[UndoAction]:
+        """Close the transaction and hand the undo log (newest first)."""
+        if not self._active:
+            raise TransactionError("no active transaction to roll back")
+        self._active = False
+        log = list(reversed(self._log))
+        self._log.clear()
+        self.records_replayed += len(log)
+        return log

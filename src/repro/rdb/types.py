@@ -1,0 +1,218 @@
+"""SQL value domains for the relational engine substrate.
+
+The running example of the paper (Fig. 1) declares attributes as
+``VARCHAR2(n)``, ``DOUBLE`` and ``DATE``; the TPC-H-like benchmark schema
+additionally needs ``INTEGER``.  A :class:`SQLType` checks membership of a
+Python value in its domain, coerces lexical (string) forms into canonical
+Python values, and renders values back into SQL literals.
+
+``NULL`` is represented by Python ``None`` and belongs to every domain;
+NOT NULL is a *constraint*, not a type property (see
+:mod:`repro.rdb.constraints`).
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from typing import Any
+
+from ..errors import TypeMismatchError
+
+__all__ = [
+    "SQLType",
+    "VarChar",
+    "Integer",
+    "Double",
+    "Date",
+    "type_from_name",
+    "sql_literal",
+]
+
+
+class SQLType:
+    """Abstract base for SQL domains."""
+
+    #: canonical SQL spelling, e.g. ``VARCHAR2(10)``
+    name: str = "ANY"
+
+    def contains(self, value: Any) -> bool:
+        """Return True iff *value* (NULL included) belongs to this domain."""
+        raise NotImplementedError
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce *value* into the canonical Python representation.
+
+        Raises :class:`TypeMismatchError` when the value cannot belong to
+        the domain.  ``None`` always passes through (nullability is a
+        constraint, not a domain matter).
+        """
+        raise NotImplementedError
+
+    # -- helpers -----------------------------------------------------------
+
+    def _reject(self, value: Any) -> TypeMismatchError:
+        return TypeMismatchError(f"value {value!r} is not a {self.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SQLType) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class VarChar(SQLType):
+    """``VARCHAR2(n)`` — strings up to *n* characters."""
+
+    def __init__(self, max_length: int = 255) -> None:
+        if max_length <= 0:
+            raise ValueError("VARCHAR length must be positive")
+        self.max_length = max_length
+        self.name = f"VARCHAR2({max_length})"
+
+    def contains(self, value: Any) -> bool:
+        if value is None:
+            return True
+        return isinstance(value, str) and len(value) <= self.max_length
+
+    def coerce(self, value: Any) -> Any:
+        if value is None:
+            return None
+        if isinstance(value, (int, float)):
+            value = str(value)
+        if not isinstance(value, str):
+            raise self._reject(value)
+        if len(value) > self.max_length:
+            raise TypeMismatchError(
+                f"string of length {len(value)} exceeds {self.name}"
+            )
+        return value
+
+
+class Integer(SQLType):
+    """``INTEGER`` — Python ints (bools rejected)."""
+
+    name = "INTEGER"
+
+    def contains(self, value: Any) -> bool:
+        if value is None:
+            return True
+        return isinstance(value, int) and not isinstance(value, bool)
+
+    def coerce(self, value: Any) -> Any:
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            raise self._reject(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value.strip())
+            except ValueError as exc:
+                raise self._reject(value) from exc
+        raise self._reject(value)
+
+
+class Double(SQLType):
+    """``DOUBLE`` — floating point; ints are accepted and widened."""
+
+    name = "DOUBLE"
+
+    def contains(self, value: Any) -> bool:
+        if value is None:
+            return True
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+    def coerce(self, value: Any) -> Any:
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            raise self._reject(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value.strip())
+            except ValueError as exc:
+                raise self._reject(value) from exc
+        raise self._reject(value)
+
+
+class Date(SQLType):
+    """``DATE`` — stored as :class:`datetime.date`.
+
+    For convenience (the paper's sample data uses bare years such as
+    ``1997``) an integer year coerces to January 1st of that year, and
+    ISO ``YYYY-MM-DD`` strings parse as usual.
+    """
+
+    name = "DATE"
+
+    _iso = re.compile(r"^(\d{4})-(\d{2})-(\d{2})$")
+
+    def contains(self, value: Any) -> bool:
+        if value is None:
+            return True
+        return isinstance(value, datetime.date)
+
+    def coerce(self, value: Any) -> Any:
+        if value is None:
+            return None
+        if isinstance(value, datetime.date):
+            return value
+        if isinstance(value, bool):
+            raise self._reject(value)
+        if isinstance(value, int):
+            return datetime.date(value, 1, 1)
+        if isinstance(value, str):
+            text = value.strip()
+            match = self._iso.match(text)
+            if match:
+                year, month, day = (int(g) for g in match.groups())
+                return datetime.date(year, month, day)
+            if text.isdigit() and len(text) == 4:
+                return datetime.date(int(text), 1, 1)
+            raise self._reject(value)
+        raise self._reject(value)
+
+
+_NAME_PATTERN = re.compile(
+    r"^\s*(VARCHAR2?|INTEGER|INT|DOUBLE|FLOAT|DATE)\s*(?:\(\s*(\d+)\s*\))?\s*$",
+    re.IGNORECASE,
+)
+
+
+def type_from_name(name: str) -> SQLType:
+    """Parse a SQL type spelling (``VARCHAR2(10)``, ``DOUBLE``, ...)."""
+    match = _NAME_PATTERN.match(name)
+    if not match:
+        raise TypeMismatchError(f"unknown SQL type: {name!r}")
+    base = match.group(1).upper()
+    arg = match.group(2)
+    if base.startswith("VARCHAR"):
+        return VarChar(int(arg) if arg else 255)
+    if base in ("INTEGER", "INT"):
+        return Integer()
+    if base in ("DOUBLE", "FLOAT"):
+        return Double()
+    return Date()
+
+
+def sql_literal(value: Any) -> str:
+    """Render a Python value as a SQL literal (for display / probe queries)."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, datetime.date):
+        return f"DATE '{value.isoformat()}'"
+    text = str(value).replace("'", "''")
+    return f"'{text}'"

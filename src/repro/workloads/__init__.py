@@ -1,0 +1,14 @@
+"""Paper workloads: the books running example, TPC-H-like benchmark
+schema, the W3C use-case suite (Fig. 12) and the PSD bio scenario."""
+
+from . import books
+
+__all__ = ["books"]
+
+
+def __getattr__(name):
+    if name in ("tpch", "w3c_usecases", "psd"):
+        import importlib
+
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module 'repro.workloads' has no attribute {name!r}")

@@ -1,0 +1,260 @@
+"""The paper's running example: the book database and BookView.
+
+Reproduces Fig. 1 (relational schema + sample data), Fig. 3a (the
+BookView view query) and the updates u1–u4 of Fig. 4 and u5–u13 of
+Fig. 10.  The paper's listings contain small typos (an unclosed
+``<bookid>`` tag in u1/u4, curly quotes); the texts below are the
+obviously-intended well-formed versions.
+"""
+
+from __future__ import annotations
+
+from ..rdb import Database, Schema, SQLEngine, parse_script
+from ..xquery import ViewQuery, ViewUpdate, parse_view_query, parse_view_update
+
+__all__ = [
+    "BOOK_DDL",
+    "BOOK_ROWS",
+    "BOOK_VIEW_QUERY",
+    "UPDATE_TEXTS",
+    "build_book_schema",
+    "build_book_database",
+    "book_view_query",
+    "book_updates",
+    "update",
+]
+
+#: Fig. 1 — CREATE TABLE statements (price > 0.00 CHECK included)
+BOOK_DDL = """
+CREATE TABLE publisher(
+    pubid VARCHAR2(10),
+    pubname VARCHAR2(100) UNIQUE NOT NULL,
+    CONSTRAINTS PubPK PRIMARYKEY (pubid));
+
+CREATE TABLE book(
+    bookid VARCHAR2(20),
+    title VARCHAR2(100) NOT NULL,
+    pubid VARCHAR2(10),
+    price DOUBLE CHECK (price > 0.00),
+    year DATE,
+    CONSTRAINTS BookPK PRIMARYKEY (bookid),
+    FOREIGNKEY (pubid) REFERENCES publisher (pubid));
+
+CREATE TABLE review(
+    bookid VARCHAR2(20),
+    reviewid VARCHAR2(3),
+    comment VARCHAR2(100),
+    reviewer VARCHAR2(10),
+    CONSTRAINTS ReviewPK PRIMARYKEY (bookid, reviewid),
+    FOREIGNKEY (bookid) REFERENCES book (bookid));
+"""
+
+#: Fig. 1 — sample tuples (t1..t3 per relation)
+BOOK_ROWS = {
+    "publisher": [
+        {"pubid": "A01", "pubname": "McGraw-Hill Inc."},
+        {"pubid": "B01", "pubname": "Prentice-Hall Inc."},
+        {"pubid": "A02", "pubname": "Simon & Schuster Inc."},
+    ],
+    "book": [
+        {"bookid": "98001", "title": "TCP/IP Illustrated", "pubid": "A01",
+         "price": 37.00, "year": 1997},
+        {"bookid": "98002", "title": "Programming in Unix", "pubid": "A02",
+         "price": 45.00, "year": 1985},
+        {"bookid": "98003", "title": "Data on the Web", "pubid": "A01",
+         "price": 48.00, "year": 2004},
+    ],
+    "review": [
+        {"bookid": "98001", "reviewid": "001",
+         "comment": "A good book on network.", "reviewer": "William"},
+        {"bookid": "98001", "reviewid": "002",
+         "comment": "Useful for advanced user.", "reviewer": "John"},
+    ],
+}
+
+#: Fig. 3a — the BookView view query
+BOOK_VIEW_QUERY = """
+<BookView>
+FOR $book IN document("default.xml")/book/row,
+    $publisher IN document("default.xml")/publisher/row
+WHERE ($book/pubid = $publisher/pubid)
+    AND ($book/price < 50.00) AND ($book/year > 1990)
+RETURN {
+    <book>
+        $book/bookid, $book/title, $book/price,
+        <publisher>
+            $publisher/pubid, $publisher/pubname
+        </publisher>,
+        FOR $review IN document("default.xml")/review/row
+        WHERE ($book/bookid = $review/bookid)
+        RETURN {
+            <review>
+                $review/reviewid, $review/comment
+            </review>}
+    </book>},
+FOR $publisher IN document("default.xml")/publisher/row
+RETURN {
+    <publisher>
+        $publisher/pubid, $publisher/pubname
+    </publisher>}
+</BookView>
+"""
+
+#: Fig. 4 (u1–u4) and Fig. 10 (u5–u13)
+UPDATE_TEXTS: dict[str, str] = {
+    # u1: invalid — empty title (NOT NULL) and price 0.00 (CHECK)
+    "u1": """
+        FOR $root IN document("BookView.xml")
+        UPDATE $root {
+        INSERT
+            <book>
+                <bookid>"98004"</bookid>
+                <title> </title>
+                <price> 0.00 </price>
+                <publisher>
+                    <pubid>A01</pubid>
+                    <pubname>McGraw-Hill Inc.</pubname>
+                </publisher>
+            </book> }
+    """,
+    # u2: valid but untranslatable — deleting a book's publisher
+    "u2": """
+        FOR $root IN document("BookView.xml"),
+            $book IN $root/book
+        WHERE $book/bookid/text() = "98001"
+        UPDATE $root {
+            DELETE $book/publisher }
+    """,
+    # u3: insert a review into a book that is not in the view
+    "u3": """
+        FOR $book IN document("BookView.xml")/book
+        WHERE $book/title/text() = "DB2 Universal Database"
+        UPDATE $book {
+        INSERT
+            <review>
+                <reviewid>001</reviewid>
+                <comment> Easy read and useful. </comment>
+            </review>}
+    """,
+    # u4: insert a book whose key conflicts with book.t1
+    "u4": """
+        FOR $root IN document("BookView.xml")
+        UPDATE $root {
+        INSERT
+            <book>
+                <bookid>"98001"</bookid>
+                <title>"Operating Systems"</title>
+                <price> 20.00 </price>
+                <publisher>
+                    <pubid>A01</pubid>
+                    <pubname> McGraw-Hill Inc. </pubname>
+                </publisher>
+            </book> }
+    """,
+    # u5: invalid — predicate price > 50 contradicts the view's price < 50
+    "u5": """
+        FOR $book IN document("BookView.xml")/book
+        WHERE $book/price/text() > 50.00
+        UPDATE $book {
+            DELETE $book/review }
+    """,
+    # u6: invalid — bookid text is NOT NULL (cardinality-1 leaf)
+    "u6": """
+        FOR $book IN document("BookView.xml")/book
+        UPDATE $book {
+            DELETE $book/bookid/text() }
+    """,
+    # u7: invalid — a book must have exactly one publisher (edge type 1)
+    "u7": """
+        FOR $root IN document("BookView.xml")
+        UPDATE $root {
+        INSERT
+            <book>
+                <bookid>"98004"</bookid>
+                <title>"Operating Systems"</title>
+                <price> 20.00 </price>
+            </book> }
+    """,
+    # u8: unconditionally translatable delete of reviews
+    "u8": """
+        FOR $book IN document("BookView.xml")/book
+        WHERE $book/price < 40.00
+        UPDATE $book {
+            DELETE $book/review }
+    """,
+    # u9: conditionally translatable — requires translation minimization
+    "u9": """
+        FOR $root IN document("BookView.xml"),
+            $book = $root/book
+        WHERE $book/price > 40.00
+        UPDATE $root {
+            DELETE $book }
+    """,
+    # u10: untranslatable — deleting the publisher kills the book too
+    "u10": """
+        FOR $book IN document("BookView.xml")/book
+        WHERE $book/price > 40.00
+        UPDATE $book {
+            DELETE $book/publisher }
+    """,
+    # u11: book not in the view (year 1985 fails the view predicate)
+    "u11": """
+        FOR $book IN document("BookView.xml")/book
+        WHERE $book/title/text() = "Programming in Unix"
+        UPDATE $book {
+            DELETE $book/review}
+    """,
+    # u12: book in the view but it has no reviews (zero tuples deleted)
+    "u12": """
+        FOR $book IN document("BookView.xml")/book
+        WHERE $book/title/text() = "Data on the Web"
+        UPDATE $book {
+            DELETE $book/review}
+    """,
+    # u13: translatable insert; probe result feeds the translation (U1)
+    "u13": """
+        FOR $book IN document("BookView.xml")/book
+        WHERE $book/title/text() = "Data on the Web"
+        UPDATE $book {
+        INSERT
+            <review>
+                <reviewid>001</reviewid>
+                <comment>Easy read and useful.</comment>
+            </review>}
+    """,
+}
+
+
+def build_book_schema() -> Schema:
+    """Schema of Fig. 1 (no data)."""
+    db = Database(Schema())
+    engine = SQLEngine(db)
+    for statement in parse_script(BOOK_DDL):
+        engine.execute(statement)
+    return db.schema
+
+
+def build_book_database() -> Database:
+    """Fig. 1's database with its sample tuples loaded."""
+    db = Database(Schema())
+    engine = SQLEngine(db)
+    for statement in parse_script(BOOK_DDL):
+        engine.execute(statement)
+    for relation_name in ("publisher", "book", "review"):
+        db.load(relation_name, BOOK_ROWS[relation_name])
+    return db
+
+
+def book_view_query() -> ViewQuery:
+    """The parsed BookView definition (Fig. 3a)."""
+    return parse_view_query(BOOK_VIEW_QUERY)
+
+
+def update(name: str) -> ViewUpdate:
+    """One named update (u1..u13) parsed."""
+    return parse_view_update(UPDATE_TEXTS[name], name=name)
+
+
+def book_updates() -> dict[str, ViewUpdate]:
+    """All of u1..u13 parsed, keyed by name."""
+    return {name: update(name) for name in UPDATE_TEXTS}

@@ -1,0 +1,20 @@
+"""XML substrate: node model, parser, serializer, XPath-lite."""
+
+from .nodes import XMLElement, XMLNode, XMLText, element, text
+from .parser import parse_xml
+from .serializer import serialize
+from .xpath import ParsedPath, PathStep, evaluate_path, parse_path
+
+__all__ = [
+    "XMLElement",
+    "XMLNode",
+    "XMLText",
+    "element",
+    "text",
+    "parse_xml",
+    "serialize",
+    "ParsedPath",
+    "PathStep",
+    "evaluate_path",
+    "parse_path",
+]

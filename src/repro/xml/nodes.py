@@ -1,0 +1,245 @@
+"""XML tree model.
+
+A deliberately small document model: elements with ordered children and
+text nodes.  Attributes are supported for completeness but the paper's
+views publish element-only XML (the default view of Fig. 2 and the
+wrapper views of Fig. 3 use no attributes).
+
+Equality is structural (:meth:`XMLElement.equals`), which is what the
+rectangle-rule verifier compares: ``u(DEF_V(D)) == DEF_V(U(D))``.
+By default comparison is order-sensitive; the verifier can opt into
+order-insensitive comparison because relational evaluation makes no
+ordering promises across tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional, Union
+
+from ..errors import XMLError
+
+__all__ = ["XMLNode", "XMLText", "XMLElement", "element", "text"]
+
+
+class XMLNode:
+    """Common base of text and element nodes."""
+
+    parent: Optional["XMLElement"] = None
+
+    def clone(self) -> "XMLNode":
+        raise NotImplementedError
+
+    def equals(self, other: "XMLNode", ordered: bool = True) -> bool:
+        raise NotImplementedError
+
+
+class XMLText(XMLNode):
+    """A text node."""
+
+    def __init__(self, value: str) -> None:
+        self.value = value
+
+    def clone(self) -> "XMLText":
+        return XMLText(self.value)
+
+    def equals(self, other: XMLNode, ordered: bool = True) -> bool:
+        return isinstance(other, XMLText) and self.value == other.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"XMLText({self.value!r})"
+
+
+class XMLElement(XMLNode):
+    """An element with ordered children and (rarely used) attributes."""
+
+    def __init__(
+        self,
+        tag: str,
+        children: Optional[list[XMLNode]] = None,
+        attributes: Optional[dict[str, str]] = None,
+    ) -> None:
+        if not tag:
+            raise XMLError("element tag may not be empty")
+        self.tag = tag
+        self.children: list[XMLNode] = []
+        self.attributes: dict[str, str] = dict(attributes or {})
+        for child in children or []:
+            self.append(child)
+
+    # -- construction --------------------------------------------------------
+
+    def append(self, child: Union[XMLNode, str]) -> XMLNode:
+        if isinstance(child, str):
+            child = XMLText(child)
+        if not isinstance(child, XMLNode):
+            raise XMLError(f"cannot append {type(child).__name__} to an element")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def insert(self, index: int, child: Union[XMLNode, str]) -> XMLNode:
+        if isinstance(child, str):
+            child = XMLText(child)
+        child.parent = self
+        self.children.insert(index, child)
+        return child
+
+    def remove(self, child: XMLNode) -> None:
+        try:
+            self.children.remove(child)
+        except ValueError:
+            raise XMLError("node is not a child of this element") from None
+        child.parent = None
+
+    def replace(self, old: XMLNode, new: XMLNode) -> None:
+        try:
+            index = self.children.index(old)
+        except ValueError:
+            raise XMLError("node is not a child of this element") from None
+        old.parent = None
+        new.parent = self
+        self.children[index] = new
+
+    def detach(self) -> "XMLElement":
+        """Remove this element from its parent (no-op at the root)."""
+        if self.parent is not None:
+            self.parent.remove(self)
+        return self
+
+    # -- navigation -----------------------------------------------------------
+
+    def child_elements(self, tag: Optional[str] = None) -> list["XMLElement"]:
+        return [
+            child
+            for child in self.children
+            if isinstance(child, XMLElement) and (tag is None or child.tag == tag)
+        ]
+
+    def first_child(self, tag: str) -> Optional["XMLElement"]:
+        for child in self.child_elements(tag):
+            return child
+        return None
+
+    def iter(self) -> Iterator["XMLElement"]:
+        """Depth-first traversal over element descendants, self included."""
+        yield self
+        for child in self.children:
+            if isinstance(child, XMLElement):
+                yield from child.iter()
+
+    def text_content(self) -> str:
+        """Concatenated text of all descendant text nodes."""
+        pieces: list[str] = []
+
+        def walk(node: XMLNode) -> None:
+            if isinstance(node, XMLText):
+                pieces.append(node.value)
+            elif isinstance(node, XMLElement):
+                for child in node.children:
+                    walk(child)
+
+        walk(self)
+        return "".join(pieces)
+
+    def value_of(self, tag: str) -> Optional[str]:
+        """Text content of the first *tag* child, or None."""
+        child = self.first_child(tag)
+        return None if child is None else child.text_content()
+
+    def find_all(
+        self, predicate: Callable[["XMLElement"], bool]
+    ) -> list["XMLElement"]:
+        return [node for node in self.iter() if predicate(node)]
+
+    def depth(self) -> int:
+        node: Optional[XMLElement] = self
+        count = 0
+        while node is not None and node.parent is not None:
+            count += 1
+            node = node.parent
+        return count
+
+    def path(self) -> str:
+        """Root-to-node tag path, e.g. ``/BookView/book/publisher``."""
+        parts: list[str] = []
+        node: Optional[XMLElement] = self
+        while node is not None:
+            parts.append(node.tag)
+            node = node.parent
+        return "/" + "/".join(reversed(parts))
+
+    # -- structure ------------------------------------------------------------
+
+    def clone(self) -> "XMLElement":
+        copy = XMLElement(self.tag, attributes=dict(self.attributes))
+        for child in self.children:
+            copy.append(child.clone())
+        return copy
+
+    def equals(self, other: XMLNode, ordered: bool = True) -> bool:
+        if not isinstance(other, XMLElement):
+            return False
+        if self.tag != other.tag or self.attributes != other.attributes:
+            return False
+        mine = _significant_children(self)
+        theirs = _significant_children(other)
+        if len(mine) != len(theirs):
+            return False
+        if ordered:
+            return all(a.equals(b, ordered=True) for a, b in zip(mine, theirs))
+        return _multiset_equal(mine, theirs)
+
+    def canonical_key(self) -> tuple:
+        """A hashable, order-insensitive structural fingerprint."""
+        children = tuple(
+            sorted(
+                (
+                    child.canonical_key()
+                    if isinstance(child, XMLElement)
+                    else ("#text", child.value)
+                )
+                for child in _significant_children(self)
+            )
+        )
+        attributes = tuple(sorted(self.attributes.items()))
+        return (self.tag, attributes, children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<XMLElement {self.tag} ({len(self.children)} children)>"
+
+
+def _significant_children(node: XMLElement) -> list[XMLNode]:
+    """Children with whitespace-only text dropped (pretty-print noise)."""
+    out: list[XMLNode] = []
+    for child in node.children:
+        if isinstance(child, XMLText) and not child.value.strip():
+            continue
+        if isinstance(child, XMLText):
+            out.append(XMLText(child.value.strip()))
+        else:
+            out.append(child)
+    return out
+
+
+def _multiset_equal(left: list[XMLNode], right: list[XMLNode]) -> bool:
+    remaining = list(right)
+    for item in left:
+        for index, candidate in enumerate(remaining):
+            if item.equals(candidate, ordered=False):
+                del remaining[index]
+                break
+        else:
+            return False
+    return not remaining
+
+
+def element(tag: str, *children: Union[XMLNode, str], **attributes: str) -> XMLElement:
+    """Concise element constructor: ``element("book", element("bookid", "98001"))``."""
+    node = XMLElement(tag, attributes={k: str(v) for k, v in attributes.items()})
+    for child in children:
+        node.append(child)
+    return node
+
+
+def text(value: Any) -> XMLText:
+    return XMLText(str(value))

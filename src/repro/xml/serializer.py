@@ -1,0 +1,64 @@
+"""XML serialization (compact and pretty-printed)."""
+
+from __future__ import annotations
+
+from .nodes import XMLElement, XMLNode, XMLText
+
+__all__ = ["serialize", "escape_text"]
+
+_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {**_ESCAPES, '"': "&quot;"}
+
+
+def escape_text(value: str) -> str:
+    for raw, escaped in _ESCAPES.items():
+        value = value.replace(raw, escaped)
+    return value
+
+
+def _escape_attribute(value: str) -> str:
+    for raw, escaped in _ATTR_ESCAPES.items():
+        value = value.replace(raw, escaped)
+    return value
+
+
+def serialize(node: XMLNode, indent: int = 2) -> str:
+    """Serialize a tree.  ``indent=0`` produces compact output."""
+    pieces: list[str] = []
+    _write(node, pieces, indent, 0)
+    return "".join(pieces)
+
+
+def _open_tag(node: XMLElement) -> str:
+    attributes = "".join(
+        f' {name}="{_escape_attribute(value)}"'
+        for name, value in node.attributes.items()
+    )
+    return f"<{node.tag}{attributes}>"
+
+
+def _write(node: XMLNode, pieces: list[str], indent: int, level: int) -> None:
+    pad = " " * (indent * level) if indent else ""
+    newline = "\n" if indent else ""
+    if isinstance(node, XMLText):
+        pieces.append(f"{pad}{escape_text(node.value)}{newline}")
+        return
+    assert isinstance(node, XMLElement)
+    if not node.children:
+        attributes = "".join(
+            f' {name}="{_escape_attribute(value)}"'
+            for name, value in node.attributes.items()
+        )
+        pieces.append(f"{pad}<{node.tag}{attributes}/>{newline}")
+        return
+    only_text = all(isinstance(child, XMLText) for child in node.children)
+    if only_text:
+        content = escape_text("".join(c.value for c in node.children))  # type: ignore[union-attr]
+        pieces.append(f"{pad}{_open_tag(node)}{content}</{node.tag}>{newline}")
+        return
+    pieces.append(f"{pad}{_open_tag(node)}{newline}")
+    for child in node.children:
+        if isinstance(child, XMLText) and not child.value.strip():
+            continue
+        _write(child, pieces, indent, level + 1)
+    pieces.append(f"{pad}</{node.tag}>{newline}")

@@ -1,0 +1,54 @@
+"""View-query and update language substrate.
+
+* :func:`parse_view_query` — FLWR view definitions (Fig. 3a)
+* :func:`evaluate_view` — materialize a view over a Database
+* :func:`parse_view_update` — update statements (Fig. 4 / Fig. 10)
+* :func:`apply_view_update` — apply an update to a materialized view
+"""
+
+from .ast import (
+    Binding,
+    Content,
+    DocSource,
+    ElementCtor,
+    FLWR,
+    FunctionCall,
+    IfThenElse,
+    Predicate,
+    VarPath,
+    VarProjection,
+    ViewQuery,
+)
+from .evaluator import evaluate_view
+from .parser import parse_view_query
+from .update_apply import UpdateApplication, apply_view_update, resolve_bindings
+from .update_ast import DeleteOp, InsertOp, ReplaceOp, UpdateOp, ViewUpdate
+from .update_parser import parse_view_update
+from .values import compare_values, render_value
+
+__all__ = [
+    "apply_view_update",
+    "Binding",
+    "compare_values",
+    "Content",
+    "DeleteOp",
+    "DocSource",
+    "ElementCtor",
+    "evaluate_view",
+    "FLWR",
+    "FunctionCall",
+    "IfThenElse",
+    "InsertOp",
+    "parse_view_query",
+    "parse_view_update",
+    "Predicate",
+    "render_value",
+    "ReplaceOp",
+    "resolve_bindings",
+    "UpdateApplication",
+    "UpdateOp",
+    "VarPath",
+    "VarProjection",
+    "ViewQuery",
+    "ViewUpdate",
+]

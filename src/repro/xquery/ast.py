@@ -1,0 +1,206 @@
+"""AST for the view-query language (the FLWR subset of Fig. 3a).
+
+The grammar mirrors what the view ASG of the paper can model — with the
+twist that *unsupported* constructs (``count()``, ``distinct()``,
+``if/then/else``, ``order by`` ...) still parse into explicit AST nodes.
+The ASG generator rejects them with
+:class:`repro.errors.UnsupportedFeatureError`, which is exactly how the
+Fig. 12 expressiveness audit is produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+__all__ = [
+    "DocSource",
+    "VarPath",
+    "Binding",
+    "Predicate",
+    "FunctionCall",
+    "VarProjection",
+    "ElementCtor",
+    "FLWR",
+    "IfThenElse",
+    "ViewQuery",
+    "Content",
+    "Operand",
+]
+
+
+@dataclass(frozen=True)
+class DocSource:
+    """``document("default.xml")/book/row`` — a relation-backed source.
+
+    For sources over the default XML view, ``path`` is
+    ``(relation, "row")``; the update language also binds
+    ``document("BookView.xml")`` (possibly with a path into the view).
+    """
+
+    document: str
+    path: tuple[str, ...] = ()
+
+    @property
+    def relation(self) -> Optional[str]:
+        """The base relation named by a default-view source."""
+        if len(self.path) >= 1:
+            return self.path[0]
+        return None
+
+    def __str__(self) -> str:
+        suffix = "".join(f"/{segment}" for segment in self.path)
+        return f'document("{self.document}"){suffix}'
+
+
+@dataclass(frozen=True)
+class VarPath:
+    """``$book/bookid`` or ``$book/bookid/text()``."""
+
+    var: str
+    segments: tuple[str, ...] = ()
+    text_fn: bool = False
+
+    @property
+    def attribute(self) -> Optional[str]:
+        """The relational attribute a one-step path projects."""
+        if len(self.segments) == 1:
+            return self.segments[0]
+        return None
+
+    def __str__(self) -> str:
+        path = f"${self.var}" + "".join(f"/{segment}" for segment in self.segments)
+        if self.text_fn:
+            path += "/text()"
+        return path
+
+
+Operand = Union[VarPath, "FunctionCall", Any]  # Any = python literal
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One FOR/LET binding: ``$var IN source``."""
+
+    var: str
+    source: Union[DocSource, VarPath]
+    is_let: bool = False
+
+    def __str__(self) -> str:
+        return f"${self.var} IN {self.source}"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A comparison ``left op right`` from a WHERE clause."""
+
+    op: str
+    left: Operand
+    right: Operand
+
+    def is_correlation(self) -> bool:
+        """True for var-to-var predicates (the paper's correlation kind)."""
+        return isinstance(self.left, VarPath) and isinstance(self.right, VarPath)
+
+    def __str__(self) -> str:
+        return f"{_operand_str(self.left)} {self.op} {_operand_str(self.right)}"
+
+
+def _operand_str(operand: Operand) -> str:
+    if isinstance(operand, (VarPath, FunctionCall)):
+        return str(operand)
+    if isinstance(operand, str):
+        return f'"{operand}"'
+    return repr(operand)
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A built-in function application — count(), max(), distinct(), ...
+
+    These parse but are *not expressible* in a view ASG; the generator
+    raises UnsupportedFeatureError naming :attr:`name`.
+    """
+
+    name: str
+    args: tuple[Any, ...] = ()
+
+    def __str__(self) -> str:
+        rendered = ", ".join(_operand_str(a) for a in self.args)
+        return f"{self.name}({rendered})"
+
+
+@dataclass(frozen=True)
+class VarProjection:
+    """A path appearing as content: publishes ``<attr>value</attr>``."""
+
+    path: VarPath
+
+    def __str__(self) -> str:
+        return str(self.path)
+
+
+@dataclass
+class ElementCtor:
+    """``<tag> content, ... </tag>``."""
+
+    tag: str
+    items: list["Content"] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(item) for item in self.items)
+        return f"<{self.tag}>{inner}</{self.tag}>"
+
+
+@dataclass
+class FLWR:
+    """A FOR ... WHERE ... RETURN {...} block."""
+
+    bindings: list[Binding]
+    where: list[Predicate]
+    ret: "Content"
+    #: set when the query carries ORDER BY / SORTBY (unsupported by ASG)
+    order_by: Optional[VarPath] = None
+
+    def __str__(self) -> str:
+        fors = ", ".join(str(binding) for binding in self.bindings)
+        where = (
+            " WHERE " + " AND ".join(str(p) for p in self.where)
+            if self.where
+            else ""
+        )
+        return f"FOR {fors}{where} RETURN {{{self.ret}}}"
+
+
+@dataclass
+class IfThenElse:
+    """``if (cond) then content else content`` — unsupported by the ASG."""
+
+    condition: Predicate
+    then_item: "Content"
+    else_item: Optional["Content"] = None
+
+    def __str__(self) -> str:
+        tail = f" else {self.else_item}" if self.else_item is not None else ""
+        return f"if ({self.condition}) then {self.then_item}{tail}"
+
+
+Content = Union[FLWR, ElementCtor, VarProjection, FunctionCall, IfThenElse]
+
+
+@dataclass
+class ViewQuery:
+    """A full view definition: a root tag wrapping top-level content."""
+
+    root_tag: str
+    items: list[Content] = field(default_factory=list)
+    #: original query text, kept for reports
+    source_text: str = ""
+
+    def flwrs(self) -> list[FLWR]:
+        """The top-level FLWR blocks of the view."""
+        return [item for item in self.items if isinstance(item, FLWR)]
+
+    def __str__(self) -> str:
+        inner = ",\n".join(str(item) for item in self.items)
+        return f"<{self.root_tag}>\n{inner}\n</{self.root_tag}>"

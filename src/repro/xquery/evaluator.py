@@ -1,0 +1,166 @@
+"""View materialization: evaluate a :class:`ViewQuery` over a database.
+
+This gives the reproduction its ground truth: the rectangle-rule
+verifier compares ``u(DEF_V(D))`` (update applied to the materialized
+view) against ``DEF_V(U(D))`` (view recomputed over the updated
+database), both produced by this evaluator.
+
+Semantics follow the paper's reading of the FLWR subset:
+
+* ``FOR $v IN document("default.xml")/rel/row`` iterates the tuples of
+  relation ``rel`` in insertion order;
+* multiple bindings iterate their cross product, filtered by the WHERE
+  conjunction;
+* the RETURN element constructor is emitted once per surviving binding;
+* ``$var/attr`` content publishes ``<attr>value</attr>``;
+* nested FLWRs see outer bindings (correlated subqueries).
+
+Aggregates / distinct / if-then-else raise UnsupportedFeatureError —
+callers use the parsed AST only after ASG generation has accepted it,
+but the evaluator guards anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Union
+
+from ..errors import UnsupportedFeatureError, XQueryError
+from ..rdb.database import Database
+from ..xml.nodes import XMLElement, XMLText
+from .ast import (
+    Binding,
+    Content,
+    DocSource,
+    ElementCtor,
+    FLWR,
+    FunctionCall,
+    IfThenElse,
+    Predicate,
+    VarPath,
+    VarProjection,
+    ViewQuery,
+)
+from .values import compare_values, render_value
+
+__all__ = ["evaluate_view", "evaluate_predicates"]
+
+Row = Mapping[str, Any]
+Env = dict[str, tuple[str, Row]]  # var -> (relation name, row)
+
+
+def evaluate_view(db: Database, view: ViewQuery) -> XMLElement:
+    """Materialize the XML view over *db*."""
+    root = XMLElement(view.root_tag)
+    for item in view.items:
+        _emit(db, item, {}, root)
+    return root
+
+
+def _emit(db: Database, item: Content, env: Env, parent: XMLElement) -> None:
+    if isinstance(item, FLWR):
+        _emit_flwr(db, item, env, parent)
+    elif isinstance(item, ElementCtor):
+        node = XMLElement(item.tag)
+        parent.append(node)
+        for child in item.items:
+            _emit(db, child, env, node)
+    elif isinstance(item, VarProjection):
+        _emit_projection(item, env, parent)
+    elif isinstance(item, FunctionCall):
+        raise UnsupportedFeatureError(f"{item.name}()")
+    elif isinstance(item, IfThenElse):
+        raise UnsupportedFeatureError("if/then/else")
+    else:  # pragma: no cover - exhaustive over Content
+        raise XQueryError(f"cannot evaluate {type(item).__name__}")
+
+
+def _emit_flwr(db: Database, flwr: FLWR, env: Env, parent: XMLElement) -> None:
+    if flwr.order_by is not None:
+        raise UnsupportedFeatureError("order by")
+    for bound_env in _bind(db, flwr.bindings, 0, dict(env)):
+        if evaluate_predicates(flwr.where, bound_env):
+            _emit(db, flwr.ret, bound_env, parent)
+
+
+def _bind(
+    db: Database, bindings: list[Binding], index: int, env: Env
+) -> Iterator[Env]:
+    if index == len(bindings):
+        yield env
+        return
+    binding = bindings[index]
+    source = binding.source
+    if isinstance(source, DocSource):
+        relation = _relation_of(source)
+        table = db.table(relation)
+        for _, row in table.scan():
+            env[binding.var] = (relation, row)
+            yield from _bind(db, bindings, index + 1, env)
+        env.pop(binding.var, None)
+        return
+    if isinstance(source, VarPath):
+        # alias binding: $b = $a (no navigation into relational rows)
+        if source.segments or source.text_fn:
+            raise UnsupportedFeatureError("navigation into a bound variable")
+        if source.var not in env:
+            raise XQueryError(f"unbound variable ${source.var}")
+        env[binding.var] = env[source.var]
+        yield from _bind(db, bindings, index + 1, env)
+        env.pop(binding.var, None)
+        return
+    raise XQueryError(f"unsupported binding source {source!r}")
+
+
+def _relation_of(source: DocSource) -> str:
+    if len(source.path) != 2 or source.path[1] != "row":
+        raise XQueryError(
+            f"view sources must navigate the default view as "
+            f"document(...)/relation/row, got {source}"
+        )
+    return source.path[0]
+
+
+def _lookup(path: VarPath, env: Env) -> Any:
+    if path.var not in env:
+        raise XQueryError(f"unbound variable ${path.var}")
+    relation, row = env[path.var]
+    attribute = path.attribute
+    if attribute is None:
+        raise XQueryError(
+            f"path {path} must project exactly one relational attribute"
+        )
+    if attribute not in row:
+        raise XQueryError(f"relation {relation!r} has no attribute {attribute!r}")
+    return row[attribute]
+
+
+def _operand_value(operand, env: Env) -> Any:
+    if isinstance(operand, VarPath):
+        return _lookup(operand, env)
+    if isinstance(operand, FunctionCall):
+        raise UnsupportedFeatureError(f"{operand.name}()")
+    return operand
+
+
+def evaluate_predicates(predicates: list[Predicate], env: Env) -> bool:
+    """True iff every predicate evaluates to true under *env*."""
+    for predicate in predicates:
+        left = _operand_value(predicate.left, env)
+        right = _operand_value(predicate.right, env)
+        if compare_values(predicate.op, left, right) is not True:
+            return False
+    return True
+
+
+def _emit_projection(item: VarProjection, env: Env, parent: XMLElement) -> None:
+    path = item.path
+    value = _lookup(path, env)
+    assert path.attribute is not None
+    if path.text_fn:
+        parent.append(XMLText(render_value(value)))
+        return
+    node = XMLElement(path.attribute)
+    text = render_value(value)
+    if text:
+        node.append(XMLText(text))
+    parent.append(node)

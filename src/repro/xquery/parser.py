@@ -1,0 +1,327 @@
+"""Parser for view-definition queries (Fig. 3a style).
+
+The parser is deliberately *more* permissive than the view ASG: it
+accepts aggregate/function calls, ``if/then/else`` and ``order by`` so
+the W3C use-case queries of the Fig. 12 audit parse cleanly; the ASG
+generator is the component that rejects them with a reason.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..errors import XQueryError
+from .ast import (
+    Binding,
+    Content,
+    DocSource,
+    ElementCtor,
+    FLWR,
+    FunctionCall,
+    IfThenElse,
+    Predicate,
+    VarPath,
+    VarProjection,
+    ViewQuery,
+)
+from .lexer import Lexer, Token, TokenKind
+
+__all__ = ["parse_view_query"]
+
+#: function names the parser recognizes; everything else errors out
+KNOWN_FUNCTIONS = {
+    "count", "max", "min", "avg", "sum", "distinct", "distinct-values",
+    "empty", "not", "contains", "position", "last",
+}
+
+
+class _ViewParser:
+    def __init__(self, text: str) -> None:
+        self.lexer = Lexer(text)
+        self.text = text
+
+    # -- plumbing -------------------------------------------------------------
+
+    def next(self) -> Token:
+        return self.lexer.next()
+
+    def peek(self) -> Token:
+        return self.lexer.peek()
+
+    def push_back(self, token: Token) -> None:
+        self.lexer.push_back(token)
+
+    def expect(self, kind: TokenKind, value: Optional[str] = None) -> Token:
+        token = self.next()
+        matches = token.value == value or (
+            kind is TokenKind.KEYWORD
+            and value is not None
+            and token.value.upper() == value.upper()
+        )
+        if token.kind is not kind or (value is not None and not matches):
+            raise XQueryError(
+                f"expected {value or kind.value}, found {token.value!r} "
+                f"at offset {token.position}"
+            )
+        return token
+
+    def accept(self, kind: TokenKind, value: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        matches = value is None or token.value == value or (
+            kind is TokenKind.KEYWORD and token.value.upper() == value.upper()
+        )
+        if token.kind is kind and matches:
+            return self.next()
+        return None
+
+    def accept_keyword(self, word: str) -> bool:
+        token = self.peek()
+        if token.is_keyword(word):
+            self.next()
+            return True
+        return False
+
+    # -- entry ------------------------------------------------------------------
+
+    def parse(self) -> ViewQuery:
+        root = self.expect(TokenKind.TAG_OPEN)
+        items = self.parse_content_list(stop_tag=root.value)
+        self.expect(TokenKind.TAG_CLOSE, root.value)
+        token = self.peek()
+        if token.kind is not TokenKind.EOF:
+            raise XQueryError(
+                f"trailing input after </{root.value}> at offset {token.position}"
+            )
+        return ViewQuery(root_tag=root.value, items=items, source_text=self.text)
+
+    # -- content ------------------------------------------------------------------
+
+    def parse_content_list(self, stop_tag: str) -> list[Content]:
+        items: list[Content] = []
+        while True:
+            token = self.peek()
+            if token.kind is TokenKind.TAG_CLOSE and token.value == stop_tag:
+                return items
+            if token.kind is TokenKind.EOF:
+                raise XQueryError(f"missing </{stop_tag}>")
+            items.append(self.parse_content())
+            # commas between items are optional in the paper's listings
+            while self.accept(TokenKind.COMMA):
+                pass
+
+    def parse_content(self) -> Content:
+        token = self.peek()
+        if token.kind is TokenKind.KEYWORD and token.value.upper() in ("FOR", "LET"):
+            return self.parse_flwr()
+        if token.is_keyword("IF"):
+            return self.parse_if()
+        if token.kind is TokenKind.TAG_OPEN:
+            return self.parse_element_ctor()
+        if token.kind is TokenKind.VAR:
+            return VarProjection(path=self.parse_var_path())
+        if token.kind is TokenKind.IDENT:
+            return self.parse_function_call()
+        raise XQueryError(
+            f"unexpected {token.value!r} in element content at offset "
+            f"{token.position}"
+        )
+
+    def parse_element_ctor(self) -> ElementCtor:
+        tag = self.expect(TokenKind.TAG_OPEN)
+        items = self.parse_content_list(stop_tag=tag.value)
+        self.expect(TokenKind.TAG_CLOSE, tag.value)
+        return ElementCtor(tag=tag.value, items=items)
+
+    # -- FLWR -----------------------------------------------------------------------
+
+    def parse_flwr(self) -> FLWR:
+        bindings: list[Binding] = []
+        token = self.peek()
+        while token.kind is TokenKind.KEYWORD and token.value.upper() in ("FOR", "LET"):
+            is_let = token.value.upper() == "LET"
+            self.next()
+            bindings.append(self.parse_binding(is_let))
+            while self.accept(TokenKind.COMMA):
+                bindings.append(self.parse_binding(is_let))
+            token = self.peek()
+        if not bindings:
+            raise XQueryError("FLWR without bindings")
+        where: list[Predicate] = []
+        if self.accept_keyword("WHERE"):
+            where = self.parse_predicate_conjunction()
+        order_by: Optional[VarPath] = None
+        if self.accept_keyword("ORDER"):
+            if not self.accept_keyword("BY"):
+                raise XQueryError("ORDER must be followed by BY")
+            order_by = self.parse_var_path()
+        elif self.accept_keyword("SORTBY"):
+            if self.accept(TokenKind.LPAREN):
+                order_by = self.parse_order_key()
+                self.expect(TokenKind.RPAREN)
+            else:
+                order_by = self.parse_var_path()
+        self.expect(TokenKind.KEYWORD, "RETURN")
+        self.expect(TokenKind.LBRACE)
+        ret = self.parse_content()
+        while self.accept(TokenKind.COMMA):
+            pass
+        self.expect(TokenKind.RBRACE)
+        return FLWR(bindings=bindings, where=where, ret=ret, order_by=order_by)
+
+    def parse_order_key(self) -> VarPath:
+        token = self.peek()
+        if token.kind is TokenKind.VAR:
+            return self.parse_var_path()
+        # SORTBY (title) — a bare name keys on the constructed element
+        name = self.expect(TokenKind.IDENT)
+        return VarPath(var="", segments=(name.value,))
+
+    def parse_binding(self, is_let: bool) -> Binding:
+        var = self.expect(TokenKind.VAR)
+        token = self.next()
+        in_like = token.is_keyword("IN") or (
+            token.kind is TokenKind.OP and token.value == "="
+        )
+        if not in_like:
+            raise XQueryError(
+                f"expected IN or = after ${var.value} at offset {token.position}"
+            )
+        source = self.parse_source()
+        return Binding(var=var.value, source=source, is_let=is_let)
+
+    def parse_source(self) -> Union[DocSource, VarPath]:
+        token = self.peek()
+        if token.kind is TokenKind.IDENT and token.value == "document":
+            self.next()
+            self.expect(TokenKind.LPAREN)
+            document = self.expect(TokenKind.STRING)
+            self.expect(TokenKind.RPAREN)
+            segments = self.parse_path_segments()
+            return DocSource(document=document.value, path=segments)
+        if token.kind is TokenKind.VAR:
+            return self.parse_var_path()
+        raise XQueryError(
+            f"expected document(...) or a variable path at offset {token.position}"
+        )
+
+    def parse_path_segments(self) -> tuple[str, ...]:
+        segments: list[str] = []
+        while self.accept(TokenKind.SLASH):
+            name = self.next()
+            # tag names may collide with keywords (<order>, <in>, ...)
+            if name.kind not in (TokenKind.IDENT, TokenKind.KEYWORD):
+                raise XQueryError(
+                    f"expected a path segment at offset {name.position}"
+                )
+            segments.append(name.value)
+        return tuple(segments)
+
+    def parse_var_path(self) -> VarPath:
+        var = self.expect(TokenKind.VAR)
+        segments: list[str] = []
+        text_fn = False
+        while self.accept(TokenKind.SLASH):
+            name = self.next()
+            if name.kind not in (TokenKind.IDENT, TokenKind.KEYWORD):
+                raise XQueryError(
+                    f"expected a path segment at offset {name.position}"
+                )
+            if name.value == "text" and self.accept(TokenKind.LPAREN):
+                self.expect(TokenKind.RPAREN)
+                text_fn = True
+                break
+            segments.append(name.value)
+        return VarPath(var=var.value, segments=tuple(segments), text_fn=text_fn)
+
+    # -- predicates -------------------------------------------------------------------
+
+    def parse_predicate_conjunction(self) -> list[Predicate]:
+        predicates = [self.parse_predicate()]
+        while self.accept_keyword("AND"):
+            predicates.append(self.parse_predicate())
+        return predicates
+
+    def parse_predicate(self) -> Predicate:
+        if self.accept(TokenKind.LPAREN):
+            inner = self.parse_predicate()
+            self.expect(TokenKind.RPAREN)
+            return inner
+        left = self.parse_operand()
+        token = self.next()
+        if token.kind is not TokenKind.OP:
+            raise XQueryError(
+                f"expected a comparison operator at offset {token.position}"
+            )
+        right = self.parse_operand()
+        op = "<>" if token.value == "!=" else token.value
+        return Predicate(op=op, left=left, right=right)
+
+    def parse_operand(self):
+        token = self.peek()
+        if token.kind is TokenKind.VAR:
+            return self.parse_var_path()
+        if token.kind is TokenKind.STRING:
+            self.next()
+            return token.value
+        if token.kind is TokenKind.NUMBER:
+            self.next()
+            return _number(token.value)
+        if token.kind is TokenKind.IDENT:
+            return self.parse_function_call()
+        raise XQueryError(f"unexpected operand {token.value!r} at {token.position}")
+
+    # -- functions ----------------------------------------------------------------------
+
+    def parse_function_call(self) -> FunctionCall:
+        name = self.expect(TokenKind.IDENT)
+        if name.value not in KNOWN_FUNCTIONS:
+            raise XQueryError(
+                f"unknown function {name.value!r} at offset {name.position}"
+            )
+        self.expect(TokenKind.LPAREN)
+        args: list = []
+        if not self.accept(TokenKind.RPAREN):
+            args.append(self.parse_function_arg())
+            while self.accept(TokenKind.COMMA):
+                args.append(self.parse_function_arg())
+            self.expect(TokenKind.RPAREN)
+        return FunctionCall(name=name.value, args=tuple(args))
+
+    def parse_function_arg(self):
+        token = self.peek()
+        if token.kind is TokenKind.VAR:
+            return self.parse_var_path()
+        if token.kind is TokenKind.STRING:
+            self.next()
+            return token.value
+        if token.kind is TokenKind.NUMBER:
+            self.next()
+            return _number(token.value)
+        if token.kind is TokenKind.IDENT:
+            return self.parse_function_call()
+        raise XQueryError(
+            f"unexpected function argument {token.value!r} at {token.position}"
+        )
+
+    # -- if/then/else ----------------------------------------------------------------------
+
+    def parse_if(self) -> IfThenElse:
+        self.expect(TokenKind.KEYWORD, "IF")
+        self.expect(TokenKind.LPAREN)
+        condition = self.parse_predicate()
+        self.expect(TokenKind.RPAREN)
+        self.expect(TokenKind.KEYWORD, "THEN")
+        then_item = self.parse_content()
+        else_item: Optional[Content] = None
+        if self.accept_keyword("ELSE"):
+            else_item = self.parse_content()
+        return IfThenElse(condition=condition, then_item=then_item, else_item=else_item)
+
+
+def _number(text: str):
+    return float(text) if "." in text else int(text)
+
+
+def parse_view_query(text: str) -> ViewQuery:
+    """Parse a view-definition query into a :class:`ViewQuery`."""
+    return _ViewParser(text).parse()

@@ -1,0 +1,150 @@
+"""Apply a view update to a *materialized* view document.
+
+This computes ``u(DEF_V(D))`` — the left/top edge of the paper's
+rectangle diagram (Fig. 7).  The checker itself never needs it, but the
+rectangle-rule verifier (:mod:`repro.core.verify`) and the integration
+tests compare it against ``DEF_V(U(D))`` to prove end-to-end that
+accepted translations are side-effect free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from ..errors import UpdateSyntaxError, XQueryError
+from ..xml.nodes import XMLElement, XMLText
+from .ast import Binding, DocSource, Predicate, VarPath
+from .update_ast import DeleteOp, InsertOp, ReplaceOp, ViewUpdate
+from .values import compare_values
+
+__all__ = ["apply_view_update", "UpdateApplication", "resolve_bindings"]
+
+Env = dict[str, XMLElement]
+
+
+@dataclass
+class UpdateApplication:
+    """What happened when the update was applied to the view tree."""
+
+    matched_bindings: int = 0
+    inserted: list[XMLElement] = field(default_factory=list)
+    deleted: list[XMLElement] = field(default_factory=list)
+    replaced: list[XMLElement] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.inserted or self.deleted or self.replaced)
+
+
+def _navigate(node: XMLElement, segments: tuple[str, ...]) -> list[XMLElement]:
+    current = [node]
+    for segment in segments:
+        current = [
+            child for element in current for child in element.child_elements(segment)
+        ]
+    return current
+
+
+def _path_nodes(path: VarPath, env: Env) -> list[XMLElement]:
+    if path.var not in env:
+        raise XQueryError(f"unbound variable ${path.var}")
+    return _navigate(env[path.var], path.segments)
+
+
+def _operand_value(operand, env: Env):
+    if isinstance(operand, VarPath):
+        nodes = _path_nodes(operand, env)
+        if not nodes:
+            return None
+        # text() or element content both compare through the text value
+        return nodes[0].text_content().strip()
+    return operand
+
+
+def _predicates_hold(predicates: list[Predicate], env: Env) -> bool:
+    for predicate in predicates:
+        left = _operand_value(predicate.left, env)
+        right = _operand_value(predicate.right, env)
+        if compare_values(predicate.op, left, right) is not True:
+            return False
+    return True
+
+
+def resolve_bindings(
+    root: XMLElement, bindings: list[Binding]
+) -> Iterator[Env]:
+    """Yield every environment produced by the FOR clause over *root*."""
+
+    def recurse(index: int, env: Env) -> Iterator[Env]:
+        if index == len(bindings):
+            yield dict(env)
+            return
+        binding = bindings[index]
+        source = binding.source
+        if isinstance(source, DocSource):
+            nodes = _navigate(root, source.path)
+        elif isinstance(source, VarPath):
+            if source.text_fn:
+                raise UpdateSyntaxError("cannot bind a variable to text()")
+            if source.var not in env:
+                raise XQueryError(f"unbound variable ${source.var}")
+            nodes = _navigate(env[source.var], source.segments)
+        else:  # pragma: no cover - exhaustive over source types
+            raise UpdateSyntaxError(f"unsupported binding source {source!r}")
+        for node in nodes:
+            env[binding.var] = node
+            yield from recurse(index + 1, env)
+        env.pop(binding.var, None)
+
+    yield from recurse(0, {})
+
+
+def apply_view_update(root: XMLElement, update: ViewUpdate) -> UpdateApplication:
+    """Apply *update* to the view tree rooted at *root*, in place."""
+    result = UpdateApplication()
+    for env in resolve_bindings(root, update.bindings):
+        if not _predicates_hold(update.where, env):
+            continue
+        if update.target_var not in env:
+            raise XQueryError(f"unbound update target ${update.target_var}")
+        result.matched_bindings += 1
+        target = env[update.target_var]
+        for op in update.ops:
+            if isinstance(op, InsertOp):
+                clone = op.fragment.clone()
+                target.append(clone)
+                result.inserted.append(clone)
+            elif isinstance(op, DeleteOp):
+                _apply_delete(op, env, result)
+            elif isinstance(op, ReplaceOp):
+                _apply_replace(op, env, result)
+            else:  # pragma: no cover - exhaustive over UpdateOp
+                raise UpdateSyntaxError(f"unsupported operation {op!r}")
+    return result
+
+
+def _apply_delete(op: DeleteOp, env: Env, result: UpdateApplication) -> None:
+    nodes = _path_nodes(op.path, env)
+    if op.path.text_fn:
+        for node in nodes:
+            removed = [c for c in node.children if isinstance(c, XMLText)]
+            for child in removed:
+                node.children.remove(child)
+            if removed:
+                result.deleted.append(node)
+        return
+    for node in nodes:
+        if node.parent is not None:
+            node.detach()
+            result.deleted.append(node)
+
+
+def _apply_replace(op: ReplaceOp, env: Env, result: UpdateApplication) -> None:
+    nodes = _path_nodes(op.path, env)
+    for node in nodes:
+        if node.parent is None:
+            continue
+        replacement = op.fragment.clone()
+        node.parent.replace(node, replacement)
+        result.replaced.append(replacement)

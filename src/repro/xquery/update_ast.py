@@ -1,0 +1,105 @@
+"""AST for the view-update language (Tatarinov et al. [29] syntax).
+
+An update statement binds variables over the *view* document, filters
+them with a WHERE conjunction, and applies one or more operations at an
+update target::
+
+    FOR $root IN document("BookView.xml"),
+        $book IN $root/book
+    WHERE $book/bookid/text() = "98001"
+    UPDATE $root { DELETE $book/publisher }
+
+Replace is modelled as its own operation but U-Filter checks it as a
+deletion followed by an insertion (paper footnote 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..xml.nodes import XMLElement
+from .ast import Binding, Predicate, VarPath
+
+__all__ = ["InsertOp", "DeleteOp", "ReplaceOp", "UpdateOp", "ViewUpdate"]
+
+
+@dataclass
+class InsertOp:
+    """``INSERT <fragment>`` — appends the literal fragment to the target."""
+
+    fragment: XMLElement
+
+    kind = "insert"
+
+    def __str__(self) -> str:
+        from ..xml.serializer import serialize
+
+        return f"INSERT {serialize(self.fragment, indent=0)}"
+
+
+@dataclass
+class DeleteOp:
+    """``DELETE $var/path`` — removes matched nodes (or their text())."""
+
+    path: VarPath
+
+    kind = "delete"
+
+    def __str__(self) -> str:
+        return f"DELETE {self.path}"
+
+
+@dataclass
+class ReplaceOp:
+    """``REPLACE $var/path WITH <fragment>``."""
+
+    path: VarPath
+    fragment: XMLElement
+
+    kind = "replace"
+
+    def __str__(self) -> str:
+        from ..xml.serializer import serialize
+
+        return f"REPLACE {self.path} WITH {serialize(self.fragment, indent=0)}"
+
+
+UpdateOp = Union[InsertOp, DeleteOp, ReplaceOp]
+
+
+@dataclass
+class ViewUpdate:
+    """A parsed view-update statement."""
+
+    bindings: list[Binding]
+    where: list[Predicate]
+    target_var: str
+    ops: list[UpdateOp]
+    source_text: str = ""
+    #: optional label (u1, u2, ... in the paper's figures)
+    name: str = ""
+
+    @property
+    def kind(self) -> str:
+        """insert / delete / replace, or "mixed" for multi-op updates."""
+        kinds = {op.kind for op in self.ops}
+        if len(kinds) == 1:
+            return next(iter(kinds))
+        return "mixed"
+
+    def binding_for(self, var: str) -> Binding:
+        for binding in self.bindings:
+            if binding.var == var:
+                return binding
+        raise KeyError(f"update binds no variable ${var}")
+
+    def __str__(self) -> str:
+        fors = ", ".join(str(binding) for binding in self.bindings)
+        where = (
+            " WHERE " + " AND ".join(str(p) for p in self.where)
+            if self.where
+            else ""
+        )
+        ops = ", ".join(str(op) for op in self.ops)
+        return f"FOR {fors}{where} UPDATE ${self.target_var} {{ {ops} }}"

@@ -1,0 +1,69 @@
+"""Value rendering and comparison helpers shared across the substrate.
+
+The view evaluator turns relational values into XML text; the update
+applier compares XML text back against typed literals.  Keeping both
+directions here guarantees the rectangle-rule verifier sees consistent
+lexical forms.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Optional
+
+from ..rdb.expr import COMPARATORS
+
+__all__ = ["render_value", "compare_values", "coerce_pair"]
+
+
+def render_value(value: Any) -> str:
+    """Canonical XML text for a relational value."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    if isinstance(value, datetime.date):
+        if value.month == 1 and value.day == 1:
+            return str(value.year)
+        return value.isoformat()
+    return str(value)
+
+
+def coerce_pair(left: Any, right: Any) -> tuple[Any, Any]:
+    """Coerce two values into a comparable pair.
+
+    Handles the mixes the workloads produce: XML text vs numeric
+    literal, DATE vs bare year, int vs float.
+    """
+    if isinstance(left, datetime.date) and isinstance(right, (int, float)):
+        return left.year, right
+    if isinstance(right, datetime.date) and isinstance(left, (int, float)):
+        return left, right.year
+    if isinstance(left, datetime.date) and isinstance(right, str):
+        return render_value(left), right
+    if isinstance(right, datetime.date) and isinstance(left, str):
+        return left, render_value(right)
+    if isinstance(left, str) and isinstance(right, (int, float)) and not isinstance(right, bool):
+        try:
+            return float(left), float(right)
+        except ValueError:
+            return left, render_value(right)
+    if isinstance(right, str) and isinstance(left, (int, float)) and not isinstance(left, bool):
+        try:
+            return float(left), float(right)
+        except ValueError:
+            return render_value(left), right
+    return left, right
+
+
+def compare_values(op: str, left: Any, right: Any) -> Optional[bool]:
+    """Three-valued comparison with cross-type coercion."""
+    if left is None or right is None:
+        return None
+    a, b = coerce_pair(left, right)
+    try:
+        return COMPARATORS[op](a, b)
+    except TypeError:
+        return COMPARATORS[op](str(a), str(b))

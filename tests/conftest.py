@@ -1,0 +1,46 @@
+"""Shared fixtures: the paper's running example and small TPC-H data."""
+
+import pytest
+
+from repro.core import UFilter
+from repro.workloads import books
+from repro.workloads import psd as psd_workload
+from repro.workloads import tpch as tpch_workload
+
+
+@pytest.fixture()
+def book_db():
+    """Fig. 1's database, freshly loaded per test."""
+    return books.build_book_database()
+
+
+@pytest.fixture()
+def book_view():
+    return books.book_view_query()
+
+
+@pytest.fixture()
+def book_ufilter(book_db, book_view):
+    return UFilter(book_db, book_view)
+
+
+@pytest.fixture(scope="session")
+def book_updates():
+    return books.book_updates()
+
+
+@pytest.fixture(scope="session")
+def tpch_tiny_db():
+    """A small shared TPC-H database (read-only tests only!)."""
+    return tpch_workload.build_tpch_database(tpch_workload.scale_rows(0.5))
+
+
+@pytest.fixture()
+def tpch_db():
+    """A small private TPC-H database (mutating tests)."""
+    return tpch_workload.build_tpch_database(tpch_workload.scale_rows(0.5))
+
+
+@pytest.fixture()
+def psd_db():
+    return psd_workload.build_psd_database(entries=10)

@@ -1,0 +1,205 @@
+"""ASG construction vs the paper's Fig. 8 and Fig. 9."""
+
+import pytest
+
+from repro.core import (
+    Cardinality,
+    NodeKind,
+    build_base_asg,
+    build_view_asg,
+)
+from repro.errors import UnsupportedFeatureError
+from repro.workloads import books
+from repro.xquery import parse_view_query
+
+
+@pytest.fixture()
+def asg(book_db, book_view):
+    return build_view_asg(book_view, book_db.schema)
+
+
+@pytest.fixture()
+def base(asg, book_db):
+    return build_base_asg(asg, book_db.schema)
+
+
+class TestViewASG:
+    def test_node_kinds(self, asg):
+        kinds = {node.node_id: node.kind for node in asg.nodes()}
+        assert kinds["vR"] is NodeKind.ROOT
+        assert kinds["vC1"] is NodeKind.INTERNAL
+        assert kinds["vS1"] is NodeKind.TAG
+        assert kinds["vL1"] is NodeKind.LEAF
+
+    def test_four_internal_nodes(self, asg):
+        assert [n.name for n in asg.internal_nodes()] == [
+            "book", "publisher", "review", "publisher",
+        ]
+
+    def test_uc_bindings_match_fig8(self, asg):
+        uc = {n.node_id: set(n.uc_binding) for n in asg.internal_nodes()}
+        assert uc["vC1"] == {"book", "publisher"}
+        assert uc["vC2"] == {"book", "publisher"}
+        assert uc["vC3"] == {"book", "publisher", "review"}
+        assert uc["vC4"] == {"publisher"}
+
+    def test_up_bindings_match_fig8(self, asg):
+        up = {n.node_id: set(n.up_binding) for n in asg.internal_nodes()}
+        assert up["vC1"] == {"book", "publisher", "review"}
+        assert up["vC2"] == {"publisher"}
+        assert up["vC3"] == {"review"}
+        assert up["vC4"] == {"publisher"}
+        assert set(asg.root.up_binding) == {"book", "publisher", "review"}
+
+    def test_current_relations(self, asg):
+        cr = {
+            n.node_id: set(asg.current_relations(n)) for n in asg.internal_nodes()
+        }
+        assert cr == {
+            "vC1": {"book", "publisher"},
+            "vC2": set(),
+            "vC3": {"review"},
+            "vC4": {"publisher"},
+        }
+
+    def test_edge_cardinalities_match_fig8(self, asg):
+        def card(parent, child):
+            return asg.edge(asg.node(parent), asg.node(child)).cardinality
+
+        assert card("vR", "vC1") is Cardinality.STAR
+        assert card("vC1", "vC2") is Cardinality.ONE
+        assert card("vC1", "vC3") is Cardinality.STAR
+        assert card("vR", "vC4") is Cardinality.STAR
+        # price is nullable -> optional
+        assert card("vC1", "vS3") is Cardinality.OPTIONAL
+        assert card("vS3", "vL3") is Cardinality.OPTIONAL
+        # bookid is NOT NULL -> exactly one
+        assert card("vC1", "vS1") is Cardinality.ONE
+
+    def test_edge_conditions(self, asg):
+        edge = asg.edge(asg.node("vR"), asg.node("vC1"))
+        assert len(edge.conditions) == 1
+        assert edge.conditions[0].label() == "book.pubid=publisher.pubid"
+        edge = asg.edge(asg.node("vC1"), asg.node("vC3"))
+        assert edge.conditions[0].label() == "book.bookid=review.bookid"
+        edge = asg.edge(asg.node("vR"), asg.node("vC4"))
+        assert edge.conditions == ()
+
+    def test_leaf_annotations(self, asg):
+        leaf = asg.node("vL2")  # book.title
+        assert leaf.not_null and leaf.sql_type.name.startswith("VARCHAR")
+        price = asg.node("vL3")
+        ops = sorted(c.op for c in price.checks)
+        assert ops == ["<", ">"]  # 0 < value < 50
+
+    def test_conditions_in_scope_accumulate(self, asg):
+        conditions = asg.conditions_in_scope(asg.node("vC3"))
+        labels = {c.label() for c in conditions}
+        assert labels == {
+            "book.pubid=publisher.pubid",
+            "book.bookid=review.bookid",
+        }
+
+    def test_value_filters_in_scope(self, asg):
+        filters = asg.value_filters_in_scope(asg.node("vC3"))
+        attrs = {(rel, attr) for rel, attr, _ in filters}
+        assert attrs == {("book", "price"), ("book", "year")}
+
+    def test_resolve_tag_path(self, asg):
+        node = asg.resolve_tag_path(("book", "publisher", "pubname"))
+        assert node is not None and node.node_id == "vS5"
+        assert asg.resolve_tag_path(("book", "nothing")) is None
+
+    def test_describe_mentions_everything(self, asg):
+        text = asg.describe()
+        assert "vC1" in text and "book.pubid = publisher.pubid" in text
+
+
+class TestBaseASG:
+    def test_only_referenced_attributes(self, base):
+        assert set(base.leaf_nodes) == {
+            "book.bookid", "book.title", "book.price",
+            "publisher.pubid", "publisher.pubname",
+            "review.reviewid", "review.comment",
+        }
+
+    def test_key_properties(self, base):
+        assert base.leaf_nodes["book.bookid"].is_key
+        assert base.leaf_nodes["review.reviewid"].is_key  # part of composite
+        assert not base.leaf_nodes["book.title"].is_key
+
+    def test_fk_edges(self, base):
+        edges = {
+            (edge.parent.name, edge.child.name) for edge in base.edges
+        }
+        assert edges == {("publisher", "book"), ("book", "review")}
+
+    def test_edge_conditions_normalized(self, base):
+        labels = {edge.condition_label() for edge in base.edges}
+        assert labels == {
+            "book.pubid=publisher.pubid",
+            "book.bookid=review.bookid",
+        }
+
+    def test_describe(self, base):
+        assert "publisher" in base.describe()
+
+
+class TestUnsupportedFeatures:
+    @pytest.mark.parametrize(
+        "body, feature",
+        [
+            ("count($b/bookid)", "count()"),
+            ("distinct($b/bookid)", "distinct()"),
+            ("max($b/price)", "max()"),
+        ],
+    )
+    def test_function_calls_rejected(self, book_db, body, feature):
+        query = parse_view_query(
+            f"""
+<v>
+FOR $b IN document("d")/book/row
+RETURN {{ <x> {body} </x> }}
+</v>
+"""
+        )
+        with pytest.raises(UnsupportedFeatureError) as info:
+            build_view_asg(query, book_db.schema)
+        assert info.value.feature == feature
+
+    def test_order_by_rejected(self, book_db):
+        query = parse_view_query(
+            """
+<v>
+FOR $b IN document("d")/book/row
+ORDER BY $b/title
+RETURN { <x> $b/title </x> }
+</v>
+"""
+        )
+        with pytest.raises(UnsupportedFeatureError):
+            build_view_asg(query, book_db.schema)
+
+    def test_if_then_else_rejected(self, book_db):
+        query = parse_view_query(
+            """
+<v>
+FOR $b IN document("d")/book/row
+RETURN { if ($b/price > 1.00) then <x> $b/title </x> }
+</v>
+"""
+        )
+        with pytest.raises(UnsupportedFeatureError):
+            build_view_asg(query, book_db.schema)
+
+    def test_deep_paths_rejected(self, book_db):
+        query = parse_view_query(
+            """
+<v>
+FOR $b IN document("d")/book/row
+RETURN { <x> $b/a/b </x> }
+</v>
+"""
+        )
+        with pytest.raises(UnsupportedFeatureError):
+            build_view_asg(query, book_db.schema)

@@ -1,0 +1,120 @@
+"""ASG serialization: compile once, reuse for every future check."""
+
+import pytest
+
+from repro.core import Outcome, UFilter, build_base_asg, build_view_asg, mark_view_asg
+from repro.core.asg_cache import dump_view_asg, load_view_asg
+from repro.core.datacheck import DataChecker
+from repro.core.star import star_check
+from repro.core.update_binding import resolve_update
+from repro.core.validation import validate_update
+from repro.errors import UFilterError
+from repro.workloads import books, psd, tpch
+
+
+@pytest.fixture()
+def marked(book_db, book_view):
+    asg = build_view_asg(book_view, book_db.schema)
+    mark_view_asg(asg, build_base_asg(asg, book_db.schema))
+    return asg
+
+
+def test_round_trip_preserves_structure(marked, book_db):
+    loaded = load_view_asg(dump_view_asg(marked), book_db.schema)
+    original_ids = [n.node_id for n in marked.nodes()]
+    loaded_ids = [n.node_id for n in loaded.nodes()]
+    assert original_ids == loaded_ids
+    assert set(loaded.edges) == set(marked.edges)
+
+
+def test_round_trip_preserves_marks(marked, book_db):
+    loaded = load_view_asg(dump_view_asg(marked), book_db.schema)
+    for node_id in ("vC1", "vC2", "vC3", "vC4"):
+        original = marked.node(node_id)
+        restored = loaded.node(node_id)
+        assert restored.mark == original.mark
+        assert restored.clean_source == original.clean_source
+        assert restored.driving_relation == original.driving_relation
+
+
+def test_round_trip_preserves_annotations(marked, book_db):
+    loaded = load_view_asg(dump_view_asg(marked), book_db.schema)
+    price = loaded.node("vL3")
+    assert price.sql_type is not None and price.sql_type.name == "DOUBLE"
+    assert {c.op for c in price.checks} == {"<", ">"}
+    vc1 = loaded.node("vC1")
+    assert set(vc1.uc_binding) == {"book", "publisher"}
+    assert len(vc1.value_filters) == 2
+
+
+def test_loaded_asg_classifies_identically(marked, book_db):
+    loaded = load_view_asg(dump_view_asg(marked), book_db.schema)
+    for name, update in books.book_updates().items():
+        res_a = resolve_update(marked, update)
+        res_b = resolve_update(loaded, update)
+        val_a = validate_update(marked, res_a)
+        val_b = validate_update(loaded, res_b)
+        assert val_a.valid == val_b.valid, name
+        if val_a.valid:
+            assert (
+                star_check(marked, res_a).category
+                is star_check(loaded, res_b).category
+            ), name
+
+
+def test_loaded_asg_drives_data_checks(marked, book_db):
+    loaded = load_view_asg(dump_view_asg(marked), book_db.schema)
+    checker = DataChecker(book_db, loaded)
+    resolved = resolve_update(loaded, books.update("u13"))
+    verdict = star_check(loaded, resolved)
+    result = checker.check_and_translate(resolved, verdict, execute=True)
+    assert result.ok and book_db.count("review") == 3
+
+
+def test_date_literals_round_trip(book_db, book_view):
+    asg = build_view_asg(book_view, book_db.schema)
+    mark_view_asg(asg, build_base_asg(asg, book_db.schema))
+    loaded = load_view_asg(dump_view_asg(asg), book_db.schema)
+    filters = dict(
+        ((r, a), c) for r, a, c in loaded.node("vC1").value_filters
+    )
+    assert ("book", "year") in filters  # year > 1990 survived
+
+
+def test_tpch_and_psd_round_trip(tpch_tiny_db, psd_db):
+    for view, schema in (
+        (tpch.v_success(), tpch_tiny_db.schema),
+        (psd.psd_view(), psd_db.schema),
+    ):
+        asg = build_view_asg(view, schema)
+        mark_view_asg(asg, build_base_asg(asg, schema))
+        loaded = load_view_asg(dump_view_asg(asg), schema)
+        for original, restored in zip(asg.nodes(), loaded.nodes()):
+            assert original.node_id == restored.node_id
+            assert original.mark == restored.mark
+
+
+def test_ufilter_cached_constructor(book_db, book_view):
+    warm = UFilter(book_db, book_view)
+    cached = warm.dump_asg()
+    cold = UFilter(book_db, book_view, cached_asg=cached)
+    for name, update in books.book_updates().items():
+        a = warm.check(update, run_data_checks=False).outcome
+        b = cold.check(update, run_data_checks=False).outcome
+        assert a is b, name
+    report = cold.check(books.update("u13"), execute=False)
+    assert report.outcome is Outcome.TRANSLATED
+
+
+def test_bad_format_rejected(book_db):
+    with pytest.raises(UFilterError):
+        load_view_asg('{"format": 99}', book_db.schema)
+
+
+def test_corrupt_edges_rejected(marked, book_db):
+    import json
+
+    payload = json.loads(dump_view_asg(marked))
+    payload["edges"][0]["child"] = "vXX"
+    with pytest.raises(UFilterError):
+        load_view_asg(json.dumps(payload), book_db.schema)

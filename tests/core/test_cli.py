@@ -1,0 +1,89 @@
+"""CLI front end."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import books
+
+
+@pytest.fixture()
+def book_files(tmp_path):
+    db_sql = books.BOOK_DDL + "\n"
+    for relation, rows in books.BOOK_ROWS.items():
+        for row in rows:
+            values = ", ".join(
+                "NULL" if v is None else (repr(v) if isinstance(v, (int, float)) else f"'{v}'")
+                for v in row.values()
+            )
+            db_sql += f"INSERT INTO {relation} VALUES {values};\n"
+    db_file = tmp_path / "db.sql"
+    db_file.write_text(db_sql)
+    view_file = tmp_path / "view.xq"
+    view_file.write_text(books.BOOK_VIEW_QUERY)
+    return db_file, view_file
+
+
+def test_demo_runs(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "u13" in out and "translated" in out
+
+
+def test_audit_prints_table(capsys):
+    assert main(["audit"]) == 0
+    out = capsys.readouterr().out
+    assert "XMP-Q4" in out and "distinct()" in out
+
+
+def test_asg_command(book_files, capsys):
+    db_file, view_file = book_files
+    assert main(["asg", "--db", str(db_file), "--view", str(view_file)]) == 0
+    out = capsys.readouterr().out
+    assert "vC1" in out and "dirty" in out
+
+
+def test_check_accepted_update(book_files, tmp_path, capsys):
+    db_file, view_file = book_files
+    update_file = tmp_path / "u.xq"
+    update_file.write_text(books.UPDATE_TEXTS["u8"])
+    code = main(
+        ["check", "--db", str(db_file), "--view", str(view_file),
+         "--update", str(update_file), "--execute"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "translated" in out and "DELETE FROM review" in out
+
+
+def test_check_rejected_update_exit_code(book_files, tmp_path, capsys):
+    db_file, view_file = book_files
+    update_file = tmp_path / "u.xq"
+    update_file.write_text(books.UPDATE_TEXTS["u2"])
+    code = main(
+        ["check", "--db", str(db_file), "--view", str(view_file),
+         "--update", str(update_file)]
+    )
+    assert code == 1
+    assert "untranslatable" in capsys.readouterr().out
+
+
+def test_check_strategy_flag(book_files, tmp_path):
+    db_file, view_file = book_files
+    update_file = tmp_path / "u.xq"
+    update_file.write_text(books.UPDATE_TEXTS["u13"])
+    assert main(
+        ["check", "--db", str(db_file), "--view", str(view_file),
+         "--update", str(update_file), "--strategy", "hybrid"]
+    ) == 0
+
+
+def test_wellnested_command(book_files, capsys):
+    db_file, view_file = book_files
+    code = main(["wellnested", "--db", str(db_file), "--view", str(view_file)])
+    assert code == 1
+    assert "NOT well-nested" in capsys.readouterr().out
+
+
+def test_missing_subcommand_errors():
+    with pytest.raises(SystemExit):
+        main([])

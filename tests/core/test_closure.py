@@ -1,0 +1,179 @@
+"""Closure algebra vs the worked examples of Section 5.1.2."""
+
+import pytest
+
+from repro.core import (
+    Closure,
+    Group,
+    base_leaf_closure,
+    base_relation_closure,
+    build_base_asg,
+    build_view_asg,
+    join_closures,
+    mapping_closure,
+    view_closure,
+)
+from repro.workloads import books, psd
+
+
+@pytest.fixture()
+def graphs(book_db, book_view):
+    asg = build_view_asg(book_view, book_db.schema)
+    base = build_base_asg(asg, book_db.schema)
+    return asg, base
+
+
+def closure_of(graphs, node_id):
+    asg, _ = graphs
+    return view_closure(asg, asg.node(node_id))
+
+
+class TestViewClosures:
+    def test_leaf_closure_is_singleton(self, graphs):
+        assert closure_of(graphs, "vL1") == Closure(
+            frozenset({"book.bookid"}), frozenset()
+        )
+
+    def test_vc2_closure(self, graphs):
+        # v+C2 = {vL4, vL5}
+        assert closure_of(graphs, "vC2").leaves == {
+            "publisher.pubid", "publisher.pubname",
+        }
+
+    def test_vc1_closure_matches_paper(self, graphs):
+        # v+C1 = {vL1..vL5, (vL6, vL7)*con2}
+        closure = closure_of(graphs, "vC1")
+        assert closure.leaves == {
+            "book.bookid", "book.title", "book.price",
+            "publisher.pubid", "publisher.pubname",
+        }
+        assert len(closure.groups) == 1
+        group = next(iter(closure.groups))
+        assert group.condition == "book.bookid=review.bookid"
+        assert group.closure.leaves == {"review.reviewid", "review.comment"}
+
+    def test_leaf_names_recursive(self, graphs):
+        names = closure_of(graphs, "vC1").leaf_names()
+        assert "review.comment" in names and len(names) == 7
+
+
+class TestBaseClosures:
+    def test_review_closure(self, graphs):
+        _, base = graphs
+        closure = base_relation_closure(base, "review")
+        assert closure.leaves == {"review.reviewid", "review.comment"}
+        assert not closure.groups
+
+    def test_publisher_closure_nests_book_and_review(self, graphs):
+        _, base = graphs
+        closure = base_relation_closure(base, "publisher")
+        assert closure.leaves == {"publisher.pubid", "publisher.pubname"}
+        book_group = next(iter(closure.groups))
+        assert book_group.closure.leaves == {
+            "book.bookid", "book.title", "book.price",
+        }
+        review_group = next(iter(book_group.closure.groups))
+        assert review_group.closure.leaves == {
+            "review.reviewid", "review.comment",
+        }
+
+    def test_leaf_closure_equals_parent_closure(self, graphs):
+        _, base = graphs
+        # (n9)+ = (n8)+ in the paper
+        leaf = base_leaf_closure(base, "review.reviewid")
+        relation = base_relation_closure(base, "review")
+        assert leaf.equivalent(relation)
+
+    def test_missing_leaf_returns_none(self, graphs):
+        _, base = graphs
+        assert base_leaf_closure(base, "book.year") is None
+
+    def test_set_null_policy_prunes_children(self, psd_db):
+        asg = build_view_asg(psd.psd_view(), psd_db.schema)
+        base = build_base_asg(asg, psd_db.schema)
+        closure = base_relation_closure(base, "entry")
+        nested = {
+            relation
+            for group in closure.groups
+            for relation in {n.split(".")[0] for n in group.closure.leaf_names()}
+        }
+        assert "feature" in nested       # CASCADE joins the closure
+        assert "reference" not in nested  # SET NULL does not
+
+
+class TestContainment:
+    def test_n8_contained_in_n4(self, graphs):
+        _, base = graphs
+        review = base_relation_closure(base, "review")
+        book = base_relation_closure(base, "book")
+        assert book.contains(review)
+        assert not review.contains(book)
+
+    def test_subset_at_top_level(self):
+        small = Closure(frozenset({"a"}), frozenset())
+        large = Closure(frozenset({"a", "b"}), frozenset())
+        assert large.contains(small)
+
+    def test_equivalence_is_mutual(self, graphs):
+        _, base = graphs
+        left = base_leaf_closure(base, "book.bookid")
+        right = base_leaf_closure(base, "book.title")
+        assert left.equivalent(right)  # n+5 ≡ n+6 in the paper
+
+    def test_group_condition_matters(self):
+        inner = Closure(frozenset({"x"}), frozenset())
+        with_c1 = Closure(frozenset(), frozenset({Group(inner, "c1")}))
+        with_c2 = Closure(frozenset(), frozenset({Group(inner, "c2")}))
+        assert not with_c1.equivalent(with_c2)
+
+
+class TestJoin:
+    def test_absorption(self, graphs):
+        _, base = graphs
+        book = base_relation_closure(base, "book")
+        review = base_relation_closure(base, "review")
+        # (n4, n8)+ = (n4)+ in the paper
+        joined = join_closures([book, review])
+        assert joined.equivalent(book)
+
+    def test_equal_closures_deduplicate(self, graphs):
+        _, base = graphs
+        book = base_relation_closure(base, "book")
+        joined = join_closures([book, book])
+        assert joined.equivalent(book)
+
+    def test_disjoint_closures_union(self):
+        left = Closure(frozenset({"a"}), frozenset())
+        right = Closure(frozenset({"b"}), frozenset())
+        assert join_closures([left, right]).leaves == {"a", "b"}
+
+    def test_empty_input(self):
+        assert join_closures([]).is_empty()
+
+
+class TestMappingClosure:
+    def test_vc3_clean(self, graphs):
+        asg, base = graphs
+        cv = view_closure(asg, asg.node("vC3"))
+        cd = mapping_closure(base, cv)
+        assert cv.equivalent(cd)
+
+    def test_vc2_dirty(self, graphs):
+        asg, base = graphs
+        cv = view_closure(asg, asg.node("vC2"))
+        cd = mapping_closure(base, cv)
+        assert not cv.equivalent(cd)
+        assert cd.contains(cv)  # CV ⊑ CD but not conversely
+
+    def test_vc1_dirty(self, graphs):
+        asg, base = graphs
+        cv = view_closure(asg, asg.node("vC1"))
+        cd = mapping_closure(base, cv)
+        assert not cv.equivalent(cd)
+
+    def test_mapping_closure_matches_paper_example(self, graphs):
+        # For vC2: N = {n2, n3}, N+ = publisher's full cascade closure
+        asg, base = graphs
+        cv = view_closure(asg, asg.node("vC2"))
+        cd = mapping_closure(base, cv)
+        assert cd.equivalent(base_relation_closure(base, "publisher"))

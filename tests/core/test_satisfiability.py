@@ -1,0 +1,105 @@
+"""Single-variable conjunction satisfiability (Step 1's overlap test)."""
+
+import datetime
+
+from repro.core import ValueConstraint, constraints_overlap, is_satisfiable, value_satisfies
+
+
+def c(op, literal):
+    return ValueConstraint(op, literal)
+
+
+class TestIntervals:
+    def test_empty_is_satisfiable(self):
+        assert is_satisfiable([])
+
+    def test_open_interval(self):
+        assert is_satisfiable([c(">", 0), c("<", 50)])
+
+    def test_contradictory_bounds(self):
+        assert not is_satisfiable([c(">", 50), c("<", 50)])
+
+    def test_paper_u5_case(self):
+        # view: 0 < value < 50; update: value > 50
+        assert not constraints_overlap([c(">", 50.0)], [c(">", 0.0), c("<", 50.0)])
+
+    def test_paper_u8_case(self):
+        # view: 0 < value < 50; update: value < 40 — overlaps
+        assert constraints_overlap([c("<", 40.0)], [c(">", 0.0), c("<", 50.0)])
+
+    def test_touching_bounds_closed(self):
+        assert is_satisfiable([c(">=", 10), c("<=", 10)])
+
+    def test_touching_bounds_half_open(self):
+        assert not is_satisfiable([c(">", 10), c("<=", 10)])
+        assert not is_satisfiable([c(">=", 10), c("<", 10)])
+
+    def test_crossed_bounds(self):
+        assert not is_satisfiable([c(">=", 20), c("<=", 10)])
+
+    def test_point_excluded_by_disequality(self):
+        assert not is_satisfiable([c(">=", 10), c("<=", 10), c("<>", 10)])
+
+    def test_disequality_inside_interval_ok(self):
+        assert is_satisfiable([c(">", 0), c("<", 10), c("<>", 5)])
+
+
+class TestEqualities:
+    def test_single_equality(self):
+        assert is_satisfiable([c("=", 5)])
+
+    def test_conflicting_equalities(self):
+        assert not is_satisfiable([c("=", 5), c("=", 6)])
+
+    def test_equality_vs_bounds(self):
+        assert is_satisfiable([c("=", 5), c("<", 10)])
+        assert not is_satisfiable([c("=", 5), c(">", 10)])
+
+    def test_equality_vs_disequality(self):
+        assert not is_satisfiable([c("=", 5), c("<>", 5)])
+
+    def test_string_equalities(self):
+        assert not is_satisfiable([c("=", "abc"), c("=", "def")])
+        assert is_satisfiable([c("=", "abc"), c("<>", "def")])
+
+
+class TestMixedDomains:
+    def test_int_vs_float(self):
+        assert not is_satisfiable([c(">", 50), c("<", 50.0)])
+
+    def test_date_vs_year(self):
+        date = datetime.date(1997, 1, 1)
+        assert is_satisfiable([c("=", date), c(">", 1990)])
+        assert not is_satisfiable([c("=", date), c(">", 2000)])
+
+    def test_numeric_strings_coerced(self):
+        assert not is_satisfiable([c(">", "50"), c("<", 50)])
+
+    def test_incomparable_domains_conservative(self):
+        # cannot reason → must NOT reject (answer True)
+        assert is_satisfiable([c(">", "abc"), c("<", 5)])
+
+    def test_string_ordering(self):
+        assert is_satisfiable([c(">", "a"), c("<", "z")])
+        assert not is_satisfiable([c(">", "z"), c("<", "a")])
+
+
+class TestValueSatisfies:
+    def test_within_checks(self):
+        assert value_satisfies(37.0, [c(">", 0.0), c("<", 50.0)])
+
+    def test_boundary_violation(self):
+        assert not value_satisfies(0.0, [c(">", 0.0)])
+
+    def test_paper_u1_price(self):
+        assert not value_satisfies(0.0, [c(">", 0.0), c("<", 50.0)])
+
+    def test_string_values(self):
+        assert value_satisfies("abc", [c("=", "abc")])
+        assert not value_satisfies("abc", [c("<>", "abc")])
+
+    def test_numeric_text_coerced(self):
+        assert value_satisfies("37.00", [c("<", 50.0)])
+
+    def test_none_never_satisfies_bounds(self):
+        assert not value_satisfies(None, [c(">", 0)])

@@ -1,0 +1,157 @@
+"""The full pipeline: outcomes, stages, strategies, reports."""
+
+import pytest
+
+from repro.core import Outcome, UFilter
+from repro.workloads import books
+from repro.xquery import evaluate_view
+
+PAPER_OUTCOMES = {
+    "u1": Outcome.INVALID,
+    "u2": Outcome.UNTRANSLATABLE,
+    "u3": Outcome.DATA_CONFLICT,
+    "u4": Outcome.UNTRANSLATABLE,
+    "u5": Outcome.INVALID,
+    "u6": Outcome.INVALID,
+    "u7": Outcome.INVALID,
+    "u8": Outcome.TRANSLATED,
+    "u9": Outcome.TRANSLATED,
+    "u10": Outcome.UNTRANSLATABLE,
+    "u11": Outcome.DATA_CONFLICT,
+    "u12": Outcome.TRANSLATED,
+    "u13": Outcome.TRANSLATED,
+}
+
+
+@pytest.mark.parametrize("name, expected", sorted(PAPER_OUTCOMES.items()))
+def test_paper_updates_end_to_end(book_ufilter, name, expected):
+    report = book_ufilter.check(books.update(name))
+    assert report.outcome is expected, report.reason
+
+
+def test_view_accepts_text_input(book_db):
+    checker = UFilter(book_db, books.BOOK_VIEW_QUERY)
+    assert checker.view.root_tag == "BookView"
+
+
+def test_update_accepts_text_input(book_ufilter):
+    report = book_ufilter.check(books.UPDATE_TEXTS["u8"])
+    assert report.outcome is Outcome.TRANSLATED
+
+
+def test_stages_recorded(book_ufilter):
+    assert book_ufilter.check(books.update("u1")).stage == "validation"
+    assert book_ufilter.check(books.update("u2")).stage == "star"
+    assert book_ufilter.check(books.update("u3")).stage == "data"
+    assert book_ufilter.check(books.update("u8")).stage == "translation"
+
+
+def test_schema_only_mode_stops_before_data(book_ufilter):
+    report = book_ufilter.check(books.update("u3"), run_data_checks=False)
+    assert report.outcome is Outcome.UNCONDITIONALLY_TRANSLATABLE
+    assert report.data is None
+
+
+def test_classify_shortcut(book_ufilter):
+    assert book_ufilter.classify(books.update("u9")) is (
+        Outcome.CONDITIONALLY_TRANSLATABLE
+    )
+
+
+def test_condition_attached(book_ufilter):
+    report = book_ufilter.check(books.update("u9"), run_data_checks=False)
+    assert report.condition == "translation minimization"
+
+
+def test_force_data_check_reproduces_section6_for_u4(book_ufilter):
+    report = book_ufilter.check(
+        books.update("u4"), strategy="outside", force_data_check=True
+    )
+    assert report.outcome is Outcome.DATA_CONFLICT
+    assert "key" in report.reason
+
+
+def test_execute_false_leaves_db_unchanged(book_db, book_view):
+    checker = UFilter(book_db, book_view)
+    before = book_db.count("review")
+    checker.check(books.update("u8"), execute=False)
+    assert book_db.count("review") == before
+
+
+def test_execute_true_applies_translation(book_db, book_view):
+    checker = UFilter(book_db, book_view)
+    report = checker.check(books.update("u8"), execute=True)
+    assert report.outcome is Outcome.TRANSLATED
+    assert book_db.count("review") == 0
+
+
+def test_zero_effect_update_flagged(book_ufilter):
+    report = book_ufilter.check(books.update("u12"))
+    assert report.data is not None and report.data.zero_effect
+
+
+def test_probe_queries_exposed(book_ufilter):
+    report = book_ufilter.check(books.update("u13"))
+    assert any("SELECT" in probe for probe in report.probe_queries)
+
+
+def test_sql_updates_exposed(book_ufilter):
+    report = book_ufilter.check(books.update("u13"))
+    assert any(sql.startswith("INSERT INTO review") for sql in report.sql_updates)
+
+
+def test_summary_is_readable(book_ufilter):
+    text = book_ufilter.check(books.update("u9")).summary()
+    assert "u9" in text and "translated" in text
+
+
+def test_timings_per_stage(book_ufilter):
+    report = book_ufilter.check(books.update("u13"))
+    assert {"validation", "star", "data"} <= set(report.timings)
+
+
+def test_marking_seconds_recorded(book_ufilter):
+    assert book_ufilter.marking_seconds > 0
+
+
+def test_outcome_accepted_property():
+    assert Outcome.TRANSLATED.accepted
+    assert Outcome.UNCONDITIONALLY_TRANSLATABLE.accepted
+    assert not Outcome.INVALID.accepted
+    assert not Outcome.DATA_CONFLICT.accepted
+
+
+@pytest.mark.parametrize("strategy", ["outside", "hybrid", "internal"])
+def test_all_strategies_accept_u13(book_db, book_view, strategy):
+    checker = UFilter(book_db, book_view)
+    report = checker.check(books.update("u13"), strategy=strategy, execute=True)
+    assert report.outcome is Outcome.TRANSLATED, report.reason
+    assert book_db.count("review") == 3
+
+
+@pytest.mark.parametrize("strategy", ["outside", "hybrid"])
+def test_all_strategies_reject_u3(book_db, book_view, strategy):
+    checker = UFilter(book_db, book_view)
+    report = checker.check(books.update("u3"), strategy=strategy, execute=True)
+    assert report.outcome is Outcome.DATA_CONFLICT
+    assert book_db.count("review") == 2  # nothing happened
+
+
+def test_unknown_strategy_rejected(book_ufilter):
+    from repro.errors import UFilterError
+
+    with pytest.raises(UFilterError):
+        book_ufilter.check(books.update("u13"), strategy="telepathy")
+
+
+def test_describe_asg(book_ufilter):
+    assert "vC1" in book_ufilter.describe_asg()
+
+
+def test_view_unchanged_after_rejected_updates(book_db, book_view):
+    checker = UFilter(book_db, book_view)
+    before = evaluate_view(book_db, checker.view)
+    for name in ("u1", "u2", "u3", "u4", "u5", "u6", "u7", "u10", "u11"):
+        checker.check(books.update(name), execute=True)
+    after = evaluate_view(book_db, checker.view)
+    assert before.equals(after)

@@ -1,0 +1,40 @@
+"""The view-definition-time updatability matrix."""
+
+import pytest
+
+from repro.core import UFilter
+from repro.workloads import books, tpch
+
+
+def test_bookview_matrix_matches_fig8(book_ufilter):
+    matrix = {row["node"]: row for row in book_ufilter.updatability_matrix()}
+    assert matrix["vC1"]["delete"].startswith("conditional")
+    assert matrix["vC1"]["insert"] == "untranslatable"
+    assert matrix["vC2"]["delete"] == "untranslatable"
+    assert matrix["vC2"]["insert"] == "untranslatable"
+    assert matrix["vC3"]["delete"] == "unconditionally translatable"
+    assert matrix["vC3"]["insert"] == "unconditionally translatable"
+    assert matrix["vC4"]["delete"] == "untranslatable"
+    assert matrix["vC4"]["insert"].startswith("conditional")
+
+
+def test_matrix_agrees_with_actual_checks(book_ufilter):
+    """The matrix must predict the classification of real updates."""
+    matrix = {row["node"]: row for row in book_ufilter.updatability_matrix()}
+    u9 = book_ufilter.check(books.update("u9"), run_data_checks=False)
+    assert matrix["vC1"]["delete"].startswith("conditional")
+    assert u9.outcome.value == "conditionally translatable"
+    u2 = book_ufilter.check(books.update("u2"), run_data_checks=False)
+    assert matrix["vC2"]["delete"] == u2.outcome.value == "untranslatable"
+
+
+def test_linear_tpch_view_fully_updatable(tpch_tiny_db):
+    checker = UFilter(tpch_tiny_db, tpch.v_success())
+    for row in checker.updatability_matrix():
+        assert row["delete"] == "unconditionally translatable", row
+        assert row["insert"] == "unconditionally translatable", row
+
+
+def test_unsafe_nodes_carry_reasons(book_ufilter):
+    matrix = {row["node"]: row for row in book_ufilter.updatability_matrix()}
+    assert "Rule" in matrix["vC2"]["reason"]

@@ -1,0 +1,145 @@
+"""Resolution of updates against the view ASG."""
+
+import pytest
+
+from repro.core import build_view_asg, resolve_update
+from repro.workloads import books
+from repro.xquery import parse_view_update
+
+
+@pytest.fixture()
+def asg(book_db, book_view):
+    return build_view_asg(book_view, book_db.schema)
+
+
+def resolve(asg, text):
+    return resolve_update(asg, parse_view_update(text))
+
+
+class TestBindings:
+    def test_root_binding(self, asg):
+        resolved = resolve(
+            asg,
+            'FOR $root IN document("v") UPDATE $root { DELETE $root/book }',
+        )
+        assert resolved.env["root"] is asg.root
+
+    def test_path_binding(self, asg):
+        resolved = resolve(
+            asg,
+            'FOR $b IN document("v")/book UPDATE $b { DELETE $b/review }',
+        )
+        assert resolved.env["b"].node_id == "vC1"
+
+    def test_chained_var_binding(self, asg):
+        resolved = resolve(
+            asg,
+            """
+            FOR $root IN document("v"), $b IN $root/book, $r IN $b/review
+            UPDATE $b { DELETE $r }
+            """,
+        )
+        assert resolved.env["r"].node_id == "vC3"
+
+    def test_unknown_path_sets_error(self, asg):
+        resolved = resolve(
+            asg,
+            'FOR $m IN document("v")/magazine UPDATE $m { DELETE $m/title }',
+        )
+        assert resolved.error and "magazine" in resolved.error
+
+    def test_unbound_source_var(self, asg):
+        resolved = resolve(
+            asg,
+            'FOR $b IN $ghost/book UPDATE $b { DELETE $b/review }',
+        )
+        assert "unbound" in resolved.error
+
+    def test_target_node_resolved(self, asg):
+        resolved = resolve_update(asg, books.update("u13"))
+        assert resolved.target.node_id == "vC1"
+
+
+class TestPredicates:
+    def test_literal_predicate_resolves_leaf(self, asg):
+        resolved = resolve_update(asg, books.update("u8"))
+        pred = resolved.predicates[0]
+        assert pred.leaf.name == "book.price"
+        assert pred.relation == "book" and pred.attribute == "price"
+        assert pred.constraint.op == "<" and pred.constraint.literal == 40.0
+
+    def test_flipped_predicate_normalized(self, asg):
+        resolved = resolve(
+            asg,
+            """
+            FOR $b IN document("v")/book
+            WHERE 40.00 < $b/price
+            UPDATE $b { DELETE $b/review }
+            """,
+        )
+        pred = resolved.predicates[0]
+        assert pred.constraint.op == ">"
+
+    def test_predicate_on_missing_path(self, asg):
+        resolved = resolve(
+            asg,
+            """
+            FOR $b IN document("v")/book
+            WHERE $b/isbn/text() = "x"
+            UPDATE $b { DELETE $b/review }
+            """,
+        )
+        assert resolved.predicates[0].error
+
+    def test_predicate_on_complex_element(self, asg):
+        resolved = resolve(
+            asg,
+            """
+            FOR $b IN document("v")/book
+            WHERE $b/publisher = "x"
+            UPDATE $b { DELETE $b/review }
+            """,
+        )
+        assert "complex element" in resolved.predicates[0].error
+
+
+class TestOps:
+    def test_insert_resolves_child_by_tag(self, asg):
+        resolved = resolve_update(asg, books.update("u13"))
+        op = resolved.ops[0]
+        assert op.kind == "insert" and op.node.node_id == "vC3"
+
+    def test_insert_unknown_tag(self, asg):
+        resolved = resolve(
+            asg,
+            'FOR $b IN document("v")/book UPDATE $b { INSERT <isbn>1</isbn> }',
+        )
+        assert resolved.ops[0].node is None and resolved.ops[0].error
+
+    def test_delete_path_resolution(self, asg):
+        resolved = resolve_update(asg, books.update("u2"))
+        assert resolved.ops[0].node.node_id == "vC2"
+
+    def test_text_delete_flag(self, asg):
+        resolved = resolve_update(asg, books.update("u6"))
+        assert resolved.ops[0].text_delete
+
+    def test_replace_keeps_fragment(self, asg):
+        resolved = resolve(
+            asg,
+            """
+            FOR $b IN document("v")/book
+            UPDATE $b { REPLACE $b/price WITH <price>9.99</price> }
+            """,
+        )
+        op = resolved.ops[0]
+        assert op.kind == "replace" and op.fragment is not None
+
+    def test_ok_property(self, asg):
+        good = resolve_update(asg, books.update("u8"))
+        assert good.ok
+        bad = resolve(
+            asg,
+            'FOR $b IN document("v")/book UPDATE $b { DELETE $b/isbn }',
+        )
+        assert not bad.ok

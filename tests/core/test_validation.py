@@ -1,0 +1,220 @@
+"""Step 1 — update validation (Section 4)."""
+
+import pytest
+
+from repro.core import UFilter, build_base_asg, build_view_asg, resolve_update, validate_update
+from repro.workloads import books
+from repro.xquery import parse_view_update
+
+
+@pytest.fixture()
+def asg(book_db, book_view):
+    return build_view_asg(book_view, book_db.schema)
+
+
+def verdict(asg, text_or_name):
+    if text_or_name.startswith("u"):
+        update = books.update(text_or_name)
+    else:
+        update = parse_view_update(text_or_name)
+    return validate_update(asg, resolve_update(asg, update))
+
+
+class TestPaperExamples:
+    def test_u1_invalid_empty_title_and_price(self, asg):
+        result = verdict(asg, "u1")
+        assert not result.valid
+        text = " ".join(result.failures)
+        assert "title" in text and "price" in text
+
+    def test_u5_invalid_no_overlap(self, asg):
+        result = verdict(asg, "u5")
+        assert not result.valid and "overlap" in result.reason
+
+    def test_u6_invalid_not_null_text(self, asg):
+        result = verdict(asg, "u6")
+        assert not result.valid and "bookid" in result.reason
+
+    def test_u7_invalid_missing_publisher(self, asg):
+        result = verdict(asg, "u7")
+        assert not result.valid and "publisher" in result.reason
+
+    @pytest.mark.parametrize("name", ["u2", "u3", "u4", "u8", "u9", "u10",
+                                      "u11", "u12", "u13"])
+    def test_valid_updates_pass(self, asg, name):
+        assert verdict(asg, name).valid
+
+
+class TestDeleteChecks:
+    def test_unknown_path_invalid(self, asg):
+        result = verdict(
+            asg,
+            """
+            FOR $b IN document("v")/book
+            UPDATE $b { DELETE $b/isbn }
+            """,
+        )
+        assert not result.valid and "does not exist" in result.reason
+
+    def test_unknown_binding_path_invalid(self, asg):
+        result = verdict(
+            asg,
+            """
+            FOR $m IN document("v")/magazine
+            UPDATE $m { DELETE $m/title }
+            """,
+        )
+        assert not result.valid
+
+    def test_deleting_optional_leaf_allowed(self, asg):
+        result = verdict(
+            asg,
+            """
+            FOR $b IN document("v")/book
+            UPDATE $b { DELETE $b/price }
+            """,
+        )
+        assert result.valid
+
+    def test_deleting_complex_child_is_valid_here(self, asg):
+        # u2-style deletes pass Step 1; STAR rejects them later
+        assert verdict(asg, "u2").valid
+
+    def test_predicate_on_unconstrained_leaf_passes(self, asg):
+        assert verdict(asg, "u11").valid
+
+
+class TestInsertChecks:
+    def test_unknown_child_tag_invalid(self, asg):
+        result = verdict(
+            asg,
+            """
+            FOR $b IN document("v")/book
+            UPDATE $b { INSERT <isbn>123</isbn> }
+            """,
+        )
+        assert not result.valid
+
+    def test_insert_into_cardinality_one_invalid(self, asg):
+        result = verdict(
+            asg,
+            """
+            FOR $b IN document("v")/book
+            UPDATE $b {
+            INSERT <publisher><pubid>A01</pubid><pubname>M</pubname></publisher> }
+            """,
+        )
+        assert not result.valid and "cardinality 1" in result.reason
+
+    def test_repeated_single_child_invalid(self, asg):
+        result = verdict(
+            asg,
+            """
+            FOR $root IN document("v")
+            UPDATE $root {
+            INSERT <book>
+                <bookid>b1</bookid><bookid>b2</bookid>
+                <title>T</title><price>5.00</price>
+                <publisher><pubid>A01</pubid><pubname>M</pubname></publisher>
+            </book> }
+            """,
+        )
+        assert not result.valid and "at most once" in result.reason
+
+    def test_domain_violation_invalid(self, asg):
+        result = verdict(
+            asg,
+            """
+            FOR $b IN document("v")/book
+            WHERE $b/bookid/text() = "98001"
+            UPDATE $b {
+            INSERT <review>
+                <reviewid>this-id-is-way-too-long</reviewid>
+                <comment>ok</comment>
+            </review> }
+            """,
+        )
+        assert not result.valid and "domain" in result.reason
+
+    def test_check_violation_invalid(self, asg):
+        result = verdict(
+            asg,
+            """
+            FOR $root IN document("v")
+            UPDATE $root {
+            INSERT <book>
+                <bookid>b1</bookid><title>T</title><price>99.00</price>
+                <publisher><pubid>A01</pubid><pubname>M</pubname></publisher>
+            </book> }
+            """,
+        )
+        # price 99 violates the view's price < 50 check annotation
+        assert not result.valid and "check annotation" in result.reason
+
+    def test_optional_leaf_may_be_absent(self, asg):
+        result = verdict(
+            asg,
+            """
+            FOR $b IN document("v")/book
+            WHERE $b/bookid/text() = "98001"
+            UPDATE $b {
+            INSERT <review><reviewid>009</reviewid></review> }
+            """,
+        )
+        assert result.valid  # comment is nullable
+
+    def test_missing_required_leaf_invalid(self, asg):
+        result = verdict(
+            asg,
+            """
+            FOR $b IN document("v")/book
+            WHERE $b/bookid/text() = "98001"
+            UPDATE $b {
+            INSERT <review><comment>no id</comment></review> }
+            """,
+        )
+        assert not result.valid and "reviewid" in result.reason
+
+    def test_nested_many_children_accepted(self, asg):
+        result = verdict(
+            asg,
+            """
+            FOR $root IN document("v")
+            UPDATE $root {
+            INSERT <book>
+                <bookid>b1</bookid><title>T</title><price>5.00</price>
+                <publisher><pubid>A01</pubid><pubname>M</pubname></publisher>
+                <review><reviewid>001</reviewid><comment>c</comment></review>
+                <review><reviewid>002</reviewid></review>
+            </book> }
+            """,
+        )
+        assert result.valid
+
+
+class TestReplace:
+    def test_replace_validates_both_sides(self, asg):
+        result = verdict(
+            asg,
+            """
+            FOR $b IN document("v")/book
+            UPDATE $b { REPLACE $b/bookid WITH <bookid></bookid> }
+            """,
+        )
+        # bookid has cardinality 1 → the delete side is rejected
+        assert not result.valid
+
+    def test_replace_of_optional_leaf_with_valid_value(self, asg):
+        result = verdict(
+            asg,
+            """
+            FOR $b IN document("v")/book
+            UPDATE $b { REPLACE $b/price WITH <price>12.00</price> }
+            """,
+        )
+        assert result.valid
+
+
+def test_all_failures_collected(asg):
+    result = verdict(asg, "u1")
+    assert len(result.failures) >= 2  # title AND price problems

@@ -1,0 +1,65 @@
+"""The rectangle-rule verifier itself."""
+
+import pytest
+
+from repro.core import Outcome, check_rectangle
+from repro.workloads import books
+from repro.xquery import parse_view_update
+
+
+def test_accepted_update_reports_hold(book_db, book_view):
+    report = check_rectangle(book_db, book_view, books.update("u8"))
+    assert report.accepted and report.holds
+    assert report.expected is not None and report.actual is not None
+
+
+def test_rejected_update_reports_not_accepted(book_db, book_view):
+    report = check_rectangle(book_db, book_view, books.update("u2"))
+    assert not report.accepted
+    assert report.holds is None
+    assert report.report.outcome is Outcome.UNTRANSLATABLE
+
+
+def test_original_database_never_touched(book_db, book_view):
+    before = {name: book_db.count(name) for name in book_db.tables}
+    check_rectangle(book_db, book_view, books.update("u8"))
+    assert {name: book_db.count(name) for name in book_db.tables} == before
+
+
+def test_zero_effect_update_no_spurious_base_change(book_db, book_view):
+    report = check_rectangle(book_db, book_view, books.update("u12"))
+    assert report.accepted and report.holds
+    assert not report.spurious_base_change
+
+
+def test_text_input_accepted(book_db):
+    report = check_rectangle(
+        book_db, books.BOOK_VIEW_QUERY, books.UPDATE_TEXTS["u13"]
+    )
+    assert report.accepted and report.holds
+
+
+def test_detects_violation_of_handcrafted_bad_translation(book_db, book_view):
+    """Sanity: the verifier can actually FAIL — a no-op update whose
+    'translation' modifies the base violates criterion (ii)."""
+    from repro.core.verify import RectangleReport
+    from repro.core.ufilter import UFilter
+    from repro.xquery import apply_view_update, evaluate_view
+
+    working = book_db.clone()
+    ufilter = UFilter(working, book_view)
+    update = parse_view_update(
+        """
+        FOR $b IN document("v")/book
+        WHERE $b/bookid/text() = "nope"
+        UPDATE $b { DELETE $b/review }
+        """
+    )
+    before = evaluate_view(book_db, ufilter.view)
+    expected = before.clone()
+    application = apply_view_update(expected, update)
+    assert not application.changed
+    # a broken translator would do this:
+    working.delete("review", working.table("review").rowids())
+    actual = evaluate_view(working, ufilter.view)
+    assert not expected.equals(actual, ordered=False)

@@ -1,0 +1,107 @@
+"""Well-nestedness analysis vs STAR marking.
+
+The headline theorem of the prior work the paper cites: over a
+well-nested view every valid update is translatable. We verify our
+analyzer agrees with our own STAR marking: well-nested ⟹ every
+internal node is (clean | safe-delete ∧ safe-insert).
+"""
+
+import pytest
+
+from repro.core import build_base_asg, build_view_asg, mark_view_asg
+from repro.core.wellnested import analyze_well_nestedness
+from repro.workloads import books, psd, tpch
+from repro.xquery import parse_view_query
+
+
+def marked_asg(view, schema):
+    asg = build_view_asg(view, schema)
+    mark_view_asg(asg, build_base_asg(asg, schema))
+    return asg
+
+
+def test_tpch_linear_view_is_well_nested(tpch_tiny_db):
+    asg = marked_asg(tpch.v_success(), tpch_tiny_db.schema)
+    report = analyze_well_nestedness(asg)
+    assert report.well_nested, report.violations
+
+
+def test_bookview_is_not_well_nested(book_db, book_view):
+    asg = marked_asg(book_view, book_db.schema)
+    report = analyze_well_nestedness(asg)
+    assert not report.well_nested
+    text = " ".join(report.violations)
+    assert "publisher" in text  # republished + bound by two nodes
+
+
+def test_vfail_not_well_nested(tpch_tiny_db):
+    asg = marked_asg(tpch.v_fail("region"), tpch_tiny_db.schema)
+    report = analyze_well_nestedness(asg)
+    assert not report.well_nested
+    assert any("region" in v for v in report.violations)
+
+
+def test_psd_view_not_well_nested(psd_db):
+    asg = marked_asg(psd.psd_view(), psd_db.schema)
+    report = analyze_well_nestedness(asg)
+    assert not report.well_nested
+
+
+def test_non_fk_join_flagged(book_db):
+    view = parse_view_query(
+        """
+<V>
+FOR $b IN document("d")/book/row
+RETURN {
+    <book>
+        $b/bookid,
+        FOR $r IN document("d")/review/row
+        WHERE $b/title = $r/comment
+        RETURN { <review> $r/reviewid </review> }
+    </book>}
+</V>
+"""
+    )
+    asg = marked_asg(view, book_db.schema)
+    report = analyze_well_nestedness(asg)
+    assert not report.well_nested
+    assert any("foreign-key-aligned" in v for v in report.violations)
+
+
+def test_multi_relation_element_flagged(book_db):
+    view = parse_view_query(
+        """
+<V>
+FOR $b IN document("d")/book/row,
+    $p IN document("d")/publisher/row
+WHERE $b/pubid = $p/pubid
+RETURN { <pair> $b/bookid, $p/pubname </pair> }
+</V>
+"""
+    )
+    asg = marked_asg(view, book_db.schema)
+    report = analyze_well_nestedness(asg)
+    assert not report.well_nested
+    assert any("exactly one" in v for v in report.violations)
+
+
+def test_well_nested_implies_all_nodes_clean_safe(tpch_tiny_db, book_db):
+    """The fast-path soundness claim, checked against STAR itself."""
+    candidates = [
+        (tpch.v_success(), tpch_tiny_db.schema),
+        (tpch.v_fail("region"), tpch_tiny_db.schema),
+        (books.book_view_query(), book_db.schema),
+        (psd.psd_view(), psd.build_psd_database(entries=3).schema),
+    ]
+    for view, schema in candidates:
+        asg = marked_asg(view, schema)
+        report = analyze_well_nestedness(asg)
+        if report.well_nested:
+            for node in asg.internal_nodes():
+                assert node.safe_delete and node.safe_insert, node.name
+                assert node.upoint_clean, node.name
+
+
+def test_report_bool_protocol(tpch_tiny_db):
+    asg = marked_asg(tpch.v_success(), tpch_tiny_db.schema)
+    assert analyze_well_nestedness(asg)

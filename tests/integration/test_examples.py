@@ -1,0 +1,42 @@
+"""Every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must produce output"
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "bookstore_roundtrip.py",
+        "tpch_strategies.py",
+        "psd_bio.py",
+    } <= names
+
+
+def test_quickstart_shows_taxonomy():
+    script = next(p for p in EXAMPLES if p.name == "quickstart.py")
+    result = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=180
+    )
+    out = result.stdout
+    assert "INVALID" in out and "UNTRANSLATABLE" in out and "TRANSLATED" in out

@@ -1,0 +1,127 @@
+"""REPLACE end to end: leaf replaces become SQL UPDATEs (footnote 4)."""
+
+import pytest
+
+from repro.core import Outcome, UFilter, check_rectangle
+from repro.workloads import books
+from repro.xml import evaluate_path
+from repro.xquery import evaluate_view, parse_view_update
+
+
+def replace_price(bookid: str, price: str):
+    return parse_view_update(
+        f"""
+        FOR $b IN document("v")/book
+        WHERE $b/bookid/text() = "{bookid}"
+        UPDATE $b {{ REPLACE $b/price WITH <price>{price}</price> }}
+        """,
+        name=f"replace-price-{bookid}",
+    )
+
+
+def replace_comment(bookid: str, reviewid: str, comment: str):
+    return parse_view_update(
+        f"""
+        FOR $b IN document("v")/book,
+            $r IN $b/review
+        WHERE $b/bookid/text() = "{bookid}"
+          AND $r/reviewid/text() = "{reviewid}"
+        UPDATE $r {{ REPLACE $r/comment WITH <comment>{comment}</comment> }}
+        """,
+        name="replace-comment",
+    )
+
+
+@pytest.mark.parametrize("strategy", ["outside", "hybrid", "internal"])
+def test_replace_price_translates_to_update(book_db, book_view, strategy):
+    checker = UFilter(book_db, book_view)
+    report = checker.check(
+        replace_price("98001", "29.99"), strategy=strategy, execute=True
+    )
+    assert report.outcome is Outcome.TRANSLATED, report.reason
+    assert any(sql.startswith("UPDATE book SET price") for sql in report.sql_updates)
+    row = book_db.row("book", book_db.find_rowids("book", {"bookid": "98001"}).pop())
+    assert row["price"] == 29.99
+
+
+@pytest.mark.parametrize("strategy", ["outside", "hybrid"])
+def test_replace_rectangle_holds(book_db, book_view, strategy):
+    report = check_rectangle(
+        book_db, book_view, replace_price("98001", "29.99"), strategy=strategy
+    )
+    assert report.accepted and report.holds
+
+
+def test_replace_nested_leaf(book_db, book_view):
+    checker = UFilter(book_db, book_view)
+    report = checker.check(
+        replace_comment("98001", "001", "Updated text."), execute=True
+    )
+    assert report.outcome is Outcome.TRANSLATED
+    doc = evaluate_view(book_db, checker.view)
+    comments = evaluate_path(
+        doc, "book[bookid='98001']/review[reviewid='001']/comment/text()"
+    )
+    assert comments == ["Updated text."]
+
+
+def test_replace_schema_classification(book_ufilter):
+    report = book_ufilter.check(
+        replace_price("98001", "29.99"), run_data_checks=False
+    )
+    assert report.outcome is Outcome.UNCONDITIONALLY_TRANSLATABLE
+    assert "in place" in report.reason
+
+
+def test_replace_value_out_of_region_invalid(book_ufilter):
+    # the view only holds books under $50 — 99.00 violates the check
+    report = book_ufilter.check(replace_price("98001", "99.00"))
+    assert report.outcome is Outcome.INVALID
+
+
+def test_replace_not_null_with_empty_invalid(book_ufilter):
+    update = parse_view_update(
+        """
+        FOR $b IN document("v")/book
+        UPDATE $b { REPLACE $b/title WITH <title> </title> }
+        """
+    )
+    report = book_ufilter.check(update)
+    assert report.outcome is Outcome.INVALID
+
+
+def test_replace_title_allowed(book_db, book_view):
+    # title is NOT NULL cardinality-1, but replacing (not deleting) is fine
+    checker = UFilter(book_db, book_view)
+    update = parse_view_update(
+        """
+        FOR $b IN document("v")/book
+        WHERE $b/bookid/text() = "98003"
+        UPDATE $b { REPLACE $b/title WITH <title>Data on the Web 2e</title> }
+        """
+    )
+    report = checker.check(update, execute=True)
+    assert report.outcome is Outcome.TRANSLATED
+    row = book_db.row("book", book_db.find_rowids("book", {"bookid": "98003"}).pop())
+    assert row["title"] == "Data on the Web 2e"
+
+
+def test_replace_on_missing_context_rejected(book_ufilter):
+    report = book_ufilter.check(replace_price("nope", "10.00"))
+    assert report.outcome is Outcome.DATA_CONFLICT
+
+
+def test_replace_unique_conflict_caught(book_db, book_view):
+    # replacing pubname in the top-level publisher list with a name that
+    # already exists violates the UNIQUE constraint
+    checker = UFilter(book_db, book_view)
+    update = parse_view_update(
+        """
+        FOR $p IN document("v")/publisher
+        WHERE $p/pubid/text() = "B01"
+        UPDATE $p { REPLACE $p/pubname WITH <pubname>McGraw-Hill Inc.</pubname> }
+        """
+    )
+    report = checker.check(update, execute=True)
+    assert report.outcome is Outcome.DATA_CONFLICT
+    assert "engine" in report.reason or "replace rejected" in report.reason

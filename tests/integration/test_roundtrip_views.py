@@ -1,0 +1,127 @@
+"""The "round-trip" flavoured view of the paper's §8 (Wang et al. [31]).
+
+A flat wrapper that republishes every relation as its own element list
+(like the default XML view). Interesting subtlety: with CASCADE foreign
+keys, deleting a <publisher> element from such a wrapper is *still*
+untranslatable — the cascade would remove <book>/<review> elements
+published elsewhere — and U-Filter's Rule 2 catches exactly that. Only
+the leaf relation of the FK chain (review) is freely deletable, while
+*inserts* are safe at every node. The tests pin this down and verify
+the accepted updates against the rectangle rule.
+"""
+
+import pytest
+
+from repro.core import Outcome, UFilter, check_rectangle
+from repro.workloads import books
+from repro.xquery import parse_view_update
+
+ROUNDTRIP_VIEW = """
+<Wrapper>
+FOR $p IN document("default.xml")/publisher/row
+RETURN { <publisher> $p/pubid, $p/pubname </publisher> },
+FOR $b IN document("default.xml")/book/row
+RETURN { <book> $b/bookid, $b/title, $b/pubid, $b/price, $b/year </book> },
+FOR $r IN document("default.xml")/review/row
+RETURN { <review> $r/bookid, $r/reviewid, $r/comment, $r/reviewer </review> }
+</Wrapper>
+"""
+
+
+@pytest.fixture()
+def checker(book_db):
+    return UFilter(book_db, ROUNDTRIP_VIEW)
+
+
+def test_marks_reflect_cascade_visibility(checker):
+    marks = {n.name: n for n in checker.view_asg.internal_nodes()}
+    # the FK-chain leaf is freely updatable
+    assert marks["review"].safe_delete and marks["review"].upoint_clean
+    # parents are delete-unsafe: their cascade hits republished children
+    assert not marks["publisher"].safe_delete
+    assert not marks["book"].safe_delete
+    assert "Rule 2" in marks["publisher"].unsafe_reason
+    # inserts are safe everywhere (nothing new appears elsewhere)
+    for node in marks.values():
+        assert node.safe_insert, node.name
+
+
+def test_parent_delete_untranslatable(checker):
+    update = parse_view_update(
+        """
+        FOR $root IN document("w"), $p IN $root/publisher
+        WHERE $p/pubid/text() = "A01"
+        UPDATE $root { DELETE $p }
+        """
+    )
+    report = checker.check(update)
+    assert report.outcome is Outcome.UNTRANSLATABLE
+
+
+def test_leaf_delete_translates(book_db, checker):
+    update = parse_view_update(
+        """
+        FOR $root IN document("w"), $r IN $root/review
+        WHERE $r/reviewid/text() = "001"
+        UPDATE $root { DELETE $r }
+        """
+    )
+    report = checker.check(update, execute=True)
+    assert report.outcome is Outcome.TRANSLATED
+    assert book_db.count("review") == 1
+
+
+def test_inserts_translate_at_every_level(book_db, checker):
+    cases = [
+        """
+        FOR $root IN document("w")
+        UPDATE $root {
+        INSERT <publisher><pubid>Z09</pubid><pubname>Zed</pubname></publisher> }
+        """,
+        """
+        FOR $root IN document("w")
+        UPDATE $root {
+        INSERT <book>
+            <bookid>b77</bookid><title>New</title><pubid>A01</pubid>
+            <price>10.00</price><year>2004</year>
+        </book> }
+        """,
+        """
+        FOR $root IN document("w")
+        UPDATE $root {
+        INSERT <review>
+            <bookid>98003</bookid><reviewid>005</reviewid>
+            <comment>great</comment><reviewer>zoe</reviewer>
+        </review> }
+        """,
+    ]
+    for text in cases:
+        report = checker.check(parse_view_update(text), execute=True)
+        assert report.outcome is Outcome.TRANSLATED, report.reason
+    assert book_db.count("publisher") == 4
+    assert book_db.count("book") == 4
+    assert book_db.count("review") == 3
+
+
+def test_rectangle_holds_for_accepted_updates(book_db):
+    for text in (
+        """
+        FOR $root IN document("w"), $r IN $root/review
+        WHERE $r/reviewid/text() = "002"
+        UPDATE $root { DELETE $r }
+        """,
+        """
+        FOR $root IN document("w")
+        UPDATE $root {
+        INSERT <publisher><pubid>Z09</pubid><pubname>Zed</pubname></publisher> }
+        """,
+    ):
+        report = check_rectangle(book_db, ROUNDTRIP_VIEW, parse_view_update(text))
+        assert report.accepted and report.holds
+
+
+def test_updatability_matrix_summarizes_wrapper(checker):
+    matrix = {row["element"]: row for row in checker.updatability_matrix()}
+    assert matrix["review"]["delete"] == "unconditionally translatable"
+    assert matrix["publisher"]["delete"] == "untranslatable"
+    assert "untranslatable" not in matrix["publisher"]["insert"]

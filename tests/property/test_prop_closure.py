@@ -1,0 +1,93 @@
+"""Property-based tests on the closure algebra (⊑ preorder, ⊔ laws)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Closure, Group, join_closures
+
+leaf_names = st.sampled_from(
+    ["a.x", "a.y", "b.x", "b.y", "c.x", "c.y", "d.x"]
+)
+conditions = st.sampled_from([None, "c1", "c2"])
+
+
+def closures(depth=2):
+    flat = st.builds(
+        lambda leaves: Closure(frozenset(leaves), frozenset()),
+        st.sets(leaf_names, max_size=4),
+    )
+    return st.recursive(
+        flat,
+        lambda inner: st.builds(
+            lambda leaves, groups: Closure(
+                frozenset(leaves),
+                frozenset(groups),
+            ),
+            st.sets(leaf_names, max_size=3),
+            st.sets(
+                st.builds(Group, inner, conditions),
+                max_size=2,
+            ),
+        ),
+        max_leaves=6,
+    )
+
+
+@given(c=closures())
+def test_contains_reflexive(c):
+    assert c.contains(c)
+
+
+@given(c=closures())
+def test_equivalent_reflexive(c):
+    assert c.equivalent(c)
+
+
+@given(a=closures(), b=closures())
+def test_equivalent_symmetric(a, b):
+    assert a.equivalent(b) == b.equivalent(a)
+
+
+@given(a=closures(), b=closures(), c=closures())
+@settings(max_examples=60)
+def test_contains_transitive(a, b, c):
+    if a.contains(b) and b.contains(c):
+        assert a.contains(c)
+
+
+@given(a=closures())
+def test_empty_closure_contained_everywhere(a):
+    empty = Closure(frozenset(), frozenset())
+    assert a.contains(empty)
+
+
+@given(a=closures(), b=closures())
+def test_join_contains_both_inputs(a, b):
+    joined = join_closures([a, b])
+    assert joined.contains(a)
+    assert joined.contains(b)
+
+
+@given(a=closures(), b=closures())
+def test_join_commutative_up_to_equivalence(a, b):
+    left = join_closures([a, b])
+    right = join_closures([b, a])
+    assert left.equivalent(right)
+
+
+@given(a=closures())
+def test_join_idempotent(a):
+    assert join_closures([a, a]).equivalent(a)
+
+
+@given(a=closures(), b=closures())
+def test_absorption_law(a, b):
+    if a.contains(b):
+        assert join_closures([a, b]).equivalent(a)
+
+
+@given(a=closures())
+def test_leaf_names_cover_all_levels(a):
+    names = a.leaf_names()
+    for level in a.all_levels():
+        assert level.leaves <= names

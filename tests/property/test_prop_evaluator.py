@@ -1,0 +1,102 @@
+"""Property-based invariants of view materialization.
+
+The evaluator is the reproduction's ground truth, so it gets its own
+invariants: determinism, monotonicity under inserts of qualifying
+tuples, and consistency between the view content and direct SQL over
+the base.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import books
+from repro.xml import evaluate_path
+from repro.xquery import evaluate_view
+
+pub_ids = st.sampled_from(["A01", "A02", "B01"])
+prices = st.floats(min_value=1.0, max_value=99.0, allow_nan=False)
+years = st.integers(min_value=1980, max_value=2005)
+
+book_rows = st.lists(
+    st.tuples(pub_ids, prices, years),
+    max_size=6,
+)
+
+
+def build_db(rows):
+    db = books.build_book_database()
+    db.delete("review", db.table("review").rowids())
+    db.delete("book", db.table("book").rowids())
+    for index, (pubid, price, year) in enumerate(rows):
+        db.insert(
+            "book",
+            {"bookid": f"g{index}", "title": f"T{index}", "pubid": pubid,
+             "price": round(price, 2), "year": year},
+        )
+    return db
+
+
+@given(rows=book_rows)
+@settings(max_examples=40, deadline=None)
+def test_materialization_deterministic(rows):
+    db = build_db(rows)
+    view = books.book_view_query()
+    assert evaluate_view(db, view).equals(evaluate_view(db, view))
+
+
+@given(rows=book_rows)
+@settings(max_examples=40, deadline=None)
+def test_view_content_matches_predicate_semantics(rows):
+    db = build_db(rows)
+    doc = evaluate_view(db, books.book_view_query())
+    in_view = set(evaluate_path(doc, "book/bookid/text()"))
+    expected = {
+        f"g{index}"
+        for index, (pubid, price, year) in enumerate(rows)
+        if round(price, 2) < 50.0 and year > 1990
+    }
+    assert in_view == expected
+
+
+@given(rows=book_rows)
+@settings(max_examples=40, deadline=None)
+def test_publisher_republication_complete(rows):
+    db = build_db(rows)
+    doc = evaluate_view(db, books.book_view_query())
+    publishers = evaluate_path(doc, "publisher/pubid/text()")
+    assert publishers == ["A01", "B01", "A02"]  # all, in table order
+
+
+@given(rows=book_rows, price=prices, year=years)
+@settings(max_examples=40, deadline=None)
+def test_monotone_under_qualifying_insert(rows, price, year):
+    db = build_db(rows)
+    view = books.book_view_query()
+    before = len(evaluate_path(evaluate_view(db, view), "book"))
+    qualifies = round(price, 2) < 50.0 and year > 1990
+    db.insert(
+        "book",
+        {"bookid": "new1", "title": "N", "pubid": "A01",
+         "price": round(price, 2), "year": year},
+    )
+    after = len(evaluate_path(evaluate_view(db, view), "book"))
+    assert after == before + (1 if qualifies else 0)
+
+
+@given(rows=book_rows)
+@settings(max_examples=30, deadline=None)
+def test_nested_reviews_respect_correlation(rows):
+    db = build_db(rows)
+    # attach one review to every even-indexed book
+    for index in range(0, len(rows), 2):
+        db.insert(
+            "review",
+            {"bookid": f"g{index}", "reviewid": "001", "comment": "c",
+             "reviewer": "r"},
+        )
+    doc = evaluate_view(db, books.book_view_query())
+    for book in evaluate_path(doc, "book"):
+        bookid = book.value_of("bookid")
+        reviews = book.child_elements("review")
+        index = int(bookid[1:])
+        assert len(reviews) == (1 if index % 2 == 0 else 0)

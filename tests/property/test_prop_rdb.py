@@ -1,0 +1,139 @@
+"""Property-based tests on relational-engine invariants.
+
+The central invariant: after any sequence of inserts/deletes wrapped in
+a transaction, rollback restores the exact database state — tables AND
+indexes — regardless of cascades.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DatabaseError
+from repro.workloads import books
+
+publisher_ids = st.sampled_from(["A01", "A02", "B01", "X01", "X02"])
+book_ids = st.sampled_from(["98001", "98002", "98003", "n1", "n2", "n3"])
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("insert_book"),
+            book_ids,
+            publisher_ids,
+            st.floats(min_value=1, max_value=49, allow_nan=False),
+        ),
+        st.tuples(st.just("delete_book"), book_ids),
+        st.tuples(st.just("delete_publisher"), publisher_ids),
+        st.tuples(st.just("insert_review"), book_ids, st.sampled_from(["101", "102"])),
+    ),
+    max_size=8,
+)
+
+
+def snapshot(db):
+    return {
+        name: sorted(
+            (rowid, tuple(sorted(row.items())))
+            for rowid, row in db.table(name).scan()
+        )
+        for name in db.tables
+    }
+
+
+def apply_ops(db, ops):
+    for op in ops:
+        try:
+            if op[0] == "insert_book":
+                db.insert(
+                    "book",
+                    {"bookid": op[1], "title": f"T-{op[1]}", "pubid": op[2],
+                     "price": op[3], "year": 2000},
+                )
+            elif op[0] == "delete_book":
+                db.delete("book", db.find_rowids("book", {"bookid": op[1]}))
+            elif op[0] == "delete_publisher":
+                db.delete(
+                    "publisher", db.find_rowids("publisher", {"pubid": op[1]})
+                )
+            elif op[0] == "insert_review":
+                db.insert(
+                    "review",
+                    {"bookid": op[1], "reviewid": op[2], "comment": "c",
+                     "reviewer": "r"},
+                )
+        except DatabaseError:
+            pass  # constraint rejections are part of normal operation
+
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_rollback_restores_exact_state(ops):
+    db = books.build_book_database()
+    before = snapshot(db)
+    db.begin()
+    apply_ops(db, ops)
+    db.rollback()
+    assert snapshot(db) == before
+
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_rollback_restores_index_consistency(ops):
+    db = books.build_book_database()
+    db.begin()
+    apply_ops(db, ops)
+    db.rollback()
+    # every index entry must point at a live, matching row
+    for relation_name, indexes in db.indexes.items():
+        table = db.table(relation_name)
+        for index in indexes:
+            for key, bucket in index._entries.items():
+                for rowid in bucket:
+                    assert rowid in table
+                    assert index.key_of(table.get(rowid)) == key
+    # and every row must be findable through its PK index
+    for relation_name in db.tables:
+        relation = db.schema.relation(relation_name)
+        key = relation.primary_key
+        if key is None:
+            continue
+        for rowid, row in db.table(relation_name).scan():
+            found = db.find_rowids(
+                relation_name, {c: row[c] for c in key.columns}
+            )
+            assert rowid in found
+
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_referential_integrity_always_holds(ops):
+    db = books.build_book_database()
+    apply_ops(db, ops)
+    for relation in db.schema:
+        for fk in relation.foreign_keys:
+            for _, row in db.table(relation.name).scan():
+                key = tuple(row.get(c) for c in fk.columns)
+                if any(component is None for component in key):
+                    continue
+                parents = db.find_rowids(
+                    fk.ref_relation, dict(zip(fk.ref_columns, key))
+                )
+                assert parents, (
+                    f"orphaned {relation.name} row {row} after {ops}"
+                )
+
+
+@given(ops=operations)
+@settings(max_examples=40, deadline=None)
+def test_unique_keys_never_duplicated(ops):
+    db = books.build_book_database()
+    apply_ops(db, ops)
+    for relation in db.schema:
+        key = relation.primary_key
+        if key is None:
+            continue
+        seen = set()
+        for _, row in db.table(relation.name).scan():
+            value = tuple(row[c] for c in key.columns)
+            assert value not in seen
+            seen.add(value)

@@ -1,0 +1,163 @@
+"""The headline property: every update U-Filter ACCEPTS satisfies the
+rectangle rule on randomized databases.
+
+Databases are random instances of the Fig. 1 schema; updates are drawn
+from parameterized families covering deletes and inserts at several
+view nodes.  Whatever the checker accepts must translate without view
+side effects; whatever it rejects must leave the base untouched.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Outcome, check_rectangle
+from repro.workloads import books
+from repro.xquery import parse_view_update
+
+# ---------------------------------------------------------------------------
+# random databases over the Fig. 1 schema
+# ---------------------------------------------------------------------------
+
+pub_ids = ["A01", "A02", "B01"]
+book_ids = ["b1", "b2", "b3", "b4"]
+
+
+@st.composite
+def book_databases(draw):
+    db_spec = {
+        "books": draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(book_ids),
+                    st.sampled_from(pub_ids),
+                    st.floats(min_value=1, max_value=99, allow_nan=False),
+                    st.integers(min_value=1980, max_value=2005),
+                ),
+                max_size=4,
+                unique_by=lambda t: t[0],
+            )
+        ),
+        "reviews": draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(book_ids),
+                    st.sampled_from(["001", "002"]),
+                ),
+                max_size=3,
+                unique_by=lambda t: (t[0], t[1]),
+            )
+        ),
+    }
+    return db_spec
+
+
+def materialize(spec):
+    db = books.build_book_database()
+    # wipe the sample tuples, keep the schema
+    db.delete("review", db.table("review").rowids())
+    db.delete("book", db.table("book").rowids())
+    for bookid, pubid, price, year in spec["books"]:
+        db.insert(
+            "book",
+            {"bookid": bookid, "title": f"T-{bookid}", "pubid": pubid,
+             "price": round(price, 2), "year": year},
+        )
+    present = {b[0] for b in spec["books"]}
+    for bookid, reviewid in spec["reviews"]:
+        if bookid in present:
+            db.insert(
+                "review",
+                {"bookid": bookid, "reviewid": reviewid, "comment": "c",
+                 "reviewer": "r"},
+            )
+    return db
+
+
+# ---------------------------------------------------------------------------
+# update families
+# ---------------------------------------------------------------------------
+
+
+def delete_reviews_of(bookid):
+    return parse_view_update(
+        f"""
+        FOR $b IN document("v")/book
+        WHERE $b/bookid/text() = "{bookid}"
+        UPDATE $b {{ DELETE $b/review }}
+        """
+    )
+
+
+def delete_book(bookid):
+    return parse_view_update(
+        f"""
+        FOR $root IN document("v"), $b IN $root/book
+        WHERE $b/bookid/text() = "{bookid}"
+        UPDATE $root {{ DELETE $b }}
+        """
+    )
+
+
+def insert_review(bookid, reviewid):
+    return parse_view_update(
+        f"""
+        FOR $b IN document("v")/book
+        WHERE $b/bookid/text() = "{bookid}"
+        UPDATE $b {{
+        INSERT <review>
+            <reviewid>{reviewid}</reviewid>
+            <comment>generated</comment>
+        </review> }}
+        """
+    )
+
+
+updates = st.one_of(
+    st.builds(delete_reviews_of, st.sampled_from(book_ids)),
+    st.builds(delete_book, st.sampled_from(book_ids)),
+    st.builds(insert_review, st.sampled_from(book_ids), st.sampled_from(["009", "010"])),
+)
+
+
+@given(spec=book_databases(), update=updates)
+@settings(max_examples=50, deadline=None)
+def test_accepted_updates_satisfy_rectangle(spec, update):
+    db = materialize(spec)
+    report = check_rectangle(db, books.book_view_query(), update)
+    if report.accepted:
+        assert report.holds, report.report.summary()
+
+
+@given(spec=book_databases(), update=updates)
+@settings(max_examples=50, deadline=None)
+def test_rejected_updates_leave_base_untouched(spec, update):
+    db = materialize(spec)
+    before = {
+        name: sorted(
+            (rowid, tuple(sorted(row.items())))
+            for rowid, row in db.table(name).scan()
+        )
+        for name in ("publisher", "book", "review")
+    }
+    report = check_rectangle(db, books.book_view_query(), update)
+    if not report.accepted:
+        # the verifier runs on a clone; the original must be untouched,
+        # and the clone inside the verifier rolled everything back
+        after = {
+            name: sorted(
+                (rowid, tuple(sorted(row.items())))
+                for rowid, row in db.table(name).scan()
+            )
+            for name in ("publisher", "book", "review")
+        }
+        assert after == before
+
+
+@given(spec=book_databases())
+@settings(max_examples=30, deadline=None)
+def test_zero_effect_updates_are_base_no_ops(spec):
+    db = materialize(spec)
+    update = delete_reviews_of("no-such-book")
+    report = check_rectangle(db, books.book_view_query(), update)
+    if report.accepted:
+        assert not report.spurious_base_change

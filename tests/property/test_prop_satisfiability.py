@@ -1,0 +1,79 @@
+"""Property-based tests for the satisfiability solver.
+
+Soundness invariant: if a concrete value satisfies every constraint,
+the solver must call the conjunction satisfiable (it may over-approximate
+but never under-approximate — U-Filter must not reject good updates).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ValueConstraint, is_satisfiable, value_satisfies
+
+OPS = ["=", "<>", "<", "<=", ">", ">="]
+
+numbers = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(min_value=-1000, max_value=1000, allow_nan=False, width=32),
+)
+
+constraints = st.lists(
+    st.builds(ValueConstraint, st.sampled_from(OPS), numbers),
+    min_size=0,
+    max_size=6,
+)
+
+
+@given(value=numbers, atoms=constraints)
+def test_witness_implies_satisfiable(value, atoms):
+    if value_satisfies(value, atoms):
+        assert is_satisfiable(atoms)
+
+
+@given(atoms=constraints)
+def test_unsat_conjunctions_have_no_small_witness(atoms):
+    """Completeness spot-check over a dense grid of candidate values."""
+    if is_satisfiable(atoms):
+        return
+    grid = [x / 2 for x in range(-2010, 2011)]
+    literals = [float(a.literal) for a in atoms]
+    candidates = grid + literals + [l + 0.25 for l in literals] + [
+        l - 0.25 for l in literals
+    ]
+    assert not any(value_satisfies(v, atoms) for v in candidates)
+
+
+@given(atoms=constraints)
+def test_order_insensitive(atoms):
+    assert is_satisfiable(atoms) == is_satisfiable(list(reversed(atoms)))
+
+
+@given(atoms=constraints, extra=constraints)
+def test_monotone_under_conjunction(atoms, extra):
+    """Adding constraints can only shrink the solution set."""
+    if not is_satisfiable(atoms):
+        assert not is_satisfiable(atoms + extra)
+
+
+@given(value=numbers)
+def test_equality_to_self_always_satisfiable(value):
+    assert is_satisfiable([ValueConstraint("=", value)])
+
+
+@given(value=numbers)
+def test_contradictory_pair_never_satisfiable(value):
+    atoms = [ValueConstraint("<", value), ValueConstraint(">", value)]
+    assert not is_satisfiable(atoms)
+
+
+strings = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")),
+    min_size=0,
+    max_size=8,
+)
+
+
+@given(value=strings, other=strings)
+def test_string_equality_behaviour(value, other):
+    atoms = [ValueConstraint("=", value), ValueConstraint("=", other)]
+    assert is_satisfiable(atoms) == (value == other)

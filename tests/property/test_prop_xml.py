@@ -1,0 +1,77 @@
+"""Property-based tests over the XML substrate: round-trips, equality."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.xml import XMLElement, element, parse_xml, serialize
+
+tag_names = st.from_regex(r"[A-Za-z_][A-Za-z0-9_\-]{0,8}", fullmatch=True)
+text_values = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs", "Cc"), blacklist_characters="<>&"
+    ),
+    min_size=1,
+    max_size=20,
+).filter(lambda s: s.strip())
+
+
+def trees(depth=3):
+    leaf = st.builds(lambda t, v: element(t, v), tag_names, text_values)
+    return st.recursive(
+        leaf,
+        lambda children: st.builds(
+            lambda t, cs: element(t, *cs),
+            tag_names,
+            st.lists(children, min_size=0, max_size=3),
+        ),
+        max_leaves=10,
+    )
+
+
+@given(tree=trees())
+def test_serialize_parse_round_trip(tree):
+    assert parse_xml(serialize(tree)).equals(tree)
+
+
+@given(tree=trees())
+def test_compact_serialize_round_trip(tree):
+    assert parse_xml(serialize(tree, indent=0)).equals(tree)
+
+
+@given(tree=trees())
+def test_clone_equals_original(tree):
+    assert tree.clone().equals(tree, ordered=True)
+
+
+@given(tree=trees())
+def test_equality_reflexive_unordered(tree):
+    assert tree.equals(tree, ordered=False)
+
+
+@given(tree=trees())
+def test_canonical_key_stable_under_clone(tree):
+    assert tree.canonical_key() == tree.clone().canonical_key()
+
+
+@given(tree=trees(), tag=tag_names, value=text_values)
+def test_append_then_detach_restores_equality(tree, tag, value):
+    snapshot = tree.clone()
+    child = element(tag, value)
+    tree.append(child)
+    assert not tree.equals(snapshot)
+    child.detach()
+    assert tree.equals(snapshot)
+
+
+@given(tree=trees())
+def test_ordered_equality_implies_unordered(tree):
+    copy = tree.clone()
+    if tree.equals(copy, ordered=True):
+        assert tree.equals(copy, ordered=False)
+
+
+@given(tree=trees())
+def test_iter_visits_every_element_once(tree):
+    visited = list(tree.iter())
+    assert len(visited) == len({id(node) for node in visited})
+    assert visited[0] is tree

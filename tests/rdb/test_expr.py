@@ -1,0 +1,149 @@
+"""Expression evaluation: three-valued logic, SQL rendering, columns."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.rdb.expr import (
+    And,
+    ColumnRef,
+    Comparison,
+    InSubquery,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    col,
+    conjoin,
+    lit,
+)
+
+ROW_ENV = {"book": {"price": 37.0, "title": "TCP/IP", "year": None}}
+
+
+def test_literal_eval():
+    assert Literal(5).eval({}) == 5
+
+
+def test_qualified_column_ref():
+    assert ColumnRef("price", "book").eval(ROW_ENV) == 37.0
+
+
+def test_unqualified_column_ref():
+    assert ColumnRef("title").eval(ROW_ENV) == "TCP/IP"
+
+
+def test_unknown_column_raises():
+    with pytest.raises(SchemaError):
+        ColumnRef("missing").eval(ROW_ENV)
+
+
+def test_unknown_qualifier_raises():
+    with pytest.raises(SchemaError):
+        ColumnRef("price", "nope").eval(ROW_ENV)
+
+
+def test_ambiguous_column_with_equal_values_tolerated():
+    env = {"a": {"k": 1}, "b": {"k": 1}}
+    assert ColumnRef("k").eval(env) == 1
+
+
+def test_ambiguous_column_with_differing_values_raises():
+    env = {"a": {"k": 1}, "b": {"k": 2}}
+    with pytest.raises(SchemaError):
+        ColumnRef("k").eval(env)
+
+
+@pytest.mark.parametrize(
+    "op, expected",
+    [("=", False), ("<>", True), ("<", True), ("<=", True), (">", False), (">=", False)],
+)
+def test_comparison_operators(op, expected):
+    assert Comparison(op, lit(1), lit(2)).eval({}) is expected
+
+
+def test_comparison_with_null_is_unknown():
+    predicate = Comparison("=", ColumnRef("year", "book"), lit(1997))
+    assert predicate.eval(ROW_ENV) is None
+
+
+def test_comparison_negated():
+    assert Comparison("<", lit(1), lit(2)).negated().op == ">="
+
+
+def test_and_short_circuit_false():
+    crash = ColumnRef("missing")
+    assert And(lit(False), crash).eval({}) is False
+
+
+def test_and_unknown_propagates():
+    assert And(lit(True), Comparison("=", lit(None), lit(1))).eval({}) is None
+
+
+def test_or_short_circuit_true():
+    crash = ColumnRef("missing")
+    assert Or(lit(True), crash).eval({}) is True
+
+
+def test_or_false_false():
+    assert Or(lit(False), lit(False)).eval({}) is False
+
+
+def test_not_unknown():
+    assert Not(Comparison("=", lit(None), lit(1))).eval({}) is None
+
+
+def test_is_null_never_unknown():
+    assert IsNull(ColumnRef("year", "book")).eval(ROW_ENV) is True
+    assert IsNull(ColumnRef("price", "book")).eval(ROW_ENV) is False
+    assert IsNull(ColumnRef("year", "book"), negate=True).eval(ROW_ENV) is False
+
+
+def test_in_subquery():
+    predicate = InSubquery(col("book.price"), [37.0, 45.0], "SELECT ...")
+    assert predicate.eval(ROW_ENV) is True
+    assert InSubquery(col("book.price"), [], "SELECT ...").eval(ROW_ENV) is False
+
+
+def test_in_subquery_null_operand():
+    assert InSubquery(col("book.year"), [1], "q").eval(ROW_ENV) is None
+
+
+def test_columns_collects_refs():
+    expr = And(
+        Comparison("=", col("a.x"), col("b.y")),
+        Comparison(">", col("a.z"), lit(1)),
+    )
+    assert expr.columns() == {("a", "x"), ("b", "y"), ("a", "z")}
+
+
+def test_conjuncts_flatten():
+    expr = And(And(lit(True), lit(True)), lit(False))
+    assert len(expr.conjuncts()) == 3
+
+
+def test_conjoin_builds_nested_and():
+    combined = conjoin([lit(True), lit(True), lit(False)])
+    assert combined.eval({}) is False
+
+
+def test_conjoin_empty_is_none():
+    assert conjoin([]) is None
+
+
+def test_to_sql_round_trip_shapes():
+    expr = And(
+        Comparison("=", col("book.pubid"), col("publisher.pubid")),
+        Comparison("<", col("book.price"), lit(50.0)),
+    )
+    sql = expr.to_sql()
+    assert "book.pubid = publisher.pubid" in sql
+    assert "book.price < 50.0" in sql
+
+
+def test_col_helper_parses_qualifier():
+    ref = col("book.price")
+    assert ref.qualifier == "book" and ref.column == "price"
+
+
+def test_comparison_normalizes_bang_equals():
+    assert Comparison("!=", lit(1), lit(2)).op == "<>"

@@ -1,0 +1,227 @@
+"""Textual SQL layer: lexer, parser, executor."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.rdb import Database, Schema, SQLEngine, parse_script, parse_statement
+from repro.rdb.sql.ast import (
+    CreateTableStatement,
+    DeleteStatement,
+    InsertStatement,
+    SelectStatement,
+    UpdateStatement,
+)
+from repro.rdb.sql.lexer import TokenKind, tokenize
+from repro.workloads import books
+
+
+# ---------------------------------------------------------------------------
+# lexer
+# ---------------------------------------------------------------------------
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        kinds = [t.kind for t in tokenize("select From WHERE")]
+        assert kinds[:3] == [TokenKind.KEYWORD] * 3
+
+    def test_strings_with_doubled_quotes(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_double_quoted_strings(self):
+        assert tokenize('"98003"')[0].value == "98003"
+
+    def test_numbers(self):
+        tokens = tokenize("12 37.5")
+        assert [t.value for t in tokens[:2]] == ["12", "37.5"]
+
+    def test_qualified_name_dots_are_punct(self):
+        values = [t.value for t in tokenize("book.price")]
+        assert values[:3] == ["book", ".", "price"]
+
+    def test_operators(self):
+        values = [t.value for t in tokenize("<= >= <> != = < >")]
+        assert values[:7] == ["<=", ">=", "<>", "!=", "=", "<", ">"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- comment\n1")
+        assert tokens[1].value == "1"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT @")
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+class TestParser:
+    def test_select_star(self):
+        statement = parse_statement("SELECT * FROM book")
+        assert isinstance(statement, SelectStatement)
+        assert statement.columns is None
+
+    def test_select_rowid(self):
+        statement = parse_statement("SELECT ROWID FROM review")
+        assert statement.select_rowids
+
+    def test_select_distinct(self):
+        assert parse_statement("SELECT DISTINCT title FROM book").distinct
+
+    def test_select_with_aliases(self):
+        statement = parse_statement("SELECT b.title AS t FROM book b")
+        assert statement.from_items[0].alias == "b"
+        assert statement.columns[0].label == "t"
+
+    def test_where_precedence(self):
+        statement = parse_statement(
+            "SELECT * FROM book WHERE price > 1 AND price < 2 OR title = 'x'"
+        )
+        from repro.rdb.expr import Or
+
+        assert isinstance(statement.where, Or)
+
+    def test_is_null(self):
+        statement = parse_statement("SELECT * FROM book WHERE pubid IS NULL")
+        from repro.rdb.expr import IsNull
+
+        assert isinstance(statement.where, IsNull)
+
+    def test_insert_positional_unparenthesized(self):
+        statement = parse_statement(
+            "INSERT INTO review VALUES '98003', '001', 'nice', NULL"
+        )
+        assert isinstance(statement, InsertStatement)
+        assert statement.values == ["98003", "001", "nice", None]
+
+    def test_insert_with_columns(self):
+        statement = parse_statement(
+            "INSERT INTO book (bookid, title) VALUES ('b1', 't1')"
+        )
+        assert statement.columns == ["bookid", "title"]
+
+    def test_insert_negative_number(self):
+        statement = parse_statement("INSERT INTO book VALUES 'b', 't', 'p', -1.5, 2000")
+        assert statement.values[3] == -1.5
+
+    def test_delete(self):
+        statement = parse_statement("DELETE FROM book WHERE bookid = '98001'")
+        assert isinstance(statement, DeleteStatement)
+
+    def test_update(self):
+        statement = parse_statement(
+            "UPDATE book SET price = 9.99, title = 'New' WHERE bookid = 'b'"
+        )
+        assert isinstance(statement, UpdateStatement)
+        assert statement.assignments == {"price": 9.99, "title": "New"}
+
+    def test_create_table_with_paper_spellings(self):
+        statement = parse_statement(
+            "CREATE TABLE t (a VARCHAR2(5), CONSTRAINTS TPK PRIMARYKEY (a))"
+        )
+        assert isinstance(statement, CreateTableStatement)
+        assert statement.constraints[0].kind == "primary key"
+
+    def test_create_table_fk_policies(self):
+        statement = parse_statement(
+            "CREATE TABLE t (a INTEGER, FOREIGN KEY (a) REFERENCES p (id) "
+            "ON DELETE SET NULL)"
+        )
+        assert statement.constraints[0].on_delete == "set null"
+
+    def test_in_subquery(self):
+        statement = parse_statement(
+            "DELETE FROM review WHERE bookid IN (SELECT bookid FROM tab)"
+        )
+        from repro.rdb.sql.ast import InSelect
+
+        assert isinstance(statement.where, InSelect)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT * FROM book extra stuff ,")
+
+    def test_parse_script_splits_statements(self):
+        statements = parse_script("SELECT * FROM a; SELECT * FROM b;")
+        assert len(statements) == 2
+
+
+# ---------------------------------------------------------------------------
+# engine
+# ---------------------------------------------------------------------------
+
+
+class TestEngine:
+    @pytest.fixture()
+    def engine(self):
+        return SQLEngine(books.build_book_database())
+
+    def test_query_returns_rows(self, engine):
+        rows = engine.query("SELECT title FROM book WHERE price < 40.00")
+        assert rows == [{"title": "TCP/IP Illustrated"}]
+
+    def test_insert_then_query(self, engine):
+        engine.execute("INSERT INTO publisher VALUES 'Z01', 'Zed Books'")
+        rows = engine.query("SELECT pubname FROM publisher WHERE pubid = 'Z01'")
+        assert rows[0]["pubname"] == "Zed Books"
+
+    def test_delete_count(self, engine):
+        assert engine.execute("DELETE FROM review WHERE bookid = '98001'") == 2
+
+    def test_update_count(self, engine):
+        count = engine.execute("UPDATE book SET price = 10.0 WHERE price > 40.0")
+        assert count == 2
+
+    def test_distinct(self, engine):
+        rows = engine.query("SELECT DISTINCT pubid FROM book")
+        assert len(rows) == 2
+
+    def test_in_subquery_with_temp_table(self, engine):
+        engine.db.create_temp_table("TAB_book", ["bookid"], [{"bookid": "98001"}])
+        count = engine.execute(
+            "DELETE FROM review WHERE review.bookid IN "
+            "(SELECT bookid FROM TAB_book)"
+        )
+        assert count == 2
+
+    def test_in_subquery_requires_single_column(self, engine):
+        with pytest.raises(SQLSyntaxError):
+            engine.execute(
+                "DELETE FROM review WHERE bookid IN (SELECT * FROM book)"
+            )
+
+    def test_create_table_registers_relation(self, engine):
+        engine.execute(
+            "CREATE TABLE wishlist (wid VARCHAR2(8), bookid VARCHAR2(20), "
+            "CONSTRAINT WishPK PRIMARY KEY (wid), "
+            "FOREIGN KEY (bookid) REFERENCES book (bookid))"
+        )
+        engine.execute("INSERT INTO wishlist VALUES 'w1', '98001'")
+        assert engine.db.count("wishlist") == 1
+
+    def test_select_rowid(self, engine):
+        rows = engine.query("SELECT ROWID FROM review WHERE bookid = '98001'")
+        assert {row["ROWID"] for row in rows} == {1, 2}
+
+    def test_query_on_dml_raises(self, engine):
+        with pytest.raises(SQLSyntaxError):
+            engine.query("DELETE FROM review")
+
+    def test_statement_counter(self, engine):
+        before = engine.statements_executed
+        engine.query("SELECT * FROM book")
+        assert engine.statements_executed == before + 1
+
+    def test_full_ddl_round_trip(self):
+        db = Database(Schema())
+        engine = SQLEngine(db)
+        for statement in parse_script(books.BOOK_DDL):
+            engine.execute(statement)
+        assert set(db.tables) == {"publisher", "book", "review"}

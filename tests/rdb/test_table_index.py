@@ -1,0 +1,148 @@
+"""Storage and hash-index behaviour."""
+
+import pytest
+
+from repro.errors import DatabaseError
+from repro.rdb.index import HashIndex
+from repro.rdb.table import Table
+
+
+class TestTable:
+    def make(self):
+        return Table("t", ("a", "b"))
+
+    def test_insert_assigns_increasing_rowids(self):
+        table = self.make()
+        first = table.insert_row({"a": 1})
+        second = table.insert_row({"a": 2})
+        assert second == first + 1
+
+    def test_missing_columns_default_to_none(self):
+        table = self.make()
+        rowid = table.insert_row({"a": 1})
+        assert table.get(rowid) == {"a": 1, "b": None}
+
+    def test_delete_returns_row(self):
+        table = self.make()
+        rowid = table.insert_row({"a": 1, "b": 2})
+        assert table.delete_row(rowid) == {"a": 1, "b": 2}
+        assert rowid not in table
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(DatabaseError):
+            self.make().delete_row(99)
+
+    def test_restore_row_reuses_rowid(self):
+        table = self.make()
+        rowid = table.insert_row({"a": 1})
+        row = table.delete_row(rowid)
+        table.restore_row(rowid, row)
+        assert table.get(rowid)["a"] == 1
+
+    def test_restore_bumps_next_rowid(self):
+        table = self.make()
+        table.restore_row(10, {"a": 1})
+        assert table.insert_row({"a": 2}) == 11
+
+    def test_restore_existing_rowid_rejected(self):
+        table = self.make()
+        rowid = table.insert_row({"a": 1})
+        with pytest.raises(DatabaseError):
+            table.restore_row(rowid, {"a": 2})
+
+    def test_update_row_returns_old_image(self):
+        table = self.make()
+        rowid = table.insert_row({"a": 1, "b": 2})
+        old = table.update_row(rowid, {"a": 5})
+        assert old == {"a": 1, "b": 2}
+        assert table.get(rowid) == {"a": 5, "b": 2}
+
+    def test_update_unknown_column_rejected(self):
+        table = self.make()
+        rowid = table.insert_row({"a": 1})
+        with pytest.raises(DatabaseError):
+            table.update_row(rowid, {"zzz": 1})
+
+    def test_scan_tolerates_deletion_during_iteration(self):
+        table = self.make()
+        for value in range(5):
+            table.insert_row({"a": value})
+        seen = []
+        for rowid, row in table.scan():
+            seen.append(row["a"])
+            if row["a"] == 0:
+                table.delete_row(rowid + 1)  # delete the *next* row
+        assert 1 not in seen
+        assert len(table) == 4
+
+    def test_scan_preserves_insertion_order(self):
+        table = self.make()
+        for value in (3, 1, 2):
+            table.insert_row({"a": value})
+        assert [row["a"] for _, row in table.scan()] == [3, 1, 2]
+
+
+class TestHashIndex:
+    def make(self, unique=False):
+        return HashIndex("ix", "t", ("a",), unique=unique)
+
+    def test_lookup_finds_rowids(self):
+        index = self.make()
+        index.add(1, {"a": "x"})
+        index.add(2, {"a": "x"})
+        assert index.lookup(("x",)) == {1, 2}
+
+    def test_lookup_counts_probes(self):
+        index = self.make()
+        index.lookup(("x",))
+        index.lookup(("y",))
+        assert index.lookups == 2
+
+    def test_remove_clears_entry(self):
+        index = self.make()
+        index.add(1, {"a": "x"})
+        index.remove(1, {"a": "x"})
+        assert index.lookup(("x",)) == set()
+
+    def test_null_keys_not_indexed(self):
+        index = self.make(unique=True)
+        index.add(1, {"a": None})
+        assert not index.would_conflict({"a": None})
+        assert index.lookup((None,)) == set()
+
+    def test_unique_conflict_detection(self):
+        index = self.make(unique=True)
+        index.add(1, {"a": "x"})
+        assert index.would_conflict({"a": "x"})
+        assert not index.would_conflict({"a": "y"})
+
+    def test_unique_conflict_ignores_own_rowid(self):
+        index = self.make(unique=True)
+        index.add(1, {"a": "x"})
+        assert not index.would_conflict({"a": "x"}, ignore=1)
+
+    def test_non_unique_never_conflicts(self):
+        index = self.make(unique=False)
+        index.add(1, {"a": "x"})
+        assert not index.would_conflict({"a": "x"})
+
+    def test_composite_key(self):
+        index = HashIndex("ix", "t", ("a", "b"), unique=True)
+        index.add(1, {"a": 1, "b": 2})
+        assert index.lookup((1, 2)) == {1}
+        assert index.lookup((1, 3)) == set()
+
+    def test_matches_column_set(self):
+        index = HashIndex("ix", "t", ("a", "b"))
+        assert index.matches({"b", "a"})
+        assert not index.matches({"a"})
+
+    def test_len_counts_entries(self):
+        index = self.make()
+        index.add(1, {"a": "x"})
+        index.add(2, {"a": "y"})
+        assert len(index) == 2
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(DatabaseError):
+            HashIndex("ix", "t", ())

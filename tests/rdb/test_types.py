@@ -1,0 +1,145 @@
+"""SQL domain types: membership, coercion, parsing, literals."""
+
+import datetime
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.rdb.types import (
+    Date,
+    Double,
+    Integer,
+    VarChar,
+    sql_literal,
+    type_from_name,
+)
+
+
+class TestVarChar:
+    def test_contains_string_within_limit(self):
+        assert VarChar(5).contains("abc")
+
+    def test_rejects_overlong_string(self):
+        assert not VarChar(3).contains("abcd")
+
+    def test_null_belongs_to_every_domain(self):
+        assert VarChar(1).contains(None)
+
+    def test_coerce_passes_string(self):
+        assert VarChar(10).coerce("hello") == "hello"
+
+    def test_coerce_numbers_to_text(self):
+        assert VarChar(10).coerce(42) == "42"
+
+    def test_coerce_overlong_raises(self):
+        with pytest.raises(TypeMismatchError):
+            VarChar(2).coerce("abc")
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            VarChar(0)
+
+    def test_name_spelling(self):
+        assert VarChar(10).name == "VARCHAR2(10)"
+
+
+class TestInteger:
+    def test_contains_int(self):
+        assert Integer().contains(7)
+
+    def test_rejects_bool(self):
+        assert not Integer().contains(True)
+
+    def test_coerce_string(self):
+        assert Integer().coerce(" 12 ") == 12
+
+    def test_coerce_whole_float(self):
+        assert Integer().coerce(3.0) == 3
+
+    def test_coerce_fractional_float_raises(self):
+        with pytest.raises(TypeMismatchError):
+            Integer().coerce(3.5)
+
+    def test_coerce_garbage_raises(self):
+        with pytest.raises(TypeMismatchError):
+            Integer().coerce("twelve")
+
+    def test_coerce_none(self):
+        assert Integer().coerce(None) is None
+
+
+class TestDouble:
+    def test_contains_int_and_float(self):
+        assert Double().contains(3)
+        assert Double().contains(3.5)
+
+    def test_coerce_widens_int(self):
+        value = Double().coerce(5)
+        assert value == 5.0 and isinstance(value, float)
+
+    def test_coerce_string(self):
+        assert Double().coerce("37.00") == 37.0
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            Double().coerce(False)
+
+
+class TestDate:
+    def test_bare_year_coerces_to_jan_first(self):
+        assert Date().coerce(1997) == datetime.date(1997, 1, 1)
+
+    def test_iso_string(self):
+        assert Date().coerce("2004-07-15") == datetime.date(2004, 7, 15)
+
+    def test_year_string(self):
+        assert Date().coerce("1985") == datetime.date(1985, 1, 1)
+
+    def test_garbage_raises(self):
+        with pytest.raises(TypeMismatchError):
+            Date().coerce("not-a-date")
+
+    def test_passthrough(self):
+        today = datetime.date(2020, 2, 2)
+        assert Date().coerce(today) is today
+
+
+class TestTypeFromName:
+    @pytest.mark.parametrize(
+        "spelling, expected",
+        [
+            ("VARCHAR2(10)", VarChar),
+            ("varchar(20)", VarChar),
+            ("INTEGER", Integer),
+            ("int", Integer),
+            ("DOUBLE", Double),
+            ("FLOAT", Double),
+            ("DATE", Date),
+        ],
+    )
+    def test_known_spellings(self, spelling, expected):
+        assert isinstance(type_from_name(spelling), expected)
+
+    def test_varchar_length_parsed(self):
+        assert type_from_name("VARCHAR2(7)").max_length == 7
+
+    def test_unknown_raises(self):
+        with pytest.raises(TypeMismatchError):
+            type_from_name("BLOB")
+
+
+class TestSQLLiteral:
+    def test_null(self):
+        assert sql_literal(None) == "NULL"
+
+    def test_string_quoting(self):
+        assert sql_literal("it's") == "'it''s'"
+
+    def test_number(self):
+        assert sql_literal(37.5) == "37.5"
+
+    def test_date(self):
+        assert sql_literal(datetime.date(1997, 1, 1)) == "DATE '1997-01-01'"
+
+    def test_bool(self):
+        assert sql_literal(True) == "TRUE"

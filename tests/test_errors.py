@@ -1,0 +1,70 @@
+"""The exception hierarchy and its SQLSTATE-like codes."""
+
+import pytest
+
+from repro import errors
+
+
+def test_hierarchy_roots():
+    assert issubclass(errors.DatabaseError, errors.ReproError)
+    assert issubclass(errors.XMLError, errors.ReproError)
+    assert issubclass(errors.XQueryError, errors.ReproError)
+    assert issubclass(errors.UFilterError, errors.ReproError)
+
+
+def test_constraint_violations_are_database_errors():
+    for exc in (
+        errors.NotNullViolation,
+        errors.UniqueViolation,
+        errors.PrimaryKeyViolation,
+        errors.ForeignKeyViolation,
+        errors.CheckViolation,
+    ):
+        assert issubclass(exc, errors.ConstraintViolation)
+        assert issubclass(exc, errors.DatabaseError)
+
+
+def test_primary_key_is_a_unique_violation():
+    # the hybrid strategy catches UniqueViolation for both
+    assert issubclass(errors.PrimaryKeyViolation, errors.UniqueViolation)
+
+
+def test_sqlstate_codes():
+    assert errors.NotNullViolation.code == "23502"
+    assert errors.UniqueViolation.code == "23505"
+    assert errors.ForeignKeyViolation.code == "23503"
+    assert errors.CheckViolation.code == "23514"
+    assert errors.ConstraintViolation.code == "23000"
+
+
+def test_unsupported_feature_carries_name():
+    exc = errors.UnsupportedFeatureError("count()")
+    assert exc.feature == "count()"
+    assert "count()" in str(exc)
+
+
+def test_unsupported_feature_custom_message():
+    exc = errors.UnsupportedFeatureError("x", "custom text")
+    assert str(exc) == "custom text"
+
+
+def test_xpath_is_xml_error():
+    assert issubclass(errors.XPathError, errors.XMLError)
+
+
+def test_update_syntax_is_xquery_error():
+    assert issubclass(errors.UpdateSyntaxError, errors.XQueryError)
+
+
+def test_catching_repro_error_catches_everything():
+    for exc_type in (
+        errors.SchemaError,
+        errors.TypeMismatchError,
+        errors.TransactionError,
+        errors.SQLSyntaxError,
+        errors.XPathError,
+        errors.UpdateSyntaxError,
+        errors.UFilterError,
+    ):
+        with pytest.raises(errors.ReproError):
+            raise exc_type("boom")

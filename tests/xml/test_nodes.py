@@ -1,0 +1,139 @@
+"""XML node model: construction, navigation, equality."""
+
+import pytest
+
+from repro.errors import XMLError
+from repro.xml import XMLElement, XMLText, element, text
+
+
+def sample():
+    return element(
+        "book",
+        element("bookid", "98001"),
+        element("title", "TCP/IP"),
+        element("review", element("reviewid", "001")),
+        element("review", element("reviewid", "002")),
+    )
+
+
+def test_append_string_becomes_text():
+    node = element("t")
+    node.append("hello")
+    assert isinstance(node.children[0], XMLText)
+
+
+def test_append_bad_type_rejected():
+    with pytest.raises(XMLError):
+        element("t").append(42)  # type: ignore[arg-type]
+
+
+def test_empty_tag_rejected():
+    with pytest.raises(XMLError):
+        XMLElement("")
+
+
+def test_child_elements_filter_by_tag():
+    assert len(sample().child_elements("review")) == 2
+    assert len(sample().child_elements()) == 4
+
+
+def test_first_child():
+    assert sample().first_child("title").text_content() == "TCP/IP"
+    assert sample().first_child("ghost") is None
+
+
+def test_value_of():
+    assert sample().value_of("bookid") == "98001"
+    assert sample().value_of("nothing") is None
+
+
+def test_text_content_concatenates_descendants():
+    node = element("a", element("b", "x"), text("y"), element("c", "z"))
+    assert node.text_content() == "xyz"
+
+
+def test_iter_depth_first():
+    tags = [node.tag for node in sample().iter()]
+    assert tags[0] == "book"
+    assert tags.count("review") == 2
+    assert "reviewid" in tags
+
+
+def test_detach_and_parenting():
+    node = sample()
+    review = node.child_elements("review")[0]
+    assert review.parent is node
+    review.detach()
+    assert review.parent is None
+    assert len(node.child_elements("review")) == 1
+
+
+def test_remove_non_child_raises():
+    with pytest.raises(XMLError):
+        sample().remove(element("stranger"))
+
+
+def test_replace_swaps_node():
+    node = sample()
+    old = node.first_child("title")
+    node.replace(old, element("title", "New"))
+    assert node.value_of("title") == "New"
+
+
+def test_insert_at_position():
+    node = element("a", element("x"), element("z"))
+    node.insert(1, element("y"))
+    assert [child.tag for child in node.child_elements()] == ["x", "y", "z"]
+
+
+def test_clone_is_deep_and_detached():
+    node = sample()
+    copy = node.clone()
+    assert copy.equals(node)
+    copy.first_child("title").children[0].value = "changed"
+    assert node.value_of("title") == "TCP/IP"
+
+
+def test_equals_ordered_vs_unordered():
+    left = element("a", element("x", "1"), element("y", "2"))
+    right = element("a", element("y", "2"), element("x", "1"))
+    assert not left.equals(right, ordered=True)
+    assert left.equals(right, ordered=False)
+
+
+def test_equals_ignores_whitespace_noise():
+    left = element("a", element("x", "1"))
+    right = element("a")
+    right.append("  \n  ")
+    right.append(element("x", "1"))
+    assert left.equals(right)
+
+
+def test_unordered_equality_is_multiset():
+    left = element("a", element("x", "1"), element("x", "1"))
+    right = element("a", element("x", "1"))
+    assert not left.equals(right, ordered=False)
+
+
+def test_attributes_compared():
+    assert not element("a", id="1").equals(element("a", id="2"))
+    assert element("a", id="1").equals(element("a", id="1"))
+
+
+def test_canonical_key_order_insensitive():
+    left = element("a", element("x", "1"), element("y", "2"))
+    right = element("a", element("y", "2"), element("x", "1"))
+    assert left.canonical_key() == right.canonical_key()
+
+
+def test_path_and_depth():
+    node = sample()
+    reviewid = node.child_elements("review")[0].first_child("reviewid")
+    assert reviewid.path() == "/book/review/reviewid"
+    assert reviewid.depth() == 2
+    assert node.depth() == 0
+
+
+def test_find_all():
+    reviews = sample().find_all(lambda n: n.tag == "review")
+    assert len(reviews) == 2

@@ -1,0 +1,139 @@
+"""View materialization semantics vs Fig. 3b."""
+
+import pytest
+
+from repro.errors import UnsupportedFeatureError
+from repro.workloads import books
+from repro.xml import evaluate_path
+from repro.xquery import evaluate_view, parse_view_query
+
+
+@pytest.fixture()
+def view_doc(book_db, book_view):
+    return evaluate_view(book_db, book_view)
+
+
+def test_root_tag(view_doc):
+    assert view_doc.tag == "BookView"
+
+
+def test_only_qualifying_books_appear(view_doc):
+    bookids = evaluate_path(view_doc, "book/bookid/text()")
+    # 98002 fails year > 1990
+    assert bookids == ["98001", "98003"]
+
+
+def test_reviews_nest_under_their_book(view_doc):
+    first = evaluate_path(view_doc, "book[bookid='98001']//reviewid/text()")
+    assert first == ["001", "002"]
+    second = evaluate_path(view_doc, "book[bookid='98003']//reviewid/text()")
+    assert second == []
+
+
+def test_publisher_duplicated_inside_books(view_doc):
+    names = evaluate_path(view_doc, "book/publisher/pubname/text()")
+    assert names == ["McGraw-Hill Inc.", "McGraw-Hill Inc."]
+
+
+def test_all_publishers_republished(view_doc):
+    pubids = evaluate_path(view_doc, "publisher/pubid/text()")
+    assert pubids == ["A01", "B01", "A02"]
+
+
+def test_price_rendering(view_doc):
+    prices = evaluate_path(view_doc, "book/price/text()")
+    assert prices == ["37.00", "48.00"]
+
+
+def test_empty_content_renders_empty_element(book_db):
+    book_db.insert(
+        "review",
+        {"bookid": "98003", "reviewid": "009", "comment": None,
+         "reviewer": "anon"},
+    )
+    doc = evaluate_view(book_db, books.book_view_query())
+    node = evaluate_path(doc, "book[bookid='98003']/review/comment")
+    assert node[0].text_content() == ""
+
+
+def test_null_predicate_value_excludes_row(book_db):
+    # NULL price makes `price < 50` unknown — the book must not appear
+    book_db.insert(
+        "book",
+        {"bookid": "b9", "title": "No price", "pubid": "A01", "price": None,
+         "year": 2001},
+    )
+    doc = evaluate_view(book_db, books.book_view_query())
+    assert evaluate_path(doc, "book[bookid='b9']") == []
+
+
+def test_date_comparison_against_bare_year(book_db, book_view):
+    # year stored as DATE; predicate compares against integer 1990
+    doc = evaluate_view(book_db, book_view)
+    assert len(evaluate_path(doc, "book")) == 2
+
+
+def test_cross_product_without_join_duplicates(book_db):
+    view = parse_view_query(
+        """
+<v>
+FOR $b IN document("d")/book/row,
+    $r IN document("d")/review/row
+RETURN { <pair> $b/bookid, $r/reviewid </pair> }
+</v>
+"""
+    )
+    doc = evaluate_view(book_db, view)
+    assert len(evaluate_path(doc, "pair")) == 6  # 3 books x 2 reviews
+
+
+def test_aggregates_rejected_at_evaluation(book_db):
+    view = parse_view_query(
+        """
+<v>
+FOR $b IN document("d")/book/row
+RETURN { <x> count($b/bookid) </x> }
+</v>
+"""
+    )
+    with pytest.raises(UnsupportedFeatureError):
+        evaluate_view(book_db, view)
+
+
+def test_order_by_rejected(book_db):
+    view = parse_view_query(
+        """
+<v>
+FOR $b IN document("d")/book/row
+ORDER BY $b/title
+RETURN { <x> $b/title </x> }
+</v>
+"""
+    )
+    with pytest.raises(UnsupportedFeatureError):
+        evaluate_view(book_db, view)
+
+
+def test_alias_binding_evaluates(book_db):
+    view = parse_view_query(
+        """
+<v>
+FOR $b IN document("d")/book/row
+LET $x = $b
+RETURN { <t> $x/title </t> }
+</v>
+"""
+    )
+    doc = evaluate_view(book_db, view)
+    assert len(evaluate_path(doc, "t")) == 3
+
+
+def test_view_changes_with_database(book_db, book_view):
+    before = len(evaluate_path(evaluate_view(book_db, book_view), "book"))
+    book_db.insert(
+        "book",
+        {"bookid": "b7", "title": "New", "pubid": "A02", "price": 10.0,
+         "year": 2005},
+    )
+    after = len(evaluate_path(evaluate_view(book_db, book_view), "book"))
+    assert after == before + 1

@@ -1,0 +1,178 @@
+"""View-query parsing: FLWR structure, predicates, unsupported features."""
+
+import pytest
+
+from repro.errors import XQueryError
+from repro.workloads import books
+from repro.xquery import (
+    DocSource,
+    ElementCtor,
+    FLWR,
+    FunctionCall,
+    IfThenElse,
+    VarPath,
+    VarProjection,
+    parse_view_query,
+)
+
+
+def test_bookview_parses_to_expected_shape():
+    view = parse_view_query(books.BOOK_VIEW_QUERY)
+    assert view.root_tag == "BookView"
+    flwrs = view.flwrs()
+    assert len(flwrs) == 2
+    main = flwrs[0]
+    assert [binding.var for binding in main.bindings] == ["book", "publisher"]
+    assert len(main.where) == 3
+    assert isinstance(main.ret, ElementCtor) and main.ret.tag == "book"
+
+
+def test_nested_flwr_found():
+    view = parse_view_query(books.BOOK_VIEW_QUERY)
+    book = view.flwrs()[0].ret
+    nested = [item for item in book.items if isinstance(item, FLWR)]
+    assert len(nested) == 1
+    assert nested[0].ret.tag == "review"
+
+
+def test_doc_source_relation():
+    view = parse_view_query(books.BOOK_VIEW_QUERY)
+    source = view.flwrs()[0].bindings[0].source
+    assert isinstance(source, DocSource)
+    assert source.relation == "book"
+    assert source.path == ("book", "row")
+
+
+def test_predicates_classified():
+    view = parse_view_query(books.BOOK_VIEW_QUERY)
+    predicates = view.flwrs()[0].where
+    correlations = [p for p in predicates if p.is_correlation()]
+    assert len(correlations) == 1
+    literals = [p for p in predicates if not p.is_correlation()]
+    assert {p.op for p in literals} == {"<", ">"}
+
+
+def test_projection_paths():
+    view = parse_view_query(books.BOOK_VIEW_QUERY)
+    book = view.flwrs()[0].ret
+    projections = [item for item in book.items if isinstance(item, VarProjection)]
+    assert [p.path.attribute for p in projections] == ["bookid", "title", "price"]
+
+
+def test_comma_between_items_optional():
+    view = parse_view_query(
+        """
+<v>
+FOR $b IN document("d.xml")/book/row
+RETURN { <x> $b/title $b/price </x> }
+</v>
+"""
+    )
+    ret = view.flwrs()[0].ret
+    assert len(ret.items) == 2
+
+
+def test_let_binding_alias():
+    view = parse_view_query(
+        """
+<v>
+FOR $b IN document("d.xml")/book/row
+LET $x = $b
+RETURN { <x> $x/title </x> }
+</v>
+"""
+    )
+    bindings = view.flwrs()[0].bindings
+    assert bindings[1].is_let and isinstance(bindings[1].source, VarPath)
+
+
+def test_function_call_parses_but_is_marked():
+    view = parse_view_query(
+        """
+<v>
+FOR $b IN document("d.xml")/book/row
+RETURN { <x> $b/title, count($b/price) </x> }
+</v>
+"""
+    )
+    items = view.flwrs()[0].ret.items
+    assert isinstance(items[1], FunctionCall)
+    assert items[1].name == "count"
+
+
+def test_order_by_recorded():
+    view = parse_view_query(
+        """
+<v>
+FOR $b IN document("d.xml")/book/row
+ORDER BY $b/title
+RETURN { <x> $b/title </x> }
+</v>
+"""
+    )
+    assert view.flwrs()[0].order_by is not None
+
+
+def test_sortby_recorded():
+    view = parse_view_query(
+        """
+<v>
+FOR $b IN document("d.xml")/book/row
+SORTBY (title)
+RETURN { <x> $b/title </x> }
+</v>
+"""
+    )
+    assert view.flwrs()[0].order_by is not None
+
+
+def test_if_then_else_parses():
+    view = parse_view_query(
+        """
+<v>
+FOR $b IN document("d.xml")/book/row
+RETURN { if ($b/price > 10.00) then <cheap> $b/title </cheap> else <dear> $b/title </dear> }
+</v>
+"""
+    )
+    assert isinstance(view.flwrs()[0].ret, IfThenElse)
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(XQueryError):
+        parse_view_query(
+            """
+<v>
+FOR $b IN document("d.xml")/book/row
+RETURN { <x> frobnicate($b/title) </x> }
+</v>
+"""
+        )
+
+
+def test_mismatched_root_tag_rejected():
+    with pytest.raises(XQueryError):
+        parse_view_query("<a>FOR $b IN document(\"d\")/b/row RETURN { <x> $b/t </x> }</b>")
+
+
+def test_missing_return_rejected():
+    with pytest.raises(XQueryError):
+        parse_view_query('<a>FOR $b IN document("d")/b/row</a>')
+
+
+def test_keyword_tag_names_allowed_in_paths():
+    view = parse_view_query(
+        """
+<v>
+FOR $o IN document("d.xml")/orders/row
+RETURN { <order> $o/o_orderkey </order> }
+</v>
+"""
+    )
+    assert view.flwrs()[0].ret.tag == "order"
+
+
+def test_str_round_trip_mentions_structure():
+    view = parse_view_query(books.BOOK_VIEW_QUERY)
+    rendered = str(view)
+    assert "FOR $book IN" in rendered and "<BookView>" in rendered

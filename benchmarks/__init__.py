@@ -1,0 +1,7 @@
+"""Benchmark harness package.
+
+Making ``benchmarks`` a real package lets its ``conftest.py`` use the
+relative import ``from .helpers import Series`` under plain
+``python -m pytest`` collection (rootdir-based module naming otherwise
+leaves the modules parentless).
+"""

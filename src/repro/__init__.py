@@ -4,16 +4,30 @@ Reproduction of: Ling Wang, Elke A. Rundensteiner, Murali Mani,
 *U-Filter: A Lightweight XML View Update Checker* (WPI-CS-TR-05-11 /
 ICDE 2006).
 
-Quickstart::
+Quickstart (one update at a time)::
 
     from repro import books, UFilter
 
     db = books.build_book_database()
     view = books.book_view_query()
     checker = UFilter(db, view)
-    report = checker.check(books.UPDATES["u1"])
+    report = checker.check(books.UPDATE_TEXTS["u1"])
     print(report.outcome)          # Outcome.INVALID
     print(report.reason)
+
+Batched updates (the heavy-traffic path) run through an
+:class:`repro.core.session.UpdateSession`, which shares the marked ASG,
+caches probe results across the batch, rejects intra-batch conflicts
+before any SQL runs, and applies the survivors in one transaction::
+
+    from repro import UpdateSession
+
+    session = UpdateSession(db, view)
+    result = session.execute([update_a, update_b], atomic=False)
+    print(result.summary())       # per-update statuses + probe accounting
+
+See ``tests/README.md`` for the full batch API and the test layout;
+``python -m repro batch-update`` exposes sessions on the command line.
 
 Subpackages:
 
@@ -42,6 +56,10 @@ def __getattr__(name):
         from .core import ufilter
 
         return getattr(ufilter, name)
+    if name in ("UpdateSession", "SessionResult", "SessionEntry", "run_per_update"):
+        from .core import session
+
+        return getattr(session, name)
     if name in ("books", "tpch", "w3c_usecases", "psd"):
         from . import workloads
 

@@ -7,22 +7,28 @@ Subcommands:
   view over a schema;
 * ``check`` — check one update against a view over a populated
   database;
+* ``batch-update`` — run a whole file of updates as one
+  :class:`repro.core.session.UpdateSession` (probe caching, conflict
+  detection, single transaction);
 * ``audit`` — regenerate the Fig. 12 W3C expressiveness table;
 * ``wellnested`` — report whether a view is well-nested.
 
 Schemas/data are supplied as SQL scripts (CREATE TABLE + INSERT
 statements in the dialect of :mod:`repro.rdb.sql`), views and updates
-as files in the languages of :mod:`repro.xquery`.
+as files in the languages of :mod:`repro.xquery`.  Batch files hold
+several updates separated by lines containing only dashes (``---``);
+a ``# name`` comment line at the top of a section names the update.
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from .core import UFilter
+from .core import UFilter, UpdateSession
 from .core.wellnested import analyze_well_nestedness
 from .rdb import Database, Schema, SQLEngine, parse_script
 
@@ -42,6 +48,33 @@ def _read(path_or_dash: str) -> str:
     if path_or_dash == "-":
         return sys.stdin.read()
     return Path(path_or_dash).read_text()
+
+
+def split_batch_file(text: str) -> list[tuple[str, str]]:
+    """Split a batch file into (name, update text) sections.
+
+    Sections are separated by lines of three or more dashes.  A leading
+    ``# name`` comment inside a section names it; unnamed sections get
+    positional names (#1, #2, ...).  Empty sections are dropped.
+    """
+    sections: list[tuple[str, str]] = []
+    for raw in re.split(r"(?m)^-{3,}\s*$", text):
+        name = ""
+        lines: list[str] = []
+        in_header = True
+        for line in raw.splitlines():
+            stripped = line.strip()
+            if in_header and not stripped:
+                continue
+            if in_header and stripped.startswith("#"):
+                name = name or stripped.lstrip("#").strip()
+                continue
+            in_header = False
+            lines.append(line)
+        body = "\n".join(lines).strip()
+        if body:
+            sections.append((name or f"#{len(sections) + 1}", body))
+    return sections
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +103,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--execute",
         action="store_true",
         help="apply the translated SQL to the loaded database",
+    )
+
+    batch = sub.add_parser(
+        "batch-update",
+        help="run a file of updates as one batched session",
+    )
+    batch.add_argument("batch", help="batch file: updates separated by '---' lines")
+    batch.add_argument("--db", required=True, help="SQL script (DDL + data)")
+    batch.add_argument("--view", required=True, help="view query file (or -)")
+    batch.add_argument(
+        "--strategy",
+        choices=("internal", "hybrid", "outside"),
+        default="outside",
+    )
+    batch.add_argument(
+        "--mode",
+        choices=("staged", "interleaved"),
+        default="staged",
+        help="staged: check all, detect conflicts, apply once; "
+        "interleaved: check+apply update-by-update in one transaction",
+    )
+    batch.add_argument(
+        "--no-atomic",
+        action="store_true",
+        help="apply the accepted updates even when others fail",
+    )
+    batch.add_argument(
+        "--no-temp-indexes",
+        action="store_true",
+        help="leave materialized probe results unindexed (paper-faithful)",
     )
 
     sub.add_parser("audit", help="regenerate the Fig. 12 W3C table")
@@ -120,6 +183,46 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.outcome.accepted else 1
 
 
+def _cmd_batch_update(args: argparse.Namespace) -> int:
+    from .core.session import STAGEABLE_STRATEGIES
+
+    if args.mode == "staged" and args.strategy not in STAGEABLE_STRATEGIES:
+        print(
+            f"batch-update: --strategy {args.strategy} requires "
+            f"--mode interleaved (staged sessions defer-apply structured "
+            f"plans, which only {'/'.join(STAGEABLE_STRATEGIES)} produce)",
+            file=sys.stderr,
+        )
+        return 2
+    db = _load_database(args.db)
+    session = UpdateSession(
+        db,
+        _read(args.view),
+        strategy=args.strategy,
+        index_temp_tables=not args.no_temp_indexes,
+    )
+    try:
+        batch_text = Path(args.batch).read_text()
+    except OSError as exc:
+        print(f"{args.batch}: {exc.strerror or exc}", file=sys.stderr)
+        return 2
+    sections = split_batch_file(batch_text)
+    if not sections:
+        print(f"{args.batch}: no updates found", file=sys.stderr)
+        return 2
+    from .errors import ReproError
+
+    for name, text in sections:
+        try:
+            session.add(text, name=name)
+        except ReproError as exc:
+            print(f"{args.batch}: update {name!r}: {exc}", file=sys.stderr)
+            return 2
+    result = session.execute(mode=args.mode, atomic=not args.no_atomic)
+    print(result.summary())
+    return 0 if result.committed else 1
+
+
 def _cmd_audit() -> int:
     from .workloads.w3c_usecases import run_audit
 
@@ -150,6 +253,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_asg(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "batch-update":
+        return _cmd_batch_update(args)
     if args.command == "audit":
         return _cmd_audit()
     if args.command == "wellnested":

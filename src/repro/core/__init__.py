@@ -13,6 +13,7 @@ from .asg import (
     ViewNode,
 )
 from .asg_builder import audit_view_query, build_base_asg, build_view_asg
+from .asg_cache import ASGStore, dump_view_asg, load_view_asg, shared_store
 from .closure import (
     Closure,
     Group,
@@ -32,7 +33,9 @@ from .star import (
     mark_view_asg,
     star_check,
 )
+from .session import SessionEntry, SessionResult, UpdateSession, run_per_update
 from .translation import (
+    ProbeCache,
     ProbeResult,
     Translator,
     TupleDelete,
@@ -52,6 +55,7 @@ from .wellnested import WellNestedReport, analyze_well_nestedness
 
 __all__ = [
     "analyze_well_nestedness",
+    "ASGStore",
     "audit_view_query",
     "BaseASG",
     "BaseEdge",
@@ -70,7 +74,9 @@ __all__ = [
     "constraints_overlap",
     "DataChecker",
     "DataCheckResult",
+    "dump_view_asg",
     "Group",
+    "load_view_asg",
     "is_satisfiable",
     "join_closures",
     "JoinCondition",
@@ -80,14 +86,20 @@ __all__ = [
     "OpResolution",
     "Outcome",
     "PredicateResolution",
+    "ProbeCache",
     "ProbeResult",
     "RectangleReport",
     "resolve_update",
     "ResolvedUpdate",
+    "run_per_update",
+    "SessionEntry",
+    "SessionResult",
+    "shared_store",
     "star_check",
     "StarVerdict",
     "STRATEGIES",
     "Translator",
+    "UpdateSession",
     "TupleDelete",
     "TupleInsert",
     "TupleUpdate",

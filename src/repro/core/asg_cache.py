@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import datetime
 import json
+import weakref
 from typing import Any, Optional
 
 from ..errors import UFilterError
@@ -30,7 +31,7 @@ from .asg import (
     ViewNode,
 )
 
-__all__ = ["dump_view_asg", "load_view_asg"]
+__all__ = ["ASGStore", "dump_view_asg", "load_view_asg", "shared_store"]
 
 _FORMAT_VERSION = 1
 
@@ -140,6 +141,66 @@ def _decode_node(payload: dict, schema: Schema) -> ViewNode:
     for child_payload in payload["children"]:
         node.add_child(_decode_node(child_payload, schema))
     return node
+
+
+class ASGStore:
+    """In-memory registry of marked-ASG JSON, keyed per (schema, view).
+
+    Batch sessions over the same view share one build + STAR marking:
+    the first session pays :func:`repro.core.asg_builder.build_view_asg`
+    plus :func:`repro.core.star.mark_view_asg` and deposits the dump;
+    later sessions rehydrate it through :func:`load_view_asg`.  Schemas
+    are held weakly: entries die with their schema, so a long-lived
+    process churning through databases does not accumulate dumps (and a
+    recycled ``id()`` can never serve a stale entry).
+    """
+
+    def __init__(self) -> None:
+        self._entries: "weakref.WeakKeyDictionary[Schema, dict[str, str]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self.hits = 0
+        self.builds = 0
+
+    def get_or_build(self, view: Any, schema: Schema) -> str:
+        """The marked-ASG JSON for *view*, building and marking once.
+
+        *view* is a query text or a parsed ``ViewQuery`` (its
+        ``source_text``, or its canonical string form, keys the entry).
+        """
+        from ..xquery.parser import parse_view_query
+        from .asg_builder import build_view_asg, build_base_asg
+        from .star import mark_view_asg
+
+        if isinstance(view, str):
+            view_text = view
+            parsed = None
+        else:
+            view_text = view.source_text or str(view)
+            parsed = view
+        per_schema = self._entries.get(schema)
+        if per_schema is not None and view_text in per_schema:
+            self.hits += 1
+            return per_schema[view_text]
+        if parsed is None:
+            parsed = parse_view_query(view_text)
+        view_asg = build_view_asg(parsed, schema)
+        base_asg = build_base_asg(view_asg, schema)
+        mark_view_asg(view_asg, base_asg)
+        dumped = dump_view_asg(view_asg)
+        self._entries.setdefault(schema, {})[view_text] = dumped
+        self.builds += 1
+        return dumped
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return sum(len(views) for views in self._entries.values())
+
+
+#: process-wide default store used by :class:`repro.core.session.UpdateSession`
+shared_store = ASGStore()
 
 
 def load_view_asg(text: str, schema: Schema) -> ViewASG:

@@ -56,6 +56,9 @@ STRATEGIES = ("internal", "hybrid", "outside")
 Row = dict[str, Any]
 
 
+PlannedOp = Any  # TupleDelete | TupleInsert | TupleUpdate, in execution order
+
+
 @dataclass
 class DataCheckResult:
     strategy: str
@@ -68,6 +71,17 @@ class DataCheckResult:
     rows_affected: int = 0
     context_sql: str = ""
     context_rows: int = 0
+    #: the structured translation, in execution order — batch sessions
+    #: use these for conflict detection and the deferred apply phase
+    planned_ops: list[PlannedOp] = field(default_factory=list)
+
+    def mutated_relations(self) -> set[str]:
+        """Relations the planned ops write (direct targets only)."""
+        return {
+            op.relation
+            for op in self.planned_ops
+            if getattr(op, "relation", None) is not None
+        }
 
 
 class DataChecker:
@@ -79,6 +93,7 @@ class DataChecker:
         self.translator = Translator(db, asg)
         self._temp_counter = 0
         self._expand_cascades = False
+        self._index_temp_tables = False
 
     # ------------------------------------------------------------------
     # entry point
@@ -91,6 +106,7 @@ class DataChecker:
         strategy: str = "outside",
         execute: bool = True,
         expand_cascades: bool = False,
+        index_temp_tables: bool = False,
     ) -> DataCheckResult:
         if strategy not in STRATEGIES:
             raise UFilterError(
@@ -98,6 +114,7 @@ class DataChecker:
             )
         result = DataCheckResult(strategy=strategy)
         self._expand_cascades = expand_cascades
+        self._index_temp_tables = index_temp_tables
 
         # ---- update context check (6.1) --------------------------------
         target = resolved.target
@@ -162,6 +179,7 @@ class DataChecker:
     ) -> None:
         for delete in deletes:
             result.statements.append(delete.sql())
+            result.planned_ops.append(delete)
             if execute and delete.rowids:
                 result.rows_affected += self.db.delete(
                     delete.relation, delete.rowids
@@ -171,6 +189,7 @@ class DataChecker:
         self, insert: TupleInsert, execute: bool, result: DataCheckResult
     ) -> None:
         result.statements.append(insert.sql())
+        result.planned_ops.append(insert)
         if execute:
             self.db.insert(insert.relation, insert.values)
             result.rows_affected += 1
@@ -194,6 +213,7 @@ class DataChecker:
         result.probes.append(probe.sql)
         update = self.translator.build_leaf_replace(op, probe)
         result.statements.append(update.sql())
+        result.planned_ops.append(update)
         if not update.rowids:
             result.zero_effect = True
             return
@@ -327,6 +347,7 @@ class DataChecker:
         """
         for delete in deletes:
             result.statements.append(delete.sql())
+            result.planned_ops.append(delete)
             if not execute:
                 continue
             table = self.db.table(delete.relation)
@@ -351,7 +372,13 @@ class DataChecker:
     # ------------------------------------------------------------------
 
     def _materialize_context(self, context: Optional[ProbeResult]) -> Optional[str]:
-        """Write the context probe result into an unindexed temp table."""
+        """Write the context probe result into a temp table.
+
+        Plain checks materialize it *unindexed* (the paper's TAB_book);
+        with ``index_temp_tables`` the primary-key columns of every
+        relation present get an ad-hoc hash index so later probes join
+        by index nested loop instead of pure nested loops.
+        """
         if context is None:
             return None
         self._temp_counter += 1
@@ -367,8 +394,29 @@ class DataChecker:
                 columns = list(converted)
         if not columns and context.rows == []:
             columns = ["__empty__"]
-        self.db.create_temp_table(name, columns, rows)
+        index_columns = (
+            self._temp_index_columns(columns) if self._index_temp_tables else []
+        )
+        self.db.create_temp_table(name, columns, rows, index_columns=index_columns)
         return name
+
+    def _temp_index_columns(self, columns: list[str]) -> list[list[str]]:
+        """Per-relation primary-key column lists present in the temp table."""
+        present = set(columns)
+        relations = sorted(
+            {column.split("__", 1)[0] for column in columns if "__" in column}
+        )
+        index_columns: list[list[str]] = []
+        for relation in relations:
+            if relation not in self.db.schema:
+                continue
+            key = self.db.relation(relation).primary_key
+            if key is None:
+                continue
+            converted = [f"{relation}__{column}" for column in key.columns]
+            if all(column in present for column in converted):
+                index_columns.append(converted)
+        return index_columns
 
     def _run_outside(
         self,
@@ -473,12 +521,17 @@ class DataChecker:
     def _verify_against_temp(
         self, probe: ProbeResult, temp_name: str
     ) -> ProbeResult:
-        """Membership check against the unindexed materialization.
+        """Membership check against the materialization.
 
         Only the columns both sides carry are compared (probes may be
         narrow while the materialization holds the full view tuple).
         A probe sharing no columns with the materialization cannot be
         filtered by it and passes through unchanged.
+
+        When the temp table carries an ad-hoc index over a subset of
+        the shared columns, the check runs as an index nested loop —
+        one hash lookup per probe row plus a residual comparison —
+        instead of the pure nested loop of an unindexed TAB_book.
         """
         temp_rows = self.db.rows(temp_name)
         if not probe.rows:
@@ -491,9 +544,33 @@ class DataChecker:
         ] if temp_rows else []
         if not shared:
             return probe
+        index = None
+        for candidate in self.db.indexes.get(temp_name, ()):
+            if set(candidate.columns) <= set(shared):
+                if index is None or len(candidate.columns) > len(index.columns):
+                    index = candidate
         verified: list[Row] = []
+        if index is not None:
+            temp_table = self.db.table(temp_name)
+            residual = [key for key in shared if key not in index.columns]
+            for row in probe.rows:
+                lookup_key = tuple(
+                    row.get(column.replace("__", ".", 1))
+                    for column in index.columns
+                )
+                for rowid in sorted(index.lookup(lookup_key)):
+                    temp_row = temp_table.get(rowid)
+                    self.db.stats["rows_scanned"] += 1
+                    if all(
+                        row.get(key.replace("__", ".", 1)) == temp_row[key]
+                        for key in residual
+                    ):
+                        verified.append(row)
+                        break
+            return ProbeResult(sql=probe.sql, rows=verified)
         for row in probe.rows:
             for temp_row in temp_rows:  # nested loop — no index exists
+                self.db.stats["rows_scanned"] += 1
                 if all(
                     row.get(key.replace("__", ".", 1)) == temp_row[key]
                     for key in shared

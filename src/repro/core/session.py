@@ -1,0 +1,547 @@
+"""Batched update sessions over one view (the heavy-traffic path).
+
+The per-update pipeline of :class:`repro.core.ufilter.UFilter` re-runs
+probe queries and re-walks the marked ASG for every incoming update.
+An :class:`UpdateSession` amortizes that work across a whole batch:
+
+* **shared compile** — the marked view ASG comes out of an
+  :class:`repro.core.asg_cache.ASGStore`, so building + STAR marking
+  runs once per (schema, view) per process, not once per checker;
+* **probe caching** — a :class:`repro.core.translation.ProbeCache` is
+  attached to the translator: updates anchored at the same view node
+  with the same predicate signature reuse PQ1/PQ2 results, and
+  repeated PQ3 key probes collapse too;
+* **conflict detection** — before any SQL is applied, the queued dirty
+  deletes and inserts of the batch are cross-checked: duplicate
+  driving-key inserts, inserts under a parent tuple another update
+  deletes, and replaces of deleted tuples are rejected up front;
+* **one transaction** — the surviving translations are applied through
+  :mod:`repro.rdb.transactions` as a single unit.
+
+Two execution modes:
+
+* ``staged`` (default): check every update against the pre-batch state
+  (probes run read-only, so the cache never needs invalidating), then
+  detect conflicts, then apply all surviving plans in one transaction.
+  With ``atomic=True`` any rejected or conflicting update aborts the
+  whole batch before a single statement runs.  Each entry's apply is
+  savepointed, so a non-atomic batch that hits an engine error at
+  apply time (the hybrid strategy's way of reporting data conflicts)
+  loses only the failing update.
+* ``interleaved``: check and apply update-by-update inside one open
+  transaction — later updates see earlier effects, and the probe cache
+  is invalidated per mutated relation.  A savepoint per update lets
+  non-atomic sessions undo just a failing update and continue; atomic
+  sessions roll the entire batch back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+from ..errors import ConstraintViolation, UFilterError
+from ..rdb.database import Database
+from ..xquery.ast import ViewQuery
+from ..xquery.parser import parse_view_query
+from ..xquery.update_ast import ViewUpdate
+from .asg_cache import ASGStore, shared_store
+from .datacheck import DataCheckResult
+from .translation import ProbeCache, TupleDelete, TupleInsert, TupleUpdate
+from .ufilter import CheckReport, Outcome, UFilter
+
+__all__ = ["SessionEntry", "SessionResult", "UpdateSession", "run_per_update"]
+
+MODES = ("staged", "interleaved")
+
+#: strategies whose structured plans a staged session can defer-apply
+STAGEABLE_STRATEGIES = ("outside", "hybrid")
+
+
+@dataclass
+class SessionEntry:
+    """One queued update and what the session did with it."""
+
+    index: int
+    name: str
+    update: ViewUpdate
+    #: pending / planned / applied / rejected / conflict / failed /
+    #: skipped / rolled-back
+    status: str = "pending"
+    reason: str = ""
+    report: Optional[CheckReport] = None
+
+    @property
+    def outcome(self) -> Optional[Outcome]:
+        return self.report.outcome if self.report is not None else None
+
+    def describe(self) -> str:
+        line = f"{self.name:8} {self.status:12}"
+        if self.outcome is not None:
+            line += f" ({self.outcome.value})"
+        if self.reason:
+            line += f" — {self.reason}"
+        return line
+
+
+@dataclass
+class SessionResult:
+    """Batch-level outcome plus the probe/cache accounting."""
+
+    mode: str
+    atomic: bool
+    entries: list[SessionEntry] = field(default_factory=list)
+    committed: bool = False
+    rows_affected: int = 0
+    #: SELECT plans executed while this batch ran (probes + re-checks)
+    probe_executions: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
+    #: undo records replayed when the batch (partially) rolled back
+    rolled_back: int = 0
+
+    @property
+    def applied(self) -> list[SessionEntry]:
+        return [entry for entry in self.entries if entry.status == "applied"]
+
+    def counts(self) -> dict[str, int]:
+        tally: dict[str, int] = {}
+        for entry in self.entries:
+            tally[entry.status] = tally.get(entry.status, 0) + 1
+        return tally
+
+    def summary(self) -> str:
+        lines = [
+            f"batch of {len(self.entries)} update(s), mode={self.mode}, "
+            f"atomic={self.atomic}: "
+            + (", ".join(f"{n} {s}" for s, n in sorted(self.counts().items()))
+               or "empty"),
+            f"  committed: {self.committed}; rows affected: {self.rows_affected}",
+            f"  probes executed: {self.probe_executions} "
+            f"(cache hits: {self.cache_hits}, misses: {self.cache_misses}, "
+            f"invalidations: {self.cache_invalidations})",
+        ]
+        lines.extend(f"  {entry.describe()}" for entry in self.entries)
+        return "\n".join(lines)
+
+
+class UpdateSession:
+    """Check and apply a sequence of view updates as one pipeline.
+
+    Parameters
+    ----------
+    db:
+        The relational database the view is published over.
+    view:
+        The view definition (query text or parsed :class:`ViewQuery`).
+    strategy:
+        Step-3 strategy; staged mode supports ``outside`` and
+        ``hybrid`` (the internal strategy applies through the mapping
+        relational view and produces no deferrable plan).
+    index_temp_tables:
+        Attach ad-hoc hash indexes to materialized probe results
+        (default on — sessions exist to make heavy traffic fast).
+    asg_store:
+        The marked-ASG registry to compile through; defaults to the
+        process-wide :data:`repro.core.asg_cache.shared_store`.
+    cache:
+        A :class:`ProbeCache` to (re)use; fresh by default.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        view: Union[str, ViewQuery],
+        strategy: str = "outside",
+        index_temp_tables: bool = True,
+        asg_store: Optional[ASGStore] = None,
+        cache: Optional[ProbeCache] = None,
+    ) -> None:
+        self.db = db
+        self.strategy = strategy
+        self.index_temp_tables = index_temp_tables
+        store = shared_store if asg_store is None else asg_store
+        parsed_view = parse_view_query(view) if isinstance(view, str) else view
+        self.ufilter = UFilter(
+            db, parsed_view, cached_asg=store.get_or_build(parsed_view, db.schema)
+        )
+        self.cache = ProbeCache() if cache is None else cache
+        self.ufilter.checker.translator.cache = self.cache
+        self._queue: list[ViewUpdate] = []
+
+    # ------------------------------------------------------------------
+    # queueing
+    # ------------------------------------------------------------------
+
+    def add(self, update: Union[str, ViewUpdate], name: str = "") -> ViewUpdate:
+        """Queue one update (text or parsed) for the next execute()."""
+        parsed = self.ufilter.parse(
+            update, name=name or f"#{len(self._queue) + 1}"
+        )
+        self._queue.append(parsed)
+        return parsed
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        updates: Optional[Sequence[Union[str, ViewUpdate]]] = None,
+        mode: str = "staged",
+        atomic: bool = True,
+    ) -> SessionResult:
+        """Run the queued (plus given) updates as one batch."""
+        if mode not in MODES:
+            raise UFilterError(f"unknown session mode {mode!r}; pick one of {MODES}")
+        if mode == "staged" and self.strategy not in STAGEABLE_STRATEGIES:
+            raise UFilterError(
+                f"staged sessions support strategies {STAGEABLE_STRATEGIES}; "
+                f"use mode='interleaved' for {self.strategy!r}"
+            )
+        if updates is not None:
+            for update in updates:
+                self.add(update)
+        batch, self._queue = self._queue, []
+        entries = [
+            SessionEntry(index=i, name=update.name or f"#{i + 1}", update=update)
+            for i, update in enumerate(batch)
+        ]
+        result = SessionResult(mode=mode, atomic=atomic, entries=entries)
+        selects_before = self.db.stats["selects"]
+        hits_before, misses_before = self.cache.hits, self.cache.misses
+        invalidations_before = self.cache.invalidations
+        if mode == "staged":
+            self._run_staged(entries, atomic, result)
+        else:
+            self._run_interleaved(entries, atomic, result)
+        result.probe_executions = self.db.stats["selects"] - selects_before
+        result.cache_hits = self.cache.hits - hits_before
+        result.cache_misses = self.cache.misses - misses_before
+        result.cache_invalidations = (
+            self.cache.invalidations - invalidations_before
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # staged mode
+    # ------------------------------------------------------------------
+
+    def _run_staged(
+        self, entries: list[SessionEntry], atomic: bool, result: SessionResult
+    ) -> None:
+        # Phase 1 — check every update against the pre-batch state.
+        # Nothing mutates, so every probe result stays valid and the
+        # cache serves repeated contexts without invalidation.
+        for entry in entries:
+            report = self.ufilter.check(
+                entry.update,
+                strategy=self.strategy,
+                execute=False,
+                index_temp_tables=self.index_temp_tables,
+            )
+            entry.report = report
+            if report.outcome.accepted:
+                entry.status = "planned"
+            else:
+                entry.status = "rejected"
+                entry.reason = report.reason or report.outcome.value
+
+        # Phase 2 — cross-update conflict detection on the queued plans.
+        self._detect_conflicts(
+            [entry for entry in entries if entry.status == "planned"]
+        )
+
+        # Phase 3 — one transactional apply.
+        if atomic and any(
+            entry.status in ("rejected", "conflict") for entry in entries
+        ):
+            bad = next(
+                entry for entry in entries
+                if entry.status in ("rejected", "conflict")
+            )
+            for entry in entries:
+                if entry.status == "planned":
+                    entry.status = "skipped"
+                    entry.reason = (
+                        f"atomic batch aborted: {bad.name} was {bad.status}"
+                    )
+            return
+        planned = [entry for entry in entries if entry.status == "planned"]
+        self.db.begin()
+        for entry in planned:
+            assert entry.report is not None and entry.report.data is not None
+            mark = self.db.savepoint()
+            try:
+                result.rows_affected += self._apply_planned(
+                    entry.report.data.planned_ops
+                )
+                entry.status = "applied"
+            except ConstraintViolation as exc:
+                entry.status = "failed"
+                entry.reason = f"engine error at apply time: {exc}"
+                undone = self.db.rollback_to(mark)
+                if atomic:
+                    result.rolled_back = undone + self.db.rollback()
+                    for other in planned:
+                        if other is entry:
+                            continue
+                        if other.status == "applied":
+                            other.status = "rolled-back"
+                        else:
+                            other.status = "skipped"
+                        other.reason = f"batch aborted by {entry.name}"
+                    return
+        self.db.commit()
+        result.committed = True
+        mutated: set[str] = set()
+        for entry in planned:
+            assert entry.report is not None and entry.report.data is not None
+            mutated |= entry.report.data.mutated_relations()
+        if mutated:
+            self.cache.invalidate(self._cascade_closure(mutated))
+
+    def _apply_planned(self, ops: Sequence[Any]) -> int:
+        """Replay one update's structured translation against the engine.
+
+        Rowids another batch member already deleted are silently gone —
+        the same zero-effect semantics a second DELETE statement would
+        have had.  Supporting inserts keep the hybrid strategy's
+        consistent-duplicate tolerance: a unique-key violation on a
+        tuple that agrees with the existing row is skipped, not fatal.
+        """
+        affected = 0
+        checker = self.ufilter.checker
+        for op in ops:
+            if isinstance(op, TupleDelete):
+                if op.rowids:
+                    affected += self.db.delete(op.relation, op.rowids)
+            elif isinstance(op, TupleUpdate):
+                table = self.db.table(op.relation)
+                for rowid in sorted(op.rowids):
+                    if rowid in table:
+                        self.db.update(op.relation, rowid, op.changes)
+                        affected += 1
+            elif isinstance(op, TupleInsert):
+                if op.role == "skip":
+                    continue
+                try:
+                    self.db.insert(op.relation, op.values)
+                    affected += 1
+                except ConstraintViolation:
+                    if op.role == "supporting":
+                        existing = checker._existing_row(op)
+                        if existing is not None and (
+                            checker._consistent_with_existing(op, existing)
+                        ):
+                            continue
+                    raise
+        return affected
+
+    # ------------------------------------------------------------------
+    # conflict detection (staged mode)
+    # ------------------------------------------------------------------
+
+    def _insert_key(self, insert: TupleInsert) -> Optional[tuple[str, tuple]]:
+        if insert.relation not in self.db.schema:
+            return None
+        key = self.db.relation(insert.relation).primary_key
+        if key is None:
+            return None
+        values = tuple(insert.values.get(column) for column in key.columns)
+        if any(value is None for value in values):
+            return None
+        return (insert.relation, values)
+
+    def _detect_conflicts(self, planned: list[SessionEntry]) -> None:
+        """Cross-check the queued dirty deletes/inserts, in batch order.
+
+        A later update loses against an earlier one: it is marked
+        ``conflict`` and its plan is dropped from the apply phase.
+        Consistent duplicate *supporting* inserts are downgraded to
+        skips instead (intra-batch duplication consistency, mirroring
+        what the outside strategy does against existing base data).
+        """
+        deleted: dict[str, set[int]] = {}
+        inserted: dict[tuple[str, tuple], tuple[str, TupleInsert]] = {}
+        for entry in planned:
+            assert entry.report is not None and entry.report.data is not None
+            ops = entry.report.data.planned_ops
+            reason = self._entry_conflict(entry, ops, deleted, inserted)
+            if reason:
+                entry.status = "conflict"
+                entry.reason = reason
+                continue
+            for op in ops:
+                if isinstance(op, TupleDelete):
+                    deleted.setdefault(op.relation, set()).update(op.rowids)
+                elif isinstance(op, TupleInsert) and op.role != "skip":
+                    key = self._insert_key(op)
+                    if key is not None and key not in inserted:
+                        inserted[key] = (entry.name, op)
+
+    def _entry_conflict(
+        self,
+        entry: SessionEntry,
+        ops: Sequence[Any],
+        deleted: dict[str, set[int]],
+        inserted: dict[tuple[str, tuple], tuple[str, TupleInsert]],
+    ) -> str:
+        pending_skips: list[TupleInsert] = []
+        for op in ops:
+            if isinstance(op, TupleUpdate):
+                overlap = op.rowids & deleted.get(op.relation, set())
+                if overlap:
+                    return (
+                        f"replaces {op.relation} tuple(s) {sorted(overlap)} "
+                        f"deleted earlier in the batch"
+                    )
+            elif isinstance(op, TupleInsert):
+                key = self._insert_key(op)
+                if key is not None and key in inserted:
+                    earlier_name, earlier_op = inserted[key]
+                    if op.role == "driving":
+                        return (
+                            f"duplicate insert: a {op.relation} tuple with "
+                            f"key {key[1]!r} is already queued by {earlier_name}"
+                        )
+                    if self._values_agree(op, earlier_op):
+                        pending_skips.append(op)
+                    else:
+                        return (
+                            f"duplication consistency violated within the "
+                            f"batch: {op.relation} key {key[1]!r} disagrees "
+                            f"with the values queued by {earlier_name}"
+                        )
+                parent_conflict = self._deleted_parent_conflict(op, deleted)
+                if parent_conflict:
+                    return parent_conflict
+        for op in pending_skips:
+            op.role = "skip"
+        return ""
+
+    def _values_agree(self, a: TupleInsert, b: TupleInsert) -> bool:
+        for attribute, value in a.values.items():
+            if value is None:
+                continue
+            other = b.values.get(attribute)
+            if other is not None and other != value:
+                return False
+        return True
+
+    def _deleted_parent_conflict(
+        self, insert: TupleInsert, deleted: dict[str, set[int]]
+    ) -> str:
+        if insert.relation not in self.db.schema:
+            return ""
+        for fk in self.db.relation(insert.relation).foreign_keys:
+            values = tuple(insert.values.get(column) for column in fk.columns)
+            if any(value is None for value in values):
+                continue
+            for rowid in deleted.get(fk.ref_relation, ()):  # pre-batch rows
+                if rowid not in self.db.table(fk.ref_relation):
+                    continue
+                parent = self.db.row(fk.ref_relation, rowid)
+                if all(
+                    parent.get(ref_column) == value
+                    for ref_column, value in zip(fk.ref_columns, values)
+                ):
+                    return (
+                        f"inserts a {insert.relation} tuple under a "
+                        f"{fk.ref_relation} tuple deleted earlier in the batch"
+                    )
+        return ""
+
+    # ------------------------------------------------------------------
+    # interleaved mode
+    # ------------------------------------------------------------------
+
+    def _run_interleaved(
+        self, entries: list[SessionEntry], atomic: bool, result: SessionResult
+    ) -> None:
+        self.db.begin()
+        for position, entry in enumerate(entries):
+            mark = self.db.savepoint()
+            reason = ""
+            engine_error = False
+            try:
+                report = self.ufilter.check(
+                    entry.update,
+                    strategy=self.strategy,
+                    execute=True,
+                    index_temp_tables=self.index_temp_tables,
+                )
+                entry.report = report
+                failed = not report.outcome.accepted
+                if failed:
+                    reason = report.reason or report.outcome.value
+            except ConstraintViolation as exc:
+                failed = True
+                engine_error = True
+                reason = f"engine error: {exc}"
+            if not failed:
+                entry.status = "applied"
+                data = entry.report.data if entry.report else None
+                if data is not None:
+                    result.rows_affected += data.rows_affected
+                    mutated = data.mutated_relations()
+                    if mutated:
+                        self.cache.invalidate(self._cascade_closure(mutated))
+                continue
+            entry.status = "failed" if engine_error else "rejected"
+            entry.reason = reason
+            undone = self.db.rollback_to(mark)
+            if undone:
+                # partial effects existed; anything probed meanwhile is suspect
+                self.cache.clear()
+            if atomic:
+                result.rolled_back = self.db.rollback()
+                self.cache.clear()
+                for earlier in entries[:position]:
+                    if earlier.status == "applied":
+                        earlier.status = "rolled-back"
+                        earlier.reason = f"batch aborted by {entry.name}"
+                for later in entries[position + 1:]:
+                    later.status = "skipped"
+                    later.reason = f"atomic batch aborted by {entry.name}"
+                return
+        self.db.commit()
+        result.committed = True
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+
+    def _cascade_closure(self, relations: set[str]) -> set[str]:
+        """*relations* plus everything reachable through incoming FKs —
+        a delete may cascade into any of those."""
+        closure = set(relations)
+        frontier = list(relations)
+        while frontier:
+            relation = frontier.pop()
+            if relation not in self.db.schema:
+                continue
+            for fk in self.db.schema.foreign_keys_into(relation):
+                if fk.relation_name not in closure:
+                    closure.add(fk.relation_name)
+                    frontier.append(fk.relation_name)
+        return closure
+
+
+def run_per_update(
+    db: Database,
+    view: Union[str, ViewQuery],
+    updates: Sequence[Union[str, ViewUpdate]],
+    strategy: str = "outside",
+) -> list[CheckReport]:
+    """The no-session baseline: one isolated check + apply per update.
+
+    Benchmarks compare this (probes re-run for every update) against
+    :meth:`UpdateSession.execute` on an identical workload.
+    """
+    checker = UFilter(db, view)
+    return [
+        checker.check(update, strategy=strategy, execute=True)
+        for update in updates
+    ]

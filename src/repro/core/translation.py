@@ -31,6 +31,7 @@ from .asg import JoinCondition, NodeKind, ValueConstraint, ViewASG, ViewNode
 from .update_binding import OpResolution, ResolvedUpdate
 
 __all__ = [
+    "ProbeCache",
     "ProbeResult",
     "TupleInsert",
     "TupleDelete",
@@ -51,6 +52,87 @@ class ProbeResult:
     @property
     def empty(self) -> bool:
         return not self.rows
+
+    def copy(self) -> "ProbeResult":
+        return ProbeResult(sql=self.sql, rows=[dict(row) for row in self.rows])
+
+
+class ProbeCache:
+    """Memoized probe results, shared across the updates of a batch.
+
+    Context probes (PQ1/PQ2) are keyed on ``(view node, narrow flag,
+    predicate signature)``: two updates anchored at the same view node
+    with the same literal predicates compose the exact same probe
+    query, so a session only executes it once.  Key probes (PQ3) are
+    keyed on ``(relation, key values)``.
+
+    Every entry records the set of base relations its query read;
+    :meth:`invalidate` drops the entries whose read set intersects the
+    relations an applied update mutated, keeping cached results
+    consistent with the database state they claim to describe.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, tuple[ProbeResult, frozenset[str]]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    @staticmethod
+    def context_key(
+        node: ViewNode, resolved: Optional[ResolvedUpdate], narrow: bool
+    ) -> tuple:
+        """The (view node, predicate signature) cache key of the issue's
+        design: literal predicates are order-insensitive."""
+        signature: list[tuple] = []
+        if resolved is not None:
+            for resolution in resolved.predicates:
+                if resolution.constraint is None or resolution.relation is None:
+                    continue
+                signature.append(
+                    (
+                        resolution.relation,
+                        resolution.attribute,
+                        resolution.constraint.op,
+                        repr(resolution.constraint.literal),
+                    )
+                )
+        return ("context", node.node_id, narrow, tuple(sorted(signature)))
+
+    @staticmethod
+    def key_probe_key(relation: str, key_values: tuple) -> tuple:
+        return ("key", relation, tuple(repr(value) for value in key_values))
+
+    def get(self, key: tuple) -> Optional[ProbeResult]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry[0].copy()
+
+    def put(
+        self, key: tuple, probe: ProbeResult, read_relations: frozenset[str]
+    ) -> None:
+        self._entries[key] = (probe.copy(), read_relations)
+
+    def invalidate(self, relations: set[str]) -> int:
+        """Drop entries that read any of *relations*; returns the count."""
+        stale = [
+            key
+            for key, (_, read) in self._entries.items()
+            if read & relations
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 @dataclass
@@ -96,11 +178,22 @@ class TupleUpdate:
 
 
 class Translator:
-    """Probe composition and SQL generation against one view's ASGs."""
+    """Probe composition and SQL generation against one view's ASGs.
 
-    def __init__(self, db: Database, asg: ViewASG) -> None:
+    When *cache* is attached (batch sessions do), probe executions are
+    memoized through it; standalone checkers keep the paper's
+    probe-per-update behaviour.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        asg: ViewASG,
+        cache: Optional[ProbeCache] = None,
+    ) -> None:
         self.db = db
         self.asg = asg
+        self.cache = cache
 
     # ------------------------------------------------------------------
     # probe queries
@@ -227,8 +320,21 @@ class Translator:
         resolved: Optional[ResolvedUpdate] = None,
         narrow: bool = False,
     ) -> ProbeResult:
+        key: Optional[tuple] = None
+        if self.cache is not None:
+            key = ProbeCache.context_key(node, resolved, narrow)
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
         plan = self.probe_plan(node, resolved, narrow=narrow)
-        return ProbeResult(sql=plan.to_sql(), rows=execute_select(self.db, plan))
+        probe = ProbeResult(sql=plan.to_sql(), rows=execute_select(self.db, plan))
+        if self.cache is not None and key is not None:
+            self.cache.put(
+                key,
+                probe,
+                frozenset(item.relation_name for item in plan.from_items),
+            )
+        return probe
 
     # ------------------------------------------------------------------
     # delete translation
@@ -373,10 +479,12 @@ class Translator:
         """Shared tuples are deletable when nothing else references them."""
         notes: list[str] = []
         deletes: list[TupleDelete] = []
+        seen: set[int] = set()
         for row in probe.rows:
             rowid = row.get(f"{relation}.ROWID")
-            if rowid is None:
+            if rowid is None or rowid in seen:
                 continue
+            seen.add(rowid)
             referenced = False
             for fk in self.db.schema.foreign_keys_into(relation):
                 target = self.db.row(relation, rowid)
@@ -633,6 +741,15 @@ class Translator:
             return None
         if any(insert.values.get(column) is None for column in key.columns):
             return None
+        cache_key: Optional[tuple] = None
+        if self.cache is not None:
+            cache_key = ProbeCache.key_probe_key(
+                insert.relation,
+                tuple(insert.values[column] for column in key.columns),
+            )
+            cached = self.cache.get(cache_key)
+            if cached is not None:
+                return cached
         predicates = [
             Comparison(
                 "=",
@@ -647,4 +764,7 @@ class Translator:
             where=conjoin(predicates),
             include_rowids=True,
         )
-        return ProbeResult(sql=plan.to_sql(), rows=execute_select(self.db, plan))
+        probe = ProbeResult(sql=plan.to_sql(), rows=execute_select(self.db, plan))
+        if self.cache is not None and cache_key is not None:
+            self.cache.put(cache_key, probe, frozenset({insert.relation}))
+        return probe

@@ -153,6 +153,7 @@ class UFilter:
         run_data_checks: bool = True,
         force_data_check: bool = False,
         expand_cascades: bool = False,
+        index_temp_tables: bool = False,
     ) -> CheckReport:
         """Run the update through the three-step filter.
 
@@ -163,6 +164,9 @@ class UFilter:
         Step 3 (Section-6 narrative mode; see the module docstring).
         ``expand_cascades=True`` translates subtree deletes into one
         statement per relation instead of relying on engine cascades.
+        ``index_temp_tables=True`` attaches ad-hoc hash indexes to
+        materialized probe results (outside strategy), turning its
+        temp-table joins into index nested loops.
         """
         parsed = self.parse(update)
         timings: dict[str, float] = {}
@@ -222,6 +226,7 @@ class UFilter:
             strategy=strategy,
             execute=execute,
             expand_cascades=expand_cascades,
+            index_temp_tables=index_temp_tables,
         )
         timings["data"] = time.perf_counter() - start
         if not data.ok:

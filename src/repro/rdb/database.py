@@ -56,6 +56,10 @@ class Database:
             "updates": 0,
             "rows_scanned": 0,
             "rollbacks": 0,
+            #: SELECT plans executed (probe accounting for batch sessions)
+            "selects": 0,
+            #: join levels served by an index lookup instead of a scan
+            "index_joins": 0,
         }
         for relation in schema:
             self.tables[relation.name] = Table(
@@ -106,13 +110,16 @@ class Database:
         name: str,
         columns: Sequence[str],
         rows: Iterable[Mapping[str, Any]] = (),
+        index_columns: Sequence[Sequence[str]] = (),
     ) -> None:
-        """Materialize a probe-query result as an *unindexed* table.
+        """Materialize a probe-query result as a temp table.
 
-        This models the paper's ``TAB_book`` materialized view: the
-        outside strategy joins against it, and since "indices do not
-        exist" on such tables those joins fall back to scans — the
-        asymmetry behind Fig. 16.
+        This models the paper's ``TAB_book`` materialized view.  By
+        default the table carries no indexes — the outside strategy's
+        joins against it fall back to scans, the asymmetry behind
+        Fig. 16.  ``index_columns`` lifts that limitation: each entry
+        names a column list to cover with an ad-hoc hash index, turning
+        those joins into index nested loops.
         """
         from .types import VarChar
 
@@ -125,6 +132,41 @@ class Database:
         table = self.tables[name]
         for row in rows:
             table.insert_row(row)
+        for column_list in index_columns:
+            self.create_index(name, column_list)
+
+    def create_index(
+        self,
+        relation_name: str,
+        columns: Sequence[str],
+        unique: bool = False,
+        name: Optional[str] = None,
+    ) -> HashIndex:
+        """CREATE INDEX: build an ad-hoc hash index over existing rows.
+
+        Unlike the automatic PK/UNIQUE/FK indexes built at CREATE TABLE
+        time, ad-hoc indexes can be added later — in particular on
+        materialized probe results, whose join columns the schema knows
+        nothing about.
+        """
+        table = self.table(relation_name)
+        known = set(self.relation(relation_name).attribute_names)
+        unknown = set(columns) - known
+        if unknown:
+            raise SchemaError(
+                f"cannot index unknown column(s) {sorted(unknown)} "
+                f"of {relation_name!r}"
+            )
+        index = HashIndex(
+            name=name or f"adhoc_{relation_name}_{len(self.indexes[relation_name]) + 1}",
+            relation_name=relation_name,
+            columns=tuple(columns),
+            unique=unique,
+        )
+        for rowid, row in table.scan():
+            index.add(rowid, row)
+        self.indexes[relation_name].append(index)
+        return index
 
     def drop_table(self, name: str) -> None:
         self.schema.relations.pop(name, None)
@@ -439,6 +481,24 @@ class Database:
         charges the no-checking baseline with).
         """
         log = self.txn.take_rollback_log()
+        self._replay_undo(log)
+        self.stats["rollbacks"] += 1
+        return len(log)
+
+    def savepoint(self) -> int:
+        """Mark the undo-log position of the active transaction."""
+        return self.txn.savepoint()
+
+    def rollback_to(self, mark: int) -> int:
+        """Undo changes made after :meth:`savepoint`'s *mark*; the
+        transaction stays open.  Returns the records replayed."""
+        log = self.txn.take_rollback_to(mark)
+        self._replay_undo(log)
+        if log:
+            self.stats["rollbacks"] += 1
+        return len(log)
+
+    def _replay_undo(self, log: Sequence[UndoAction]) -> None:
         for action in log:
             if action.kind is UndoKind.INSERT:
                 self._physical_delete(action.relation_name, action.rowid)
@@ -450,8 +510,6 @@ class Database:
                 self._physical_update(
                     action.relation_name, action.rowid, action.old_values
                 )
-        self.stats["rollbacks"] += 1
-        return len(log)
 
     # ------------------------------------------------------------------
     # bulk loading / cloning

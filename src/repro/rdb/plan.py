@@ -7,8 +7,15 @@ The executor implements exactly what the paper's experiments exercise:
   the inner relation (the *hybrid* strategy benefits from the PK/FK
   indexes the engine builds automatically),
 * plain nested-loop + filter otherwise (which is what joins against a
-  *materialized probe result* degrade to in the outside strategy —
-  temp tables carry no indexes).
+  *materialized probe result* degrade to in the outside strategy when
+  the temp table carries no indexes; batch sessions attach ad-hoc hash
+  indexes via :meth:`repro.rdb.database.Database.create_index`, and the
+  executor exploits them like any other index).
+
+The executor maintains two counters in ``db.stats``: ``selects`` (plans
+executed — the probe accounting batch sessions and benchmarks compare)
+and ``index_joins`` (join levels served by an index lookup instead of a
+scan).
 
 Queries are represented programmatically (:class:`SelectPlan`); the
 textual SQL layer (:mod:`repro.rdb.sql`) parses into the same structure.
@@ -135,6 +142,7 @@ def _applicable(conjunct: Expr, bound: set[str]) -> bool:
 
 def execute_select(db: Database, plan: SelectPlan) -> list[Row]:
     """Run the plan; returns projected rows (dicts keyed by output name)."""
+    db.stats["selects"] += 1
     for item in plan.from_items:
         if item.relation_name not in db.tables:
             raise SchemaError(f"unknown relation {item.relation_name!r}")
@@ -190,6 +198,7 @@ def execute_select(db: Database, plan: SelectPlan) -> list[Row]:
         if candidate_rowids is None:
             iterator = table.scan()
         else:
+            db.stats["index_joins"] += 1
             iterator = (
                 (rowid, table.get(rowid))
                 for rowid in sorted(candidate_rowids)

@@ -88,3 +88,28 @@ class TransactionManager:
         self._log.clear()
         self.records_replayed += len(log)
         return log
+
+    # -- savepoints ----------------------------------------------------------
+
+    def savepoint(self) -> int:
+        """Mark the current undo-log position inside an active transaction.
+
+        Batch sessions place one savepoint per queued update so a
+        mid-batch failure can undo just that update (non-atomic mode)
+        while the surrounding transaction stays open.
+        """
+        if not self._active:
+            raise TransactionError("savepoints require an active transaction")
+        return len(self._log)
+
+    def take_rollback_to(self, mark: int) -> list[UndoAction]:
+        """Hand the undo records after *mark* (newest first), keep the
+        transaction active."""
+        if not self._active:
+            raise TransactionError("no active transaction to roll back")
+        if mark < 0 or mark > len(self._log):
+            raise TransactionError(f"invalid savepoint {mark!r}")
+        tail = list(reversed(self._log[mark:]))
+        del self._log[mark:]
+        self.records_replayed += len(tail)
+        return tail

@@ -1,0 +1,179 @@
+"""Join execution: index nested loop vs plain nested loop.
+
+The same :class:`SelectPlan` must return the same rows whether or not
+an index serves the inner relation — only the work differs.  The new
+temp-table index path (ad-hoc hash indexes on materialized probe
+results) is covered here too, at the executor level and through the
+outside strategy's membership check.
+"""
+
+import pytest
+
+from repro.core import UFilter
+from repro.rdb import (
+    Comparison,
+    FromItem,
+    OutputColumn,
+    SelectPlan,
+    col,
+    execute_select,
+    lit,
+)
+from repro.workloads import books
+
+
+def canonical(rows):
+    return sorted(tuple(sorted(row.items())) for row in rows)
+
+
+def strip_indexes(db):
+    """Simulate an index-free engine (every join a plain nested loop)."""
+    db.indexes = {name: [] for name in db.indexes}
+    return db
+
+
+def three_way_plan():
+    from repro.rdb import conjoin
+
+    return SelectPlan(
+        from_items=[FromItem("book"), FromItem("publisher"), FromItem("review")],
+        columns=[
+            OutputColumn("title", "book"),
+            OutputColumn("pubname", "publisher"),
+            OutputColumn("comment", "review"),
+        ],
+        where=conjoin(
+            [
+                Comparison("=", col("book.pubid"), col("publisher.pubid")),
+                Comparison("=", col("book.bookid"), col("review.bookid")),
+            ]
+        ),
+    )
+
+
+def test_index_and_plain_nested_loop_agree():
+    plan = three_way_plan()
+    indexed_db = books.build_book_database()
+    plain_db = strip_indexes(books.build_book_database())
+
+    indexed_rows = execute_select(indexed_db, plan)
+    plain_rows = execute_select(plain_db, plan)
+
+    assert canonical(indexed_rows) == canonical(plain_rows)
+    assert indexed_rows, "the join must produce rows for the test to mean anything"
+    # same answer, different work
+    assert indexed_db.stats["index_joins"] > 0
+    assert plain_db.stats["index_joins"] == 0
+    assert indexed_db.stats["rows_scanned"] < plain_db.stats["rows_scanned"]
+    assert indexed_db.stats["selects"] == plain_db.stats["selects"] == 1
+
+
+def test_adhoc_index_on_temp_table_serves_joins():
+    """create_temp_table(..., index_columns=...) turns the temp-table
+    join into an index nested loop with identical results."""
+    rows = [
+        {"book__bookid": f"9{i:04d}", "book__title": f"T{i}"} for i in range(50)
+    ]
+    plan = SelectPlan(
+        from_items=[FromItem("book"), FromItem("TAB_probe")],
+        columns=[OutputColumn("title", "book")],
+        where=Comparison(
+            "=", col("TAB_probe.book__bookid"), col("book.bookid")
+        ),
+    )
+
+    plain_db = books.build_book_database()
+    plain_db.create_temp_table(
+        "TAB_probe", ["book__bookid", "book__title"],
+        rows + [{"book__bookid": "98001", "book__title": "TCP/IP Illustrated"}],
+    )
+    assert plain_db.index_on("TAB_probe", ["book__bookid"]) is None
+    plain_rows = execute_select(plain_db, plan)
+
+    indexed_db = books.build_book_database()
+    indexed_db.create_temp_table(
+        "TAB_probe", ["book__bookid", "book__title"],
+        rows + [{"book__bookid": "98001", "book__title": "TCP/IP Illustrated"}],
+        index_columns=[["book__bookid"]],
+    )
+    index = indexed_db.index_on("TAB_probe", ["book__bookid"])
+    assert index is not None
+    indexed_rows = execute_select(indexed_db, plan)
+
+    assert canonical(indexed_rows) == canonical(plain_rows)
+    assert [row["title"] for row in indexed_rows] == ["TCP/IP Illustrated"]
+    assert index.lookups > 0
+    assert indexed_db.stats["rows_scanned"] < plain_db.stats["rows_scanned"]
+
+
+def test_create_index_builds_over_existing_rows():
+    db = books.build_book_database()
+    index = db.create_index("book", ["title"])
+    assert len(index) == 3
+    assert index.lookup(("Data on the Web",))
+    # and it is maintained by later DML
+    db.insert(
+        "book",
+        {"bookid": "98009", "title": "Fresh", "pubid": "A01", "price": 9.0},
+    )
+    assert index.lookup(("Fresh",))
+
+
+def test_create_index_rejects_unknown_columns():
+    from repro.errors import SchemaError
+
+    db = books.build_book_database()
+    with pytest.raises(SchemaError):
+        db.create_index("book", ["no_such_column"])
+
+
+def test_verify_against_temp_indexed_equals_unindexed(book_db, book_view):
+    """The outside strategy's membership check returns the same rows
+    through an ad-hoc temp-table index as through the nested loop."""
+    from repro.core.translation import ProbeResult
+
+    checker = UFilter(book_db, book_view).checker
+    probe = ProbeResult(
+        sql="SELECT ...",
+        rows=[
+            {"book.bookid": "98001", "book.title": "TCP/IP Illustrated"},
+            {"book.bookid": "98002", "book.title": "Programming in Unix"},
+        ],
+    )
+    temp_rows = [{"book__bookid": "98001", "book__title": "TCP/IP Illustrated"}]
+
+    book_db.create_temp_table(
+        "TAB_plain", ["book__bookid", "book__title"], temp_rows
+    )
+    plain = checker._verify_against_temp(probe, "TAB_plain")
+
+    book_db.create_temp_table(
+        "TAB_indexed",
+        ["book__bookid", "book__title"],
+        temp_rows,
+        index_columns=[["book__bookid"]],
+    )
+    indexed = checker._verify_against_temp(probe, "TAB_indexed")
+
+    assert plain.rows == indexed.rows
+    assert [row["book.bookid"] for row in indexed.rows] == ["98001"]
+    index = book_db.index_on("TAB_indexed", ["book__bookid"])
+    assert index.lookups == len(probe.rows)
+
+
+def test_outside_strategy_same_verdict_with_temp_indexes(book_view):
+    """``index_temp_tables`` changes the physical plan only: verdicts,
+    SQL and probe counts stay identical for u8."""
+    update = books.update("u8")
+
+    plain_db = books.build_book_database()
+    plain = UFilter(plain_db, book_view).check(update, strategy="outside")
+
+    indexed_db = books.build_book_database()
+    indexed = UFilter(indexed_db, book_view).check(
+        update, strategy="outside", index_temp_tables=True
+    )
+
+    assert indexed.outcome is plain.outcome
+    assert indexed.sql_updates == plain.sql_updates
+    assert indexed_db.stats["selects"] == plain_db.stats["selects"]

@@ -1,0 +1,174 @@
+"""Golden assertions on the translated SQL.
+
+Pin the exact statements the translator emits for the paper's core
+translation guarantees:
+
+* dirty deletes are **minimized** — a shared tuple survives when it is
+  still referenced after the delete, or when its relation is
+  republished elsewhere in the view (u9's condition);
+* dirty inserts come out **parent-first** and enforce **duplication
+  consistency** (duplicate supporting tuples must agree with existing
+  data; the driving tuple must be new).
+"""
+
+import pytest
+
+from repro.core import Outcome, UFilter
+from repro.workloads import books
+
+#: BookView without the second FOR block — publisher is NOT republished,
+#: so minimization must fall back to reference counting
+BOOK_ONLY_VIEW = """
+<BookOnly>
+FOR $book IN document("default.xml")/book/row,
+    $publisher IN document("default.xml")/publisher/row
+WHERE ($book/pubid = $publisher/pubid)
+    AND ($book/price < 50.00) AND ($book/year > 1990)
+RETURN {
+    <book>
+        $book/bookid, $book/title, $book/price,
+        <publisher>
+            $publisher/pubid, $publisher/pubname
+        </publisher>
+    </book>}
+</BookOnly>
+"""
+
+INSERT_BOOK = """
+FOR $root IN document("BookView.xml")
+UPDATE $root {{
+INSERT
+    <book>
+        <bookid>98005</bookid>
+        <title>Streams</title>
+        <price> 30.00 </price>
+        <publisher>
+            <pubid>{pubid}</pubid>
+            <pubname>{pubname}</pubname>
+        </publisher>
+    </book> }}
+"""
+
+
+@pytest.fixture()
+def book_only(book_db):
+    return UFilter(book_db, BOOK_ONLY_VIEW)
+
+
+# ---------------------------------------------------------------------------
+# minimized dirty deletes
+# ---------------------------------------------------------------------------
+
+
+def test_u8_clean_delete_addresses_only_review(book_ufilter):
+    report = book_ufilter.check(books.update("u8"))
+    assert report.sql_updates == ["DELETE FROM review WHERE ROWID IN (1, 2)"]
+
+
+def test_u9_minimized_delete_keeps_republished_publisher(book_ufilter):
+    """u9 deletes a <book>; the publisher tuple is kept because the
+    publisher relation is republished by BookView's second FOR block."""
+    report = book_ufilter.check(books.update("u9"))
+    assert report.outcome is Outcome.TRANSLATED
+    assert report.sql_updates == ["DELETE FROM book WHERE ROWID IN (3)"]
+    assert any("republished" in note for note in report.data.notes)
+
+
+def test_minimization_keeps_shared_tuple_still_referenced(book_only):
+    """Without republishing: delete one of publisher A01's two books —
+    the publisher tuple stays because the other book still references it."""
+    report = book_only.check(
+        """
+        FOR $book IN document("BookOnly.xml")/book
+        WHERE $book/title/text() = "Data on the Web"
+        UPDATE $book { DELETE $book }
+        """
+    )
+    assert report.outcome is Outcome.TRANSLATED
+    assert report.sql_updates == ["DELETE FROM book WHERE ROWID IN (3)"]
+    assert any("still referenced" in note for note in report.data.notes)
+
+
+def test_minimization_deletes_unreferenced_shared_tuple_once(book_only):
+    """Deleting *both* A01 books leaves the publisher unreferenced: it
+    is deleted too — exactly once, although two probe rows carry it."""
+    report = book_only.check(
+        """
+        FOR $book IN document("BookOnly.xml")/book
+        WHERE $book/price < 50.00
+        UPDATE $book { DELETE $book }
+        """
+    )
+    assert report.outcome is Outcome.TRANSLATED
+    assert report.sql_updates == [
+        "DELETE FROM book WHERE ROWID IN (1, 3)",
+        "DELETE FROM publisher WHERE ROWID IN (1)",
+    ]
+
+
+# ---------------------------------------------------------------------------
+# parent-first inserts + duplication consistency
+# ---------------------------------------------------------------------------
+
+
+def test_insert_orders_parent_before_child(book_ufilter):
+    """A new book under a new publisher: the publisher INSERT must come
+    first or the book's FK has no parent.  (STAR rejects book inserts on
+    BookView, so this rides the Section-6 force_data_check path.)"""
+    report = book_ufilter.check(
+        INSERT_BOOK.format(pubid="C01", pubname="New House"),
+        force_data_check=True,
+    )
+    assert report.outcome is Outcome.TRANSLATED
+    assert report.sql_updates == [
+        "INSERT INTO publisher (pubid, pubname) VALUES ('C01', 'New House')",
+        "INSERT INTO book (bookid, title, pubid, price, year) "
+        "VALUES ('98005', 'Streams', 'C01', 30.0, NULL)",
+    ]
+
+
+def test_consistent_duplicate_supporting_tuple_is_skipped(book_ufilter):
+    """Inserting a book under the *existing* publisher A01 with agreeing
+    values: the supporting INSERT is dropped, the driving one survives."""
+    report = book_ufilter.check(
+        INSERT_BOOK.format(pubid="A01", pubname="McGraw-Hill Inc."),
+        force_data_check=True,
+    )
+    assert report.outcome is Outcome.TRANSLATED
+    assert report.sql_updates == [
+        "INSERT INTO book (bookid, title, pubid, price, year) "
+        "VALUES ('98005', 'Streams', 'A01', 30.0, NULL)",
+    ]
+    assert any("consistent duplicate" in note for note in report.data.notes)
+
+
+def test_inconsistent_duplicate_rejected(book_ufilter):
+    """Same publisher key, different pubname: duplication consistency
+    is violated and the whole insert is rejected."""
+    report = book_ufilter.check(
+        INSERT_BOOK.format(pubid="A01", pubname="Wrong Name"),
+        force_data_check=True,
+    )
+    assert report.outcome is Outcome.DATA_CONFLICT
+    assert "duplication consistency" in report.reason
+
+
+def test_duplicate_driving_tuple_rejected(book_ufilter):
+    """u4 re-inserts book 98001 — the driving tuple must be new."""
+    report = book_ufilter.check(books.update("u4"), force_data_check=True)
+    assert report.outcome is Outcome.DATA_CONFLICT
+    assert "same key" in report.reason
+
+
+def test_executed_insert_respects_parent_first_order(book_db, book_view):
+    """Executing the parent-first sequence satisfies the engine's FK
+    checks end to end (a child-first order would raise)."""
+    checker = UFilter(book_db, book_view)
+    report = checker.check(
+        INSERT_BOOK.format(pubid="C01", pubname="New House"),
+        force_data_check=True,
+        execute=True,
+    )
+    assert report.outcome is Outcome.TRANSLATED, report.reason
+    assert book_db.count("publisher") == 4
+    assert book_db.count("book") == 4

@@ -1,0 +1,147 @@
+"""Fig. 6 outcome taxonomy, anchored on the BookView running example.
+
+Every class of the paper's taxonomy gets a named representative from
+Figs. 4/10, checked at both the schema level (Steps 1–2 only) and
+through the full pipeline (probe + data checks), including the
+Section-6 ``force_data_check`` narrative path for u4.
+"""
+
+import pytest
+
+from repro.core import Outcome
+from repro.workloads import books
+
+#: full-pipeline outcomes (Fig. 6 refined with the data-level results)
+FULL_PIPELINE = {
+    "u1": Outcome.INVALID,
+    "u2": Outcome.UNTRANSLATABLE,
+    "u3": Outcome.DATA_CONFLICT,
+    "u4": Outcome.UNTRANSLATABLE,
+    "u5": Outcome.INVALID,
+    "u6": Outcome.INVALID,
+    "u7": Outcome.INVALID,
+    "u8": Outcome.TRANSLATED,
+    "u9": Outcome.TRANSLATED,
+    "u10": Outcome.UNTRANSLATABLE,
+    "u11": Outcome.DATA_CONFLICT,
+    "u12": Outcome.TRANSLATED,
+    "u13": Outcome.TRANSLATED,
+}
+
+#: outcomes after Steps 1–2 only (no data access)
+SCHEMA_LEVEL = {
+    "u1": Outcome.INVALID,
+    "u2": Outcome.UNTRANSLATABLE,
+    "u3": Outcome.UNCONDITIONALLY_TRANSLATABLE,
+    "u4": Outcome.UNTRANSLATABLE,
+    "u5": Outcome.INVALID,
+    "u6": Outcome.INVALID,
+    "u7": Outcome.INVALID,
+    "u8": Outcome.UNCONDITIONALLY_TRANSLATABLE,
+    "u9": Outcome.CONDITIONALLY_TRANSLATABLE,
+    "u10": Outcome.UNTRANSLATABLE,
+    "u11": Outcome.UNCONDITIONALLY_TRANSLATABLE,
+    "u12": Outcome.UNCONDITIONALLY_TRANSLATABLE,
+    "u13": Outcome.UNCONDITIONALLY_TRANSLATABLE,
+}
+
+#: which pipeline stage produces each full-pipeline verdict
+EXPECTED_STAGES = {
+    "u1": "validation",
+    "u2": "star",
+    "u3": "data",
+    "u8": "translation",
+}
+
+
+@pytest.mark.parametrize("name, expected", sorted(FULL_PIPELINE.items()))
+def test_full_pipeline_outcome(book_ufilter, name, expected):
+    report = book_ufilter.check(books.update(name))
+    assert report.outcome is expected, report.reason
+
+
+@pytest.mark.parametrize("name, expected", sorted(SCHEMA_LEVEL.items()))
+def test_schema_level_outcome(book_ufilter, name, expected):
+    report = book_ufilter.check(books.update(name), run_data_checks=False)
+    assert report.outcome is expected, report.reason
+
+
+@pytest.mark.parametrize("name, stage", sorted(EXPECTED_STAGES.items()))
+def test_verdict_stage(book_ufilter, name, stage):
+    assert book_ufilter.check(books.update(name)).stage == stage
+
+
+def test_every_taxonomy_class_is_covered():
+    """The thirteen paper updates exercise the entire Fig. 6 taxonomy."""
+    covered = set(FULL_PIPELINE.values()) | set(SCHEMA_LEVEL.values())
+    assert covered == set(Outcome)
+
+
+def test_conditionally_translatable_names_its_condition(book_ufilter):
+    report = book_ufilter.check(books.update("u9"), run_data_checks=False)
+    assert report.outcome is Outcome.CONDITIONALLY_TRANSLATABLE
+    assert report.condition == "translation minimization"
+
+
+def test_untranslatable_updates_carry_a_star_reason(book_ufilter):
+    for name in ("u2", "u4", "u10"):
+        report = book_ufilter.check(books.update(name))
+        assert report.stage == "star"
+        assert report.reason, name
+
+
+def test_data_conflicts_explain_the_context_miss(book_ufilter):
+    report = book_ufilter.check(books.update("u3"))
+    assert report.outcome is Outcome.DATA_CONFLICT
+    assert "not in the view" in report.reason
+
+
+# ---------------------------------------------------------------------------
+# the Section-6 narrative path (force_data_check)
+# ---------------------------------------------------------------------------
+
+
+def test_u4_section6_path_reaches_the_data_check(book_ufilter):
+    """STAR rejects u4 at Step 2; ``force_data_check`` replays the
+    paper's Section-6 narrative and finds the key conflict at Step 3."""
+    default = book_ufilter.check(books.update("u4"))
+    assert default.outcome is Outcome.UNTRANSLATABLE
+    assert default.stage == "star"
+
+    forced = book_ufilter.check(books.update("u4"), force_data_check=True)
+    assert forced.outcome is Outcome.DATA_CONFLICT
+    assert forced.stage == "data"
+    assert "key" in forced.reason
+    assert forced.probe_queries, "the PQ3 key probe must have run"
+
+
+@pytest.mark.parametrize("strategy", ["outside", "hybrid"])
+def test_u4_key_conflict_found_by_both_strategies(book_db, book_view, strategy):
+    from repro.core import UFilter
+
+    checker = UFilter(book_db, book_view)
+    report = checker.check(
+        books.update("u4"), strategy=strategy, execute=True, force_data_check=True
+    )
+    assert report.outcome is Outcome.DATA_CONFLICT
+    # the conflicting insert must have left no trace
+    assert book_db.count("book") == 3
+
+
+def test_rejected_updates_never_touch_the_database(book_db, book_view):
+    from repro.core import UFilter
+
+    checker = UFilter(book_db, book_view)
+    before = {
+        relation: book_db.rows(relation)
+        for relation in ("publisher", "book", "review")
+    }
+    for name, expected in FULL_PIPELINE.items():
+        if expected is Outcome.TRANSLATED:
+            continue
+        checker.check(books.update(name), execute=True)
+    after = {
+        relation: book_db.rows(relation)
+        for relation in ("publisher", "book", "review")
+    }
+    assert before == after

@@ -1,0 +1,245 @@
+"""Engine-optimizer benchmark: the Fig. 15/16 probe workloads, re-run
+through the cost-aware planner + compiled-predicate executor.
+
+Each workload composes a real probe query through the U-Filter pipeline
+(view ASG → Translator.probe_plan) over the TPC-H schema, then executes
+the identical :class:`SelectPlan` twice:
+
+* **before** — ``execute_select(..., optimize=False)``: the pre-PR
+  literal FROM-order nested loop with per-row ``Expr`` interpretation;
+* **after** — the optimized path: join reordering, compiled predicates,
+  index probes and transient hash joins, plus a cached re-run showing
+  the plan-cache steady state.
+
+The harness asserts the optimized executor scans **strictly fewer**
+rows with **byte-identical** results (same rows, same key order, same
+row order) on every workload, and writes the before/after numbers to
+``BENCH_engine.json`` — the seed of the perf trajectory later PRs must
+beat.
+
+Run standalone (``python benchmarks/bench_engine_opt.py [--quick]``)
+or let pytest pick up the quick smoke test below.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.core import UFilter
+from repro.core.update_binding import resolve_update
+from repro.rdb import Comparison, FromItem, SelectPlan, col
+from repro.rdb.plan import execute_select
+from repro.workloads import tpch
+from repro.xquery import parse_view_update
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: acceptance floor: aggregate scan reduction across the workloads
+MIN_SCAN_REDUCTION = 5.0
+
+
+# ---------------------------------------------------------------------------
+# workload construction
+# ---------------------------------------------------------------------------
+
+def _probe_for(ufilter: UFilter, update) -> SelectPlan:
+    resolved = resolve_update(ufilter.view_asg, update)
+    node = resolved.ops[0].node
+    return ufilter.checker.translator.probe_plan(node, resolved)
+
+
+def _bush_delete_order(order_key: int):
+    return parse_view_update(
+        f"""
+        FOR $root IN document("TpchBush.xml"),
+            $x IN $root/customer/order
+        WHERE $x/o_orderkey/text() = "{order_key}"
+        UPDATE $root {{ DELETE $x }}
+        """,
+        name=f"bush-delete-order-{order_key}",
+    )
+
+
+def build_workloads(db, scale) -> list[tuple[str, SelectPlan]]:
+    """(label, plan) pairs re-creating the paper's probe shapes."""
+    linear = UFilter(db, tpch.v_linear())
+    bush = UFilter(db, tpch.v_bush())
+    order_key = scale.orders // 2
+    workloads = [
+        (
+            "fig15-lineitem-delete-context-probe",
+            _probe_for(linear, tpch.delete_by_key("lineitem", order_key)),
+        ),
+        (
+            "fig15-order-insert-context-probe",
+            _probe_for(linear, tpch.insert_lineitem_update(order_key, 999)),
+        ),
+        (
+            "fig16-bush-order-delete-probe",
+            _probe_for(bush, _bush_delete_order(order_key)),
+        ),
+    ]
+    # Fig. 16's outside strategy: the probe target and its context are
+    # both unindexed temp-table materializations — the join that used
+    # to degrade to a pure nested loop and now runs as a hash join.
+    context = execute_select(db, SelectPlan(from_items=[FromItem("customer")]))
+    db.create_temp_table(
+        "TAB_ctx",
+        ["customer__c_custkey", "customer__c_name"],
+        [
+            {"customer__c_custkey": row["c_custkey"],
+             "customer__c_name": row["c_name"]}
+            for row in context
+        ],
+    )
+    db.create_temp_table(
+        "TAB_orders",
+        ["orders__o_orderkey", "orders__o_custkey"],
+        [
+            {"orders__o_orderkey": row["o_orderkey"],
+             "orders__o_custkey": row["o_custkey"]}
+            for row in execute_select(
+                db, SelectPlan(from_items=[FromItem("orders")])
+            )
+        ],
+    )
+    workloads.append(
+        (
+            "fig16-materialized-context-join",
+            SelectPlan(
+                from_items=[FromItem("TAB_ctx"), FromItem("TAB_orders")],
+                where=Comparison(
+                    "=",
+                    col("TAB_orders.orders__o_custkey"),
+                    col("TAB_ctx.customer__c_custkey"),
+                ),
+            ),
+        )
+    )
+    return workloads
+
+
+# ---------------------------------------------------------------------------
+# measurement
+# ---------------------------------------------------------------------------
+
+def _timed(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_workload(db, label: str, plan: SelectPlan, rounds: int) -> dict:
+    before_scanned = db.stats["rows_scanned"]
+    naive_rows = execute_select(db, plan, optimize=False)
+    naive_scanned = db.stats["rows_scanned"] - before_scanned
+
+    before_scanned = db.stats["rows_scanned"]
+    optimized_rows = execute_select(db, plan)
+    optimized_scanned = db.stats["rows_scanned"] - before_scanned
+
+    if optimized_rows != naive_rows:
+        raise AssertionError(f"{label}: optimized result differs from naive")
+    if optimized_scanned >= naive_scanned:
+        raise AssertionError(
+            f"{label}: optimized executor scanned {optimized_scanned} rows, "
+            f"naive scanned {naive_scanned} — no strict reduction"
+        )
+
+    naive_seconds = _timed(lambda: execute_select(db, plan, optimize=False), rounds)
+    optimized_seconds = _timed(lambda: execute_select(db, plan), rounds)
+    return {
+        "label": label,
+        "sql": plan.to_sql()[:160],
+        "result_rows": len(optimized_rows),
+        "before": {"rows_scanned": naive_scanned, "seconds": naive_seconds},
+        "after": {"rows_scanned": optimized_scanned, "seconds": optimized_seconds},
+        "scan_reduction": round(naive_scanned / max(optimized_scanned, 1), 2),
+        "speedup": round(naive_seconds / max(optimized_seconds, 1e-9), 2),
+        "identical_results": True,
+    }
+
+
+def run_suite(megabytes: float, rounds: int = 3) -> dict:
+    scale = tpch.scale_rows(megabytes)
+    db = tpch.build_tpch_database(scale)
+    results = [
+        run_workload(db, label, plan, rounds)
+        for label, plan in build_workloads(db, scale)
+    ]
+    before_total = sum(entry["before"]["rows_scanned"] for entry in results)
+    after_total = sum(entry["after"]["rows_scanned"] for entry in results)
+    reduction = before_total / max(after_total, 1)
+    return {
+        "benchmark": "engine-optimizer (Fig. 15/16 probe workloads)",
+        "db_size_mb": megabytes,
+        "total_rows": scale.total_rows,
+        "workloads": results,
+        "aggregate": {
+            "before_rows_scanned": before_total,
+            "after_rows_scanned": after_total,
+            "scan_reduction": round(reduction, 2),
+            "required_scan_reduction": MIN_SCAN_REDUCTION,
+        },
+        "engine_stats": {
+            key: db.stats[key]
+            for key in (
+                "selects", "rows_scanned", "index_joins", "hash_joins",
+                "plans_compiled", "plan_cache_hits", "reorders",
+            )
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+def test_engine_opt_smoke():
+    """Tier-1 smoke: ≥5× fewer rows scanned with identical results."""
+    report = run_suite(0.5, rounds=1)
+    assert report["aggregate"]["scan_reduction"] >= MIN_SCAN_REDUCTION
+    assert all(entry["identical_results"] for entry in report["workloads"])
+    assert all(
+        entry["after"]["rows_scanned"] < entry["before"]["rows_scanned"]
+        for entry in report["workloads"]
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small scale, one timing round (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=BENCH_PATH,
+        help=f"output JSON path (default: {BENCH_PATH})",
+    )
+    args = parser.parse_args()
+    report = run_suite(0.5 if args.quick else 2.0, rounds=1 if args.quick else 5)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    aggregate = report["aggregate"]
+    print(f"wrote {args.out}")
+    for entry in report["workloads"]:
+        print(
+            f"  {entry['label']:40} {entry['before']['rows_scanned']:>8} -> "
+            f"{entry['after']['rows_scanned']:>6} rows scanned "
+            f"({entry['scan_reduction']}x), {entry['speedup']}x faster"
+        )
+    print(
+        f"aggregate scan reduction: {aggregate['scan_reduction']}x "
+        f"(required ≥ {aggregate['required_scan_reduction']}x)"
+    )
+    if aggregate["scan_reduction"] < MIN_SCAN_REDUCTION:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

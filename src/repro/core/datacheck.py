@@ -530,8 +530,11 @@ class DataChecker:
 
         When the temp table carries an ad-hoc index over a subset of
         the shared columns, the check runs as an index nested loop —
-        one hash lookup per probe row plus a residual comparison —
-        instead of the pure nested loop of an unindexed TAB_book.
+        one hash lookup per probe row plus a residual comparison.
+        Without an index, a transient hash table over the shared
+        columns is built once (the same degradation path
+        ``execute_select`` handles with its hash-join operator), so an
+        unindexed TAB_book costs one pass instead of |probe| × |temp|.
         """
         temp_rows = self.db.rows(temp_name)
         if not probe.rows:
@@ -568,15 +571,16 @@ class DataChecker:
                         verified.append(row)
                         break
             return ProbeResult(sql=probe.sql, rows=verified)
+        # no index: one transient hash build over the materialization
+        self.db.stats["hash_joins"] += 1
+        members: set[tuple] = set()
+        for temp_row in temp_rows:
+            self.db.stats["rows_scanned"] += 1
+            members.add(tuple(temp_row[key] for key in shared))
+        probe_keys = [key.replace("__", ".", 1) for key in shared]
         for row in probe.rows:
-            for temp_row in temp_rows:  # nested loop — no index exists
-                self.db.stats["rows_scanned"] += 1
-                if all(
-                    row.get(key.replace("__", ".", 1)) == temp_row[key]
-                    for key in shared
-                ):
-                    verified.append(row)
-                    break
+            if tuple(row.get(key) for key in probe_keys) in members:
+                verified.append(row)
         return ProbeResult(sql=probe.sql, rows=verified)
 
     def _outside_delete_probe(

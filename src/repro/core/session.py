@@ -100,6 +100,12 @@ class SessionResult:
     cache_invalidations: int = 0
     #: undo records replayed when the batch (partially) rolled back
     rolled_back: int = 0
+    #: executor-layer accounting for the batch (see tests/README.md for
+    #: the full ``db.stats`` counter vocabulary)
+    rows_scanned: int = 0
+    plans_compiled: int = 0
+    plan_cache_hits: int = 0
+    hash_joins: int = 0
 
     @property
     def applied(self) -> list[SessionEntry]:
@@ -121,6 +127,10 @@ class SessionResult:
             f"  probes executed: {self.probe_executions} "
             f"(cache hits: {self.cache_hits}, misses: {self.cache_misses}, "
             f"invalidations: {self.cache_invalidations})",
+            f"  executor: {self.rows_scanned} rows scanned, "
+            f"{self.plans_compiled} plan(s) compiled, "
+            f"{self.plan_cache_hits} plan-cache hit(s), "
+            f"{self.hash_joins} hash join(s)",
         ]
         lines.extend(f"  {entry.describe()}" for entry in self.entries)
         return "\n".join(lines)
@@ -209,14 +219,23 @@ class UpdateSession:
             for i, update in enumerate(batch)
         ]
         result = SessionResult(mode=mode, atomic=atomic, entries=entries)
-        selects_before = self.db.stats["selects"]
+        stats_before = dict(self.db.stats)
         hits_before, misses_before = self.cache.hits, self.cache.misses
         invalidations_before = self.cache.invalidations
         if mode == "staged":
             self._run_staged(entries, atomic, result)
         else:
             self._run_interleaved(entries, atomic, result)
-        result.probe_executions = self.db.stats["selects"] - selects_before
+        stats = self.db.stats
+        result.probe_executions = stats["selects"] - stats_before["selects"]
+        result.rows_scanned = stats["rows_scanned"] - stats_before["rows_scanned"]
+        result.plans_compiled = (
+            stats["plans_compiled"] - stats_before["plans_compiled"]
+        )
+        result.plan_cache_hits = (
+            stats["plan_cache_hits"] - stats_before["plan_cache_hits"]
+        )
+        result.hash_joins = stats["hash_joins"] - stats_before["hash_joins"]
         result.cache_hits = self.cache.hits - hits_before
         result.cache_misses = self.cache.misses - misses_before
         result.cache_invalidations = (

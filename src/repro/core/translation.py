@@ -48,13 +48,20 @@ class ProbeResult:
 
     sql: str
     rows: list[Row]
+    #: executor rows visited to produce this result — 0 when the probe
+    #: was served from a :class:`ProbeCache` (no engine work happened)
+    rows_scanned: int = 0
 
     @property
     def empty(self) -> bool:
         return not self.rows
 
     def copy(self) -> "ProbeResult":
-        return ProbeResult(sql=self.sql, rows=[dict(row) for row in self.rows])
+        return ProbeResult(
+            sql=self.sql,
+            rows=[dict(row) for row in self.rows],
+            rows_scanned=self.rows_scanned,
+        )
 
 
 class ProbeCache:
@@ -109,7 +116,9 @@ class ProbeCache:
             self.misses += 1
             return None
         self.hits += 1
-        return entry[0].copy()
+        probe = entry[0].copy()
+        probe.rows_scanned = 0  # served from cache: no executor work
+        return probe
 
     def put(
         self, key: tuple, probe: ProbeResult, read_relations: frozenset[str]
@@ -182,7 +191,10 @@ class Translator:
 
     When *cache* is attached (batch sessions do), probe executions are
     memoized through it; standalone checkers keep the paper's
-    probe-per-update behaviour.
+    probe-per-update behaviour.  Either way, probes composed from the
+    same view node share a structural shape, so the engine's compiled
+    plan cache (:mod:`repro.rdb.compiled`) serves repeated shapes —
+    even across differing update literals — without re-planning.
     """
 
     def __init__(
@@ -327,7 +339,13 @@ class Translator:
             if cached is not None:
                 return cached
         plan = self.probe_plan(node, resolved, narrow=narrow)
-        probe = ProbeResult(sql=plan.to_sql(), rows=execute_select(self.db, plan))
+        scanned_before = self.db.stats["rows_scanned"]
+        rows = execute_select(self.db, plan)
+        probe = ProbeResult(
+            sql=plan.to_sql(),
+            rows=rows,
+            rows_scanned=self.db.stats["rows_scanned"] - scanned_before,
+        )
         if self.cache is not None and key is not None:
             self.cache.put(
                 key,
@@ -764,7 +782,13 @@ class Translator:
             where=conjoin(predicates),
             include_rowids=True,
         )
-        probe = ProbeResult(sql=plan.to_sql(), rows=execute_select(self.db, plan))
+        scanned_before = self.db.stats["rows_scanned"]
+        rows = execute_select(self.db, plan)
+        probe = ProbeResult(
+            sql=plan.to_sql(),
+            rows=rows,
+            rows_scanned=self.db.stats["rows_scanned"] - scanned_before,
+        )
         if self.cache is not None and cache_key is not None:
             self.cache.put(cache_key, probe, frozenset({insert.relation}))
         return probe

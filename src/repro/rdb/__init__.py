@@ -6,7 +6,9 @@ Public surface:
 * constraint classes (:class:`PrimaryKey`, :class:`ForeignKey`, ...)
   with :class:`DeletePolicy` (CASCADE / SET NULL / RESTRICT)
 * :class:`Database` — storage, DML, constraint enforcement, transactions
-* :class:`SelectPlan` / :func:`execute_select` — programmatic queries
+* :class:`SelectPlan` / :func:`execute_select` — programmatic queries,
+  executed through the cost-aware planner (:mod:`repro.rdb.optimizer`)
+  and the compiled-predicate executor (:mod:`repro.rdb.compiled`)
 * :class:`SQLEngine` and the parser — textual SQL subset
 * the expression algebra of :mod:`repro.rdb.expr`
 """
@@ -35,7 +37,9 @@ from .expr import (
     conjoin,
     lit,
 )
+from .compiled import CompiledPlan, PlanCache
 from .index import HashIndex
+from .optimizer import order_from_items
 from .plan import FromItem, OutputColumn, SelectPlan, execute_select
 from .schema import Attribute, Relation, Schema
 from .sql import SQLEngine, parse_script, parse_statement
@@ -50,6 +54,7 @@ __all__ = [
     "col",
     "ColumnRef",
     "Comparison",
+    "CompiledPlan",
     "conjoin",
     "Constraint",
     "Database",
@@ -69,7 +74,9 @@ __all__ = [
     "Not",
     "NotNull",
     "Or",
+    "order_from_items",
     "OutputColumn",
+    "PlanCache",
     "parse_expression",
     "parse_script",
     "parse_statement",

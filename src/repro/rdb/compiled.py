@@ -1,0 +1,614 @@
+"""Compiled SELECT plans: closures instead of per-row ``Expr`` walks.
+
+``execute_select`` used to re-interpret the WHERE tree for every row of
+every join level — the paper's Fig. 15/16 inefficiencies amplified by
+the executor itself.  This module compiles a plan **once** into:
+
+* per-level *access methods* — index probe, transient **hash join**
+  (built over the inner relation's join columns when equality conjuncts
+  exist but no index covers them, exactly what joins against unindexed
+  temp-table materializations degrade to), or scan;
+* per-level *filter closures* for the residual predicates that become
+  applicable at that level;
+* a *projection closure* emitting output rows with the same key order
+  the interpreted executor produced.
+
+Literals and pre-materialized ``IN`` sets are lifted out as a parameter
+vector, so the compiled artifact is shared by every plan with the same
+structural :func:`plan_signature` — the common case inside
+``UpdateSession`` batches, where probe shapes repeat with different
+predicate constants.  :class:`PlanCache` stores compiled plans per
+database and invalidates them on DDL (schema version) and DML (per
+relation data versions).
+
+Anything the compiler does not understand (unknown expression nodes,
+unresolvable column references) falls back to the interpreted executor
+in :mod:`repro.rdb.plan`; the negative result is cached too.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from .expr import (
+    COMPARATORS,
+    And,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InSubquery,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+)
+from .optimizer import applicable, binding_equalities, choose_index
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (plan -> compiled)
+    from .database import Database
+    from .index import HashIndex
+    from .plan import SelectPlan
+
+__all__ = ["CompiledPlan", "PlanCache", "Uncompilable", "compile_plan",
+           "extract_params", "plan_signature"]
+
+Row = dict[str, Any]
+Env = dict[str, Row]
+Params = tuple
+EvalFn = Callable[[Env, Params], Any]
+
+
+class Uncompilable(Exception):
+    """Raised internally when a plan must run interpreted."""
+
+
+# ---------------------------------------------------------------------------
+# plan signatures and parameter extraction
+# ---------------------------------------------------------------------------
+
+def plan_signature(plan: "SelectPlan") -> Optional[tuple]:
+    """Literal-agnostic structural key of a plan (None: don't cache)."""
+    if plan.columns is None:
+        columns_part: Optional[tuple] = None
+    else:
+        columns_part = tuple(
+            (column.column, column.qualifier, column.label)
+            for column in plan.columns
+        )
+    if plan.where is None:
+        where_part: Optional[tuple] = None
+    else:
+        conjunct_sigs = []
+        for conjunct in plan.where.conjuncts():
+            sig = conjunct.signature()
+            if sig is None:
+                return None
+            conjunct_sigs.append(sig)
+        where_part = tuple(conjunct_sigs)
+    return (
+        tuple((item.relation_name, item.alias) for item in plan.from_items),
+        columns_part,
+        where_part,
+        plan.select_rowids,
+        plan.include_rowids,
+    )
+
+
+def extract_params(plan: "SelectPlan") -> Params:
+    """The plan's runtime values, in the compiler's slot order."""
+    if plan.where is None:
+        return ()
+    out: list = []
+    for conjunct in plan.where.conjuncts():
+        conjunct.collect_parameters(out)
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# expression compiler
+# ---------------------------------------------------------------------------
+
+class _ExprCompiler:
+    """Compiles ``Expr`` trees into ``fn(env, params)`` closures.
+
+    Parameter slots are assigned in the traversal order
+    :meth:`Expr.collect_parameters` uses, so one compiled plan can be
+    re-run with the parameter vector of any same-signature plan.
+    """
+
+    def __init__(self, columns_of: dict[str, set[str]]) -> None:
+        #: FROM-item name -> attribute names of its relation
+        self.columns_of = columns_of
+        self.slots = 0
+
+    def compile(self, expr: Expr) -> EvalFn:
+        if isinstance(expr, Literal):
+            slot = self.slots
+            self.slots += 1
+            return lambda env, params: params[slot]
+        if isinstance(expr, ColumnRef):
+            return self._compile_column(expr)
+        if isinstance(expr, Comparison):
+            left = self.compile(expr.left)
+            right = self.compile(expr.right)
+            return _make_comparison(left, right, COMPARATORS[expr.op])
+        if isinstance(expr, And):
+            left = self.compile(expr.left)
+            right = self.compile(expr.right)
+
+            def and_fn(env: Env, params: Params) -> Optional[bool]:
+                lhs = left(env, params)
+                if lhs is False:
+                    return False
+                rhs = right(env, params)
+                if rhs is False:
+                    return False
+                if lhs is None or rhs is None:
+                    return None
+                return True
+
+            return and_fn
+        if isinstance(expr, Or):
+            left = self.compile(expr.left)
+            right = self.compile(expr.right)
+
+            def or_fn(env: Env, params: Params) -> Optional[bool]:
+                lhs = left(env, params)
+                if lhs is True:
+                    return True
+                rhs = right(env, params)
+                if rhs is True:
+                    return True
+                if lhs is None or rhs is None:
+                    return None
+                return False
+
+            return or_fn
+        if isinstance(expr, Not):
+            operand = self.compile(expr.operand)
+
+            def not_fn(env: Env, params: Params) -> Optional[bool]:
+                value = operand(env, params)
+                if value is None:
+                    return None
+                return not value
+
+            return not_fn
+        if isinstance(expr, IsNull):
+            operand = self.compile(expr.operand)
+            negate = expr.negate
+
+            def is_null_fn(env: Env, params: Params) -> bool:
+                result = operand(env, params) is None
+                return not result if negate else result
+
+            return is_null_fn
+        if isinstance(expr, InSubquery):
+            operand = self.compile(expr.operand)
+            slot = self.slots
+            self.slots += 1
+
+            def in_fn(env: Env, params: Params) -> Optional[bool]:
+                value = operand(env, params)
+                if value is None:
+                    return None
+                return value in params[slot]
+
+            return in_fn
+        raise Uncompilable(f"unknown expression node {type(expr).__name__}")
+
+    def _compile_column(self, ref: ColumnRef) -> EvalFn:
+        qualifier, column = ref.qualifier, ref.column
+        if qualifier is not None:
+            known = self.columns_of.get(qualifier)
+            if known is None or column not in known:
+                # the interpreted executor reports this lazily (and only
+                # for rows it actually reaches) — preserve that
+                raise Uncompilable(f"unresolvable reference {ref.to_sql()}")
+            return lambda env, params: env[qualifier][column]
+        candidates = [
+            name for name, columns in self.columns_of.items() if column in columns
+        ]
+        if len(candidates) == 1:
+            name = candidates[0]
+            return lambda env, params: env[name][column]
+        if not candidates:
+            raise Uncompilable(f"unknown column {column!r}")
+        # ambiguity is tolerated when every candidate agrees — keep the
+        # interpreted resolution for that rare case
+        return lambda env, params: ref.eval(env)
+
+
+def _make_comparison(left: EvalFn, right: EvalFn, op) -> EvalFn:
+    def comparison(env: Env, params: Params) -> Optional[bool]:
+        lhs = left(env, params)
+        rhs = right(env, params)
+        if lhs is None or rhs is None:
+            return None
+        return op(lhs, rhs)
+
+    return comparison
+
+
+# ---------------------------------------------------------------------------
+# compiled plan
+# ---------------------------------------------------------------------------
+
+SCAN, INDEX, HASH = "scan", "index", "hash"
+
+
+class _Level:
+    """One join level of a compiled plan."""
+
+    __slots__ = (
+        "name", "relation_name", "kind", "index", "key_fns",
+        "build_columns", "build_filters", "filters",
+    )
+
+    def __init__(self, name: str, relation_name: str) -> None:
+        self.name = name
+        self.relation_name = relation_name
+        self.kind = SCAN
+        self.index: Optional["HashIndex"] = None
+        self.key_fns: tuple[EvalFn, ...] = ()
+        self.build_columns: tuple[str, ...] = ()
+        #: predicates over the inner relation only — applied while the
+        #: hash table is built, shrinking every bucket
+        self.build_filters: tuple[EvalFn, ...] = ()
+        self.filters: tuple[EvalFn, ...] = ()
+
+
+class _Conjunct:
+    __slots__ = ("expr", "fn", "left_fn", "right_fn")
+
+    def __init__(self, expr, fn, left_fn=None, right_fn=None) -> None:
+        self.expr = expr
+        self.fn = fn
+        self.left_fn = left_fn
+        self.right_fn = right_fn
+
+
+class CompiledPlan:
+    """Closures + access methods for one plan shape."""
+
+    def __init__(
+        self,
+        order: list[int],
+        levels: list[_Level],
+        residual_filters: tuple[EvalFn, ...],
+        project: Callable[[Env, dict[str, int], Params], Row],
+        original_names: tuple[str, ...],
+    ) -> None:
+        self.order = order
+        self.levels = levels
+        self.residual_filters = residual_filters
+        self.project = project
+        #: names in FROM order — result rows sort on this rowid tuple so
+        #: output order is independent of the join order chosen
+        self.original_names = original_names
+        self.reordered = order != sorted(order)
+
+    def run(self, db: "Database", plan: "SelectPlan") -> list[Row]:
+        params = extract_params(plan)
+        stats = db.stats
+        levels = self.levels
+        tables = [db.table(level.relation_name) for level in levels]
+        hash_tables: list[Optional[dict]] = [None] * len(levels)
+        depth = len(levels)
+        env: Env = {}
+        rowids: dict[str, int] = {}
+        keyed_results: list[tuple[tuple, Row]] = []
+        residual = self.residual_filters
+        project = self.project
+        sort_names = self.original_names
+
+        def recurse(position: int) -> None:
+            if position == depth:
+                for predicate in residual:
+                    if predicate(env, params) is not True:
+                        return
+                key = tuple(rowids[name] for name in sort_names)
+                keyed_results.append((key, project(env, rowids, params)))
+                return
+            level = levels[position]
+            table = tables[position]
+            name = level.name
+            if level.kind is SCAN:
+                candidates = table.scan()
+            elif level.kind is INDEX:
+                stats["index_joins"] += 1
+                key = tuple(fn(env, params) for fn in level.key_fns)
+                candidates = (
+                    (rowid, table.get(rowid))
+                    for rowid in level.index.lookup_rowids(key)
+                    if rowid in table
+                )
+            else:  # HASH
+                build = hash_tables[position]
+                if build is None:
+                    build = hash_tables[position] = _build_hash_table(
+                        db, table, level, params
+                    )
+                key = tuple(fn(env, params) for fn in level.key_fns)
+                try:
+                    candidates = build.get(key, ())
+                except TypeError:  # unhashable probe value: no match
+                    candidates = ()
+            filters = level.filters
+            for rowid, row in candidates:
+                stats["rows_scanned"] += 1
+                env[name] = row
+                rowids[name] = rowid
+                for predicate in filters:
+                    if predicate(env, params) is not True:
+                        break
+                else:
+                    recurse(position + 1)
+                del env[name]
+                del rowids[name]
+
+        recurse(0)
+        keyed_results.sort(key=lambda pair: pair[0])
+        return [row for _, row in keyed_results]
+
+
+def _build_hash_table(
+    db: "Database", table, level: _Level, params: Params
+) -> dict:
+    """Transient hash table over the inner relation's join columns."""
+    db.stats["hash_joins"] += 1
+    mapping: dict = {}
+    columns = level.build_columns
+    build_filters = level.build_filters
+    name = level.name
+    probe_env: Env = {}
+    for rowid, row in table.scan():
+        db.stats["rows_scanned"] += 1
+        if build_filters:
+            probe_env[name] = row
+            kept = all(fn(probe_env, params) is True for fn in build_filters)
+            probe_env.clear()
+            if not kept:
+                continue
+        key = tuple(row[column] for column in columns)
+        if any(component is None for component in key):
+            continue  # SQL equality: NULL never joins
+        mapping.setdefault(key, []).append((rowid, row))
+    return mapping
+
+
+# ---------------------------------------------------------------------------
+# plan compilation
+# ---------------------------------------------------------------------------
+
+def compile_plan(
+    db: "Database", plan: "SelectPlan", order: list[int]
+) -> Optional[CompiledPlan]:
+    """Compile *plan* with join levels in *order*; None → run interpreted."""
+    try:
+        return _compile(db, plan, order)
+    except Uncompilable:
+        return None
+
+
+def _compile(db: "Database", plan: "SelectPlan", order: list[int]) -> CompiledPlan:
+    columns_of = {
+        item.name: set(db.relation(item.relation_name).attribute_names)
+        for item in plan.from_items
+    }
+    compiler = _ExprCompiler(columns_of)
+
+    # compile conjuncts in canonical order first so parameter slots line
+    # up with extract_params; comparisons keep their side closures so an
+    # equality can later serve as an index/hash key function
+    conjuncts = plan.where.conjuncts() if plan.where is not None else []
+    compiled_conjuncts: list[_Conjunct] = []
+    for conjunct in conjuncts:
+        if isinstance(conjunct, Comparison):
+            left_fn = compiler.compile(conjunct.left)
+            right_fn = compiler.compile(conjunct.right)
+            fn = _make_comparison(left_fn, right_fn, COMPARATORS[conjunct.op])
+            compiled_conjuncts.append(_Conjunct(conjunct, fn, left_fn, right_fn))
+        else:
+            compiled_conjuncts.append(_Conjunct(conjunct, compiler.compile(conjunct)))
+
+    levels: list[_Level] = []
+    bound: set[str] = set()
+    remaining = list(compiled_conjuncts)
+    for position in order:
+        item = plan.from_items[position]
+        target = item.name
+        level = _Level(target, item.relation_name)
+
+        equalities: dict[str, EvalFn] = {}
+        used: list[tuple[_Conjunct, str]] = []
+        deferred: list[_Conjunct] = []
+        for conjunct in remaining:
+            binding = binding_equalities(conjunct.expr, target, bound)
+            if binding is not None and binding[0] not in equalities:
+                column, value_expr = binding
+                value_fn = (
+                    conjunct.left_fn
+                    if value_expr is conjunct.expr.left
+                    else conjunct.right_fn
+                )
+                equalities[column] = value_fn
+                used.append((conjunct, column))
+            else:
+                deferred.append(conjunct)
+
+        bound_after = bound | {target}
+        applicable_now = [
+            conjunct for conjunct in deferred if applicable(conjunct.expr, bound_after)
+        ]
+        applicable_ids = {id(conjunct) for conjunct in applicable_now}
+        remaining = [
+            conjunct for conjunct in deferred if id(conjunct) not in applicable_ids
+        ]
+
+        if equalities:
+            index = choose_index(db, item.relation_name, set(equalities))
+            if index is not None:
+                level.kind = INDEX
+                level.index = index
+                level.key_fns = tuple(equalities[c] for c in index.columns)
+                covered = set(index.columns)
+                applicable_now.extend(
+                    conjunct for conjunct, column in used if column not in covered
+                )
+            elif bound:
+                level.kind = HASH
+                build_columns = tuple(sorted(equalities))
+                level.build_columns = build_columns
+                level.key_fns = tuple(equalities[c] for c in build_columns)
+            else:
+                # outermost level: it is entered exactly once, so a hash
+                # build can never amortize — scan and filter instead
+                applicable_now.extend(conjunct for conjunct, _ in used)
+
+        filters: list[EvalFn] = []
+        build_filters: list[EvalFn] = []
+        for conjunct in applicable_now:
+            refs = {qualifier for qualifier, _ in conjunct.expr.columns()}
+            if level.kind is HASH and refs <= {target}:
+                build_filters.append(conjunct.fn)
+            else:
+                filters.append(conjunct.fn)
+        level.filters = tuple(filters)
+        level.build_filters = tuple(build_filters)
+        levels.append(level)
+        bound = bound_after
+
+    residual_filters = tuple(conjunct.fn for conjunct in remaining)
+    project = _compile_projection(db, plan, compiler)
+    return CompiledPlan(
+        order=order,
+        levels=levels,
+        residual_filters=residual_filters,
+        project=project,
+        original_names=tuple(item.name for item in plan.from_items),
+    )
+
+
+def _compile_projection(
+    db: "Database", plan: "SelectPlan", compiler: _ExprCompiler
+) -> Callable[[Env, dict[str, int], Params], Row]:
+    names = tuple(item.name for item in plan.from_items)
+    if plan.select_rowids:
+        if len(names) == 1:
+            only = names[0]
+            return lambda env, rowids, params: {"ROWID": rowids[only]}
+        return lambda env, rowids, params: {
+            f"{name}.ROWID": rowids[name] for name in names
+        }
+    if plan.columns is None:
+        # SELECT *: precompute output keys with the interpreted
+        # executor's collision rule (qualified name on clashes)
+        entries: list[tuple[str, str, str]] = []
+        existing: set[str] = set()
+        for item in plan.from_items:
+            for column in db.table(item.relation_name).columns:
+                out_key = (
+                    column if column not in existing else f"{item.name}.{column}"
+                )
+                existing.add(out_key)
+                entries.append((item.name, column, out_key))
+
+        def project_star(env: Env, rowids: dict[str, int], params: Params) -> Row:
+            return {key: env[name][column] for name, column, key in entries}
+
+        base = project_star
+    else:
+        getters = [
+            (column.output_name, compiler.compile(ColumnRef(column.column, column.qualifier)))
+            for column in plan.columns
+        ]
+
+        def project_columns(env: Env, rowids: dict[str, int], params: Params) -> Row:
+            return {label: fn(env, params) for label, fn in getters}
+
+        base = project_columns
+    if not plan.include_rowids:
+        return base
+
+    def with_rowids(env: Env, rowids: dict[str, int], params: Params) -> Row:
+        row = base(env, rowids, params)
+        for name in names:
+            row[f"{name}.ROWID"] = rowids[name]
+        return row
+
+    return with_rowids
+
+
+# ---------------------------------------------------------------------------
+# plan cache
+# ---------------------------------------------------------------------------
+
+class _Entry:
+    __slots__ = ("schema_versions", "data_versions", "compiled")
+
+    def __init__(
+        self,
+        schema_versions: dict[str, int],
+        data_versions: dict[str, int],
+        compiled: Optional[CompiledPlan],
+    ) -> None:
+        self.schema_versions = schema_versions
+        self.data_versions = data_versions
+        self.compiled = compiled
+
+
+class PlanCache:
+    """Compiled plans keyed on :func:`plan_signature`.
+
+    Entries are validated against the per-relation schema versions (DDL:
+    CREATE/DROP TABLE, CREATE INDEX) and data versions (DML) of the
+    relations the plan reads, so a cached join order never outlives the
+    statistics that justified it — while DDL/DML against *unrelated*
+    relations (e.g. the outside strategy's temp-table churn) leaves the
+    entry untouched.  ``compiled=None`` entries remember that a shape
+    must run interpreted.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._entries: dict[tuple, _Entry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def get(self, signature: tuple, db: "Database") -> Optional[_Entry]:
+        entry = self._entries.get(signature)
+        if entry is None:
+            self.misses += 1
+            return None
+        if any(
+            db.schema_versions.get(relation, 0) != version
+            for relation, version in entry.schema_versions.items()
+        ) or any(
+            db.data_versions.get(relation, 0) != version
+            for relation, version in entry.data_versions.items()
+        ):
+            del self._entries[signature]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, signature: tuple, db: "Database",
+            compiled: Optional[CompiledPlan],
+            relations: set[str]) -> None:
+        if len(self._entries) >= self.capacity:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[signature] = _Entry(
+            {relation: db.schema_versions.get(relation, 0) for relation in relations},
+            {relation: db.data_versions.get(relation, 0) for relation in relations},
+            compiled,
+        )
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -29,6 +29,7 @@ from ..errors import (
     SchemaError,
     UniqueViolation,
 )
+from .compiled import PlanCache
 from .constraints import DeletePolicy, ForeignKey, PrimaryKey, Unique
 from .expr import Expr
 from .index import HashIndex
@@ -60,7 +61,25 @@ class Database:
             "selects": 0,
             #: join levels served by an index lookup instead of a scan
             "index_joins": 0,
+            #: join levels served by a transient hash table (built once
+            #: per execution when equalities exist but no index covers them)
+            "hash_joins": 0,
+            #: SELECT plans compiled into closures (plan-cache misses)
+            "plans_compiled": 0,
+            #: SELECT executions served from the compiled-plan cache
+            "plan_cache_hits": 0,
+            #: compiled plans whose join order differs from FROM order
+            "reorders": 0,
         }
+        #: compiled SELECT plans keyed on structural signature
+        self.plan_cache = PlanCache()
+        #: per-relation DDL counters (CREATE/DROP TABLE, CREATE INDEX) —
+        #: compiled plans referencing stale schema objects are discarded,
+        #: while temp-table churn leaves unrelated cached plans alone
+        self.schema_versions: dict[str, int] = {}
+        #: per-relation DML counters — a cached join order never outlives
+        #: the cardinalities that justified it
+        self.data_versions: dict[str, int] = {}
         for relation in schema:
             self.tables[relation.name] = Table(
                 relation.name, relation.attribute_names
@@ -104,6 +123,7 @@ class Database:
         self.schema._validate_foreign_keys()
         self.tables[relation.name] = Table(relation.name, relation.attribute_names)
         self.indexes[relation.name] = list(self._build_indexes(relation))
+        self._bump_schema_version(relation.name)
 
     def create_temp_table(
         self,
@@ -130,6 +150,7 @@ class Database:
         self.tables[name] = Table(name, relation.attribute_names)
         self.indexes[name] = []
         table = self.tables[name]
+        self._bump_schema_version(name)
         for row in rows:
             table.insert_row(row)
         for column_list in index_columns:
@@ -166,12 +187,19 @@ class Database:
         for rowid, row in table.scan():
             index.add(rowid, row)
         self.indexes[relation_name].append(index)
+        self._bump_schema_version(relation_name)
         return index
 
     def drop_table(self, name: str) -> None:
         self.schema.relations.pop(name, None)
         self.tables.pop(name, None)
         self.indexes.pop(name, None)
+        self._bump_schema_version(name)
+
+    def _bump_schema_version(self, relation_name: str) -> None:
+        self.schema_versions[relation_name] = (
+            self.schema_versions.get(relation_name, 0) + 1
+        )
 
     # ------------------------------------------------------------------
     # lookups
@@ -306,9 +334,15 @@ class Database:
     # physical operations (index maintenance only, no constraints)
     # ------------------------------------------------------------------
 
+    def _bump_data_version(self, relation_name: str) -> None:
+        self.data_versions[relation_name] = (
+            self.data_versions.get(relation_name, 0) + 1
+        )
+
     def _physical_insert(
         self, relation_name: str, row: Row, rowid: Optional[int] = None
     ) -> int:
+        self._bump_data_version(relation_name)
         table = self.table(relation_name)
         if rowid is None:
             rowid = table.insert_row(row)
@@ -320,6 +354,7 @@ class Database:
         return rowid
 
     def _physical_delete(self, relation_name: str, rowid: int) -> Row:
+        self._bump_data_version(relation_name)
         table = self.table(relation_name)
         row = table.get(rowid)
         for index in self.indexes[relation_name]:
@@ -329,6 +364,7 @@ class Database:
     def _physical_update(
         self, relation_name: str, rowid: int, changes: Mapping[str, Any]
     ) -> Row:
+        self._bump_data_version(relation_name)
         table = self.table(relation_name)
         row = table.get(rowid)
         for index in self.indexes[relation_name]:

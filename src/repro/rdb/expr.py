@@ -100,6 +100,23 @@ class Expr:
     def to_sql(self) -> str:
         raise NotImplementedError
 
+    # structural identity for the plan-compilation cache -------------------
+
+    def signature(self) -> Optional[tuple]:
+        """A hashable structural key with runtime values abstracted away.
+
+        Two expressions with the same signature differ at most in literal
+        values and pre-materialized subquery sets — exactly what
+        :meth:`collect_parameters` extracts.  ``None`` marks a node the
+        compiled executor does not understand (the plan then runs
+        interpreted).
+        """
+        return None
+
+    def collect_parameters(self, out: list) -> None:
+        """Append this tree's runtime values (literals, subquery sets) to
+        *out* in a canonical order shared with the plan compiler."""
+
     def columns(self) -> set[tuple[Optional[str], str]]:
         """All ``(qualifier, column)`` references appearing in the tree."""
         out: set[tuple[Optional[str], str]] = set()
@@ -130,6 +147,12 @@ class Literal(Expr):
 
     def to_sql(self) -> str:
         return sql_literal(self.value)
+
+    def signature(self) -> tuple:
+        return ("lit?",)
+
+    def collect_parameters(self, out: list) -> None:
+        out.append(self.value)
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Literal) and self.value == other.value
@@ -175,6 +198,9 @@ class ColumnRef(Expr):
     def _collect_columns(self, out: set[tuple[Optional[str], str]]) -> None:
         out.add((self.qualifier, self.column))
 
+    def signature(self) -> tuple:
+        return ("col", self.qualifier, self.column)
+
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, ColumnRef)
@@ -195,13 +221,14 @@ class Comparison(Expr):
         self.op = "<>" if op == "!=" else op
         self.left = left
         self.right = right
+        self._comparator = COMPARATORS[self.op]
 
     def eval(self, env: Env) -> Optional[bool]:
         lhs = self.left.eval(env)
         rhs = self.right.eval(env)
         if lhs is None or rhs is None:
             return None
-        return COMPARATORS[self.op](lhs, rhs)
+        return self._comparator(lhs, rhs)
 
     def to_sql(self) -> str:
         return f"{self.left.to_sql()} {self.op} {self.right.to_sql()}"
@@ -212,6 +239,17 @@ class Comparison(Expr):
 
     def negated(self) -> "Comparison":
         return Comparison(NEGATED_OP[self.op], self.left, self.right)
+
+    def signature(self) -> Optional[tuple]:
+        left = self.left.signature()
+        right = self.right.signature()
+        if left is None or right is None:
+            return None
+        return ("cmp", self.op, left, right)
+
+    def collect_parameters(self, out: list) -> None:
+        self.left.collect_parameters(out)
+        self.right.collect_parameters(out)
 
     def __eq__(self, other: object) -> bool:
         return (
@@ -251,6 +289,17 @@ class And(Expr):
     def conjuncts(self) -> list[Expr]:
         return self.left.conjuncts() + self.right.conjuncts()
 
+    def signature(self) -> Optional[tuple]:
+        left = self.left.signature()
+        right = self.right.signature()
+        if left is None or right is None:
+            return None
+        return ("and", left, right)
+
+    def collect_parameters(self, out: list) -> None:
+        self.left.collect_parameters(out)
+        self.right.collect_parameters(out)
+
 
 class Or(Expr):
     def __init__(self, left: Expr, right: Expr) -> None:
@@ -275,6 +324,17 @@ class Or(Expr):
         self.left._collect_columns(out)
         self.right._collect_columns(out)
 
+    def signature(self) -> Optional[tuple]:
+        left = self.left.signature()
+        right = self.right.signature()
+        if left is None or right is None:
+            return None
+        return ("or", left, right)
+
+    def collect_parameters(self, out: list) -> None:
+        self.left.collect_parameters(out)
+        self.right.collect_parameters(out)
+
 
 class Not(Expr):
     def __init__(self, operand: Expr) -> None:
@@ -291,6 +351,15 @@ class Not(Expr):
 
     def _collect_columns(self, out: set[tuple[Optional[str], str]]) -> None:
         self.operand._collect_columns(out)
+
+    def signature(self) -> Optional[tuple]:
+        operand = self.operand.signature()
+        if operand is None:
+            return None
+        return ("not", operand)
+
+    def collect_parameters(self, out: list) -> None:
+        self.operand.collect_parameters(out)
 
 
 class IsNull(Expr):
@@ -311,6 +380,15 @@ class IsNull(Expr):
 
     def _collect_columns(self, out: set[tuple[Optional[str], str]]) -> None:
         self.operand._collect_columns(out)
+
+    def signature(self) -> Optional[tuple]:
+        operand = self.operand.signature()
+        if operand is None:
+            return None
+        return ("isnull", self.negate, operand)
+
+    def collect_parameters(self, out: list) -> None:
+        self.operand.collect_parameters(out)
 
 
 class InSubquery(Expr):
@@ -337,6 +415,18 @@ class InSubquery(Expr):
 
     def _collect_columns(self, out: set[tuple[Optional[str], str]]) -> None:
         self.operand._collect_columns(out)
+
+    def signature(self) -> Optional[tuple]:
+        operand = self.operand.signature()
+        if operand is None:
+            return None
+        # the materialized value set is a runtime parameter, like a literal
+        return ("insub", operand)
+
+    def collect_parameters(self, out: list) -> None:
+        self.operand.collect_parameters(out)
+        # the set itself, not a copy — it is only probed for membership
+        out.append(self.values)
 
 
 # ---------------------------------------------------------------------------

@@ -39,7 +39,9 @@ class HashIndex:
         self.relation_name = relation_name
         self.columns = columns
         self.unique = unique
-        self._entries: dict[Key, set[int]] = {}
+        #: buckets are insertion-ordered (dict keys) so probes can iterate
+        #: them deterministically without re-sorting per lookup
+        self._entries: dict[Key, dict[int, None]] = {}
         #: probe counter — used by benchmarks/tests to show index usage
         self.lookups = 0
 
@@ -58,8 +60,8 @@ class HashIndex:
         key = self.key_of(row)
         if key is None:
             return
-        bucket = self._entries.setdefault(key, set())
-        bucket.add(rowid)
+        bucket = self._entries.setdefault(key, {})
+        bucket[rowid] = None
 
     def remove(self, rowid: int, row: Mapping[str, Any]) -> None:
         key = self.key_of(row)
@@ -67,7 +69,7 @@ class HashIndex:
             return
         bucket = self._entries.get(key)
         if bucket is not None:
-            bucket.discard(rowid)
+            bucket.pop(rowid, None)
             if not bucket:
                 del self._entries[key]
 
@@ -78,10 +80,8 @@ class HashIndex:
         key = self.key_of(row)
         if key is None:
             return False
-        bucket = self._entries.get(key, set())
-        if ignore is not None:
-            bucket = bucket - {ignore}
-        return bool(bucket)
+        bucket = self._entries.get(key, ())
+        return any(rowid != ignore for rowid in bucket)
 
     # -- probing -------------------------------------------------------------
 
@@ -92,6 +92,23 @@ class HashIndex:
         if any(component is None for component in key):
             return set()
         return set(self._entries.get(key, ()))
+
+    def lookup_rowids(self, key: Iterable[Any]) -> tuple[int, ...]:
+        """Like :meth:`lookup` but returns the bucket in its stable
+        insertion order — no per-probe set copy or re-sort."""
+        self.lookups += 1
+        key = tuple(key)
+        if any(component is None for component in key):
+            return ()
+        bucket = self._entries.get(key)
+        return tuple(bucket) if bucket else ()
+
+    def average_bucket(self) -> float:
+        """Mean rowids per distinct key — the optimizer's estimate of how
+        many rows one probe of this index emits."""
+        if not self._entries:
+            return 0.0
+        return len(self) / len(self._entries)
 
     def matches(self, columns: Iterable[str]) -> bool:
         """True iff this index covers exactly the given column set."""

@@ -1,0 +1,147 @@
+"""Cost-aware join ordering for :class:`repro.rdb.plan.SelectPlan`.
+
+The paper's probe queries arrive with their FROM clause in view-nesting
+order (root relation first).  That order is frequently the worst one to
+execute: the update's literal predicates anchor at the *deepest*
+relation (``l_orderkey = 0`` on LINEITEM), so a literal FROM-order
+nested loop enumerates the full context product before the literal ever
+filters anything.
+
+:func:`order_from_items` reorders the FROM items greedily,
+smallest-bound-first:
+
+* **seed** — the most selective relation that an index (or at least a
+  literal equality) can open: a unique index pinned by literals is
+  estimated at one row, a non-unique one at its mean bucket size;
+* **grow** — at each step, prefer relations *reachable* through
+  equality conjuncts from the already-bound set (index probe if one
+  covers the join columns, transient hash join otherwise) over
+  relations that would start a cartesian product;
+* **fallback** — among unreachable relations, smallest cardinality
+  first.
+
+Estimates come from live engine state (``db.count``, index bucket
+statistics), not from literal values, so one ordering is valid for a
+whole family of same-shape plans — which is what lets the plan cache in
+:mod:`repro.rdb.compiled` key on a literal-agnostic signature.
+
+The binding/applicability helpers here are shared with both executors
+(compiled and interpreted) in :mod:`repro.rdb.plan`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from .expr import ColumnRef, Comparison, Expr, Literal
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (plan -> optimizer)
+    from .database import Database
+    from .index import HashIndex
+    from .plan import FromItem
+
+__all__ = [
+    "applicable",
+    "binding_equalities",
+    "choose_index",
+    "estimate_access",
+    "order_from_items",
+]
+
+
+def binding_equalities(
+    conjunct: Expr, target: str, bound: set[str]
+) -> Optional[tuple[str, Expr]]:
+    """If *conjunct* pins a column of *target* to an evaluable value,
+    return ``(column, value_expr)``.
+
+    A value expression is evaluable when it is a literal or references
+    only already-bound FROM items.
+    """
+    if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+        return None
+    for this, other in ((conjunct.left, conjunct.right), (conjunct.right, conjunct.left)):
+        if isinstance(this, ColumnRef) and this.qualifier == target:
+            if isinstance(other, Literal):
+                return this.column, other
+            if isinstance(other, ColumnRef) and other.qualifier in bound:
+                return this.column, other
+    return None
+
+
+def applicable(conjunct: Expr, bound: set[str]) -> bool:
+    """True iff every column reference of *conjunct* is bound."""
+    return all(
+        qualifier in bound
+        for qualifier, _ in conjunct.columns()
+        if qualifier is not None
+    ) and all(qualifier is not None for qualifier, _ in conjunct.columns())
+
+
+def choose_index(
+    db: "Database", relation_name: str, columns: set[str]
+) -> Optional["HashIndex"]:
+    """Best index whose columns are all pinned by the equalities."""
+    best = None
+    for index in db.indexes.get(relation_name, ()):
+        if set(index.columns) <= columns:
+            if best is None or len(index.columns) > len(best.columns):
+                best = index
+    return best
+
+
+def estimate_access(
+    db: "Database",
+    item: "FromItem",
+    conjuncts: Sequence[Expr],
+    bound: set[str],
+) -> tuple[str, int]:
+    """How the executor would open *item* given the *bound* relations.
+
+    Returns ``(kind, emitted)`` where *kind* is ``"index"`` / ``"hash"``
+    / ``"scan"`` and *emitted* estimates the rows each instantiation of
+    the level yields.
+    """
+    equalities: dict[str, Expr] = {}
+    for conjunct in conjuncts:
+        binding = binding_equalities(conjunct, item.name, bound)
+        if binding is not None and binding[0] not in equalities:
+            equalities[binding[0]] = binding[1]
+    cardinality = db.count(item.relation_name)
+    if equalities:
+        index = choose_index(db, item.relation_name, set(equalities))
+        if index is not None:
+            emitted = min(cardinality, math.ceil(index.average_bucket()))
+            if index.unique:
+                emitted = min(emitted, 1)
+            return "index", emitted
+        # transient hash join: the build is paid once per execution, each
+        # probe emits one bucket — assume moderate key skew
+        return "hash", max(1, cardinality // 4) if cardinality else 0
+    return "scan", cardinality
+
+
+def order_from_items(
+    db: "Database", from_items: Sequence["FromItem"], conjuncts: Sequence[Expr]
+) -> list[int]:
+    """Greedy smallest-bound-first join order (indices into *from_items*).
+
+    Ties break on the original FROM position, so already-good orders are
+    left untouched and the result is deterministic.
+    """
+    remaining = list(range(len(from_items)))
+    order: list[int] = []
+    bound: set[str] = set()
+    while remaining:
+        best = remaining[0]
+        best_score: Optional[tuple] = None
+        for position in remaining:
+            kind, emitted = estimate_access(db, from_items[position], conjuncts, bound)
+            score = (0 if kind != "scan" else 1, emitted, position)
+            if best_score is None or score < best_score:
+                best, best_score = position, score
+        order.append(best)
+        bound.add(from_items[best].name)
+        remaining.remove(best)
+    return order

@@ -1,21 +1,32 @@
-"""SELECT execution: nested-loop joins with index assistance.
+"""SELECT execution: cost-aware join ordering + compiled evaluation.
 
-The executor implements exactly what the paper's experiments exercise:
+``execute_select`` runs a :class:`SelectPlan` through three layers:
 
-* multi-relation joins driven by equality predicates,
-* index nested-loop joins when a hash index covers the join columns of
-  the inner relation (the *hybrid* strategy benefits from the PK/FK
-  indexes the engine builds automatically),
-* plain nested-loop + filter otherwise (which is what joins against a
-  *materialized probe result* degrade to in the outside strategy when
-  the temp table carries no indexes; batch sessions attach ad-hoc hash
-  indexes via :meth:`repro.rdb.database.Database.create_index`, and the
-  executor exploits them like any other index).
+1. :mod:`repro.rdb.compiled` — a per-database **plan cache** keyed on a
+   literal-agnostic structural signature.  Repeated probe shapes (the
+   common case inside ``UpdateSession`` batches) skip both planning and
+   compilation; entries are invalidated by DDL and by DML against the
+   relations they read.
+2. :mod:`repro.rdb.optimizer` — on a cache miss, the FROM items are
+   reordered greedy smallest-bound-first (cardinalities, index bucket
+   statistics, equality-binding reachability), seeded by the most
+   selective indexed relation.
+3. compiled execution — index nested loops where an index covers the
+   join columns, a transient **hash join** where equality conjuncts
+   exist but no index does (what joins against unindexed temp-table
+   materializations degrade to), scans otherwise; predicates and
+   projections run as closures compiled once per plan shape.
 
-The executor maintains two counters in ``db.stats``: ``selects`` (plans
-executed — the probe accounting batch sessions and benchmarks compare)
-and ``index_joins`` (join levels served by an index lookup instead of a
-scan).
+Results are emitted in rowid order of the *original* FROM clause (one
+sort at projection time), so the chosen join order never changes what
+callers observe.  Plans the compiler does not understand — and every
+call with ``optimize=False`` — run on the interpreted nested-loop
+executor, which is kept as the semantic oracle for tests/benchmarks.
+
+The executor maintains counters in ``db.stats``: ``selects``,
+``rows_scanned``, ``index_joins``, plus the optimizer-layer counters
+``plans_compiled``, ``plan_cache_hits``, ``hash_joins`` and
+``reorders`` (see tests/README.md for the full vocabulary).
 
 Queries are represented programmatically (:class:`SelectPlan`); the
 textual SQL layer (:mod:`repro.rdb.sql`) parses into the same structure.
@@ -23,12 +34,19 @@ textual SQL layer (:mod:`repro.rdb.sql`) parses into the same structure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from ..errors import SchemaError
+from .compiled import CompiledPlan, compile_plan, plan_signature
 from .database import Database
-from .expr import And, ColumnRef, Comparison, Expr, Literal, conjoin
+from .expr import ColumnRef, Expr, conjoin
+from .optimizer import (
+    applicable as _applicable,
+    binding_equalities as _binding_equalities,
+    choose_index as _choose_index,
+    order_from_items,
+)
 
 __all__ = ["FromItem", "OutputColumn", "SelectPlan", "execute_select"]
 
@@ -111,37 +129,14 @@ def _split_conjuncts(where: Optional[Expr]) -> list[Expr]:
     return where.conjuncts()
 
 
-def _binding_equalities(
-    conjunct: Expr, target: str, bound: set[str]
-) -> Optional[tuple[str, Expr]]:
-    """If *conjunct* pins a column of *target* to an evaluable value,
-    return ``(column, value_expr)``.
+def execute_select(
+    db: Database, plan: SelectPlan, optimize: bool = True
+) -> list[Row]:
+    """Run the plan; returns projected rows (dicts keyed by output name).
 
-    A value expression is evaluable when it is a literal or references
-    only already-bound FROM items.
+    ``optimize=False`` forces the interpreted FROM-order nested-loop
+    executor — the pre-optimizer baseline benchmarks compare against.
     """
-    if not isinstance(conjunct, Comparison) or conjunct.op != "=":
-        return None
-    for this, other in ((conjunct.left, conjunct.right), (conjunct.right, conjunct.left)):
-        if isinstance(this, ColumnRef) and this.qualifier == target:
-            if isinstance(other, Literal):
-                return this.column, other
-            if isinstance(other, ColumnRef) and other.qualifier in bound:
-                return this.column, other
-    return None
-
-
-def _applicable(conjunct: Expr, bound: set[str]) -> bool:
-    """True iff every column reference of *conjunct* is bound."""
-    return all(
-        qualifier in bound
-        for qualifier, _ in conjunct.columns()
-        if qualifier is not None
-    ) and all(qualifier is not None for qualifier, _ in conjunct.columns())
-
-
-def execute_select(db: Database, plan: SelectPlan) -> list[Row]:
-    """Run the plan; returns projected rows (dicts keyed by output name)."""
     db.stats["selects"] += 1
     for item in plan.from_items:
         if item.relation_name not in db.tables:
@@ -150,8 +145,47 @@ def execute_select(db: Database, plan: SelectPlan) -> list[Row]:
     if len(set(names)) != len(names):
         raise SchemaError("duplicate FROM aliases")
 
+    if optimize:
+        compiled = _plan(db, plan)
+        if compiled is not None:
+            return compiled.run(db, plan)
+    return _execute_interpreted(db, plan)
+
+
+def _plan(db: Database, plan: SelectPlan) -> Optional[CompiledPlan]:
+    """Cache lookup → (order + compile) → cache store."""
+    signature = plan_signature(plan)
+    if signature is None:
+        return None
+    entry = db.plan_cache.get(signature, db)
+    if entry is not None:
+        if entry.compiled is not None:
+            db.stats["plan_cache_hits"] += 1
+        return entry.compiled
     conjuncts = _split_conjuncts(plan.where)
-    results: list[Row] = []
+    if len(plan.from_items) > 1:
+        order = order_from_items(db, plan.from_items, conjuncts)
+    else:
+        order = list(range(len(plan.from_items)))
+    compiled = compile_plan(db, plan, order)
+    relations = {item.relation_name for item in plan.from_items}
+    db.plan_cache.put(signature, db, compiled, relations)
+    if compiled is not None:
+        db.stats["plans_compiled"] += 1
+        if compiled.reordered:
+            db.stats["reorders"] += 1
+    return compiled
+
+
+def _execute_interpreted(db: Database, plan: SelectPlan) -> list[Row]:
+    """FROM-order nested-loop execution, one ``Expr`` walk per row.
+
+    Kept as the semantic oracle: the compiled executor must return the
+    same rows (tests/property/test_prop_optimizer.py pins that down).
+    """
+    conjuncts = _split_conjuncts(plan.where)
+    names = tuple(item.name for item in plan.from_items)
+    keyed_results: list[tuple[tuple, Row]] = []
 
     def recurse(position: int, env: dict[str, Row], rowids: dict[str, int],
                 remaining: list[Expr]) -> None:
@@ -160,7 +194,8 @@ def execute_select(db: Database, plan: SelectPlan) -> list[Row]:
                 residual = conjoin(remaining)
                 if residual is not None and residual.eval(env) is not True:
                     return
-            results.append(_project(db, plan, env, rowids))
+            key = tuple(rowids[name] for name in names)
+            keyed_results.append((key, _project(db, plan, env, rowids)))
             return
         item = plan.from_items[position]
         bound = set(env)
@@ -187,7 +222,7 @@ def execute_select(db: Database, plan: SelectPlan) -> list[Row]:
             index = _choose_index(db, item.relation_name, set(equalities))
             if index is not None:
                 key = tuple(equalities[column].eval(env) for column in index.columns)
-                candidate_rowids = index.lookup(key)
+                candidate_rowids = index.lookup_rowids(key)
                 # equalities covered by the index are consumed; others filter
                 covered = set(index.columns)
                 applicable_now = applicable_now + [
@@ -201,35 +236,28 @@ def execute_select(db: Database, plan: SelectPlan) -> list[Row]:
             db.stats["index_joins"] += 1
             iterator = (
                 (rowid, table.get(rowid))
-                for rowid in sorted(candidate_rowids)
+                for rowid in candidate_rowids
                 if rowid in table
             )
+        # hoisted out of the row loop: one conjunction per level entry
+        predicate = conjoin(applicable_now) if applicable_now else None
         for rowid, row in iterator:
             db.stats["rows_scanned"] += 1
             env[target] = row
             rowids[target] = rowid
-            if applicable_now:
-                predicate = conjoin(applicable_now)
-                if predicate is not None and predicate.eval(env) is not True:
-                    del env[target]
-                    del rowids[target]
-                    continue
+            if predicate is not None and predicate.eval(env) is not True:
+                del env[target]
+                del rowids[target]
+                continue
             recurse(position + 1, env, rowids, still_remaining)
             del env[target]
             del rowids[target]
 
     recurse(0, {}, {}, conjuncts)
-    return results
-
-
-def _choose_index(db: Database, relation_name: str, columns: set[str]):
-    """Best index whose columns are all pinned by the equalities."""
-    best = None
-    for index in db.indexes.get(relation_name, ()):
-        if set(index.columns) <= columns:
-            if best is None or len(index.columns) > len(best.columns):
-                best = index
-    return best
+    # deterministic output: rowid order of the original FROM clause,
+    # established once here instead of sorting every index probe
+    keyed_results.sort(key=lambda pair: pair[0])
+    return [row for _, row in keyed_results]
 
 
 def _project(

@@ -89,11 +89,14 @@ class SQLEngine:
             select_rowids=statement.select_rowids,
         )
         rows = execute_select(self.db, plan)
-        if statement.distinct:
+        if statement.distinct and rows:
+            # every row of one projection shares the same keys, so the
+            # dedup column order is computed once, not per row
+            key_columns = sorted(rows[0])
             seen: set[tuple] = set()
             unique_rows = []
             for row in rows:
-                key = tuple(sorted(row.items(), key=lambda kv: kv[0]))
+                key = tuple(row[column] for column in key_columns)
                 if key not in seen:
                     seen.add(key)
                     unique_rows.append(row)

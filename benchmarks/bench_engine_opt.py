@@ -192,6 +192,8 @@ def run_suite(megabytes: float, rounds: int = 3) -> dict:
             for key in (
                 "selects", "rows_scanned", "index_joins", "hash_joins",
                 "plans_compiled", "plan_cache_hits", "reorders",
+                "stats_rebuilds", "rowid_plans_compiled",
+                "rowid_cache_hits", "replans_avoided",
             )
         },
     }

@@ -33,6 +33,7 @@ from typing import Any, Optional
 
 from ..errors import ConstraintViolation, UFilterError
 from ..rdb.database import Database
+from ..rdb.optimizer import choose_index
 from ..xml.nodes import XMLElement
 from .asg import NodeKind, ViewASG, ViewNode
 from .star import (
@@ -547,11 +548,8 @@ class DataChecker:
         ] if temp_rows else []
         if not shared:
             return probe
-        index = None
-        for candidate in self.db.indexes.get(temp_name, ()):
-            if set(candidate.columns) <= set(shared):
-                if index is None or len(candidate.columns) > len(index.columns):
-                    index = candidate
+        # same rule the planner applies: widest index the shared columns pin
+        index = choose_index(self.db, temp_name, set(shared))
         verified: list[Row] = []
         if index is not None:
             temp_table = self.db.table(temp_name)

@@ -106,6 +106,12 @@ class SessionResult:
     plans_compiled: int = 0
     plan_cache_hits: int = 0
     hash_joins: int = 0
+    #: find_rowids / select_rowids probes served from the compiled
+    #: rowid-plan cache (FK checks, cascades, WHERE-driven DML)
+    rowid_cache_hits: int = 0
+    #: plan-cache validations that kept a plan across sub-threshold
+    #: DML drift instead of recompiling
+    replans_avoided: int = 0
 
     @property
     def applied(self) -> list[SessionEntry]:
@@ -130,7 +136,9 @@ class SessionResult:
             f"  executor: {self.rows_scanned} rows scanned, "
             f"{self.plans_compiled} plan(s) compiled, "
             f"{self.plan_cache_hits} plan-cache hit(s), "
-            f"{self.hash_joins} hash join(s)",
+            f"{self.hash_joins} hash join(s), "
+            f"{self.rowid_cache_hits} rowid-cache hit(s), "
+            f"{self.replans_avoided} replan(s) avoided",
         ]
         lines.extend(f"  {entry.describe()}" for entry in self.entries)
         return "\n".join(lines)
@@ -236,6 +244,12 @@ class UpdateSession:
             stats["plan_cache_hits"] - stats_before["plan_cache_hits"]
         )
         result.hash_joins = stats["hash_joins"] - stats_before["hash_joins"]
+        result.rowid_cache_hits = (
+            stats["rowid_cache_hits"] - stats_before["rowid_cache_hits"]
+        )
+        result.replans_avoided = (
+            stats["replans_avoided"] - stats_before["replans_avoided"]
+        )
         result.cache_hits = self.cache.hits - hits_before
         result.cache_misses = self.cache.misses - misses_before
         result.cache_invalidations = (

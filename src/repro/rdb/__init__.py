@@ -37,11 +37,12 @@ from .expr import (
     conjoin,
     lit,
 )
-from .compiled import CompiledPlan, PlanCache
+from .compiled import CompiledPlan, PlanCache, RowidPlanCache
 from .index import HashIndex
 from .optimizer import order_from_items
 from .plan import FromItem, OutputColumn, SelectPlan, execute_select
 from .schema import Attribute, Relation, Schema
+from .statistics import StatisticsManager, TableStatistics
 from .sql import SQLEngine, parse_script, parse_statement
 from .sql.parser import parse_expression
 from .table import Table
@@ -82,12 +83,15 @@ __all__ = [
     "parse_statement",
     "PrimaryKey",
     "Relation",
+    "RowidPlanCache",
     "Schema",
     "SelectPlan",
     "SQLEngine",
     "sql_literal",
     "SQLType",
+    "StatisticsManager",
     "Table",
+    "TableStatistics",
     "type_from_name",
     "Unique",
     "VarChar",

@@ -49,8 +49,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (plan -> compiled)
     from .index import HashIndex
     from .plan import SelectPlan
 
-__all__ = ["CompiledPlan", "PlanCache", "Uncompilable", "compile_plan",
-           "extract_params", "plan_signature"]
+__all__ = ["CompiledPlan", "CompiledRowidPredicate", "PlanCache",
+           "RowidAccess", "RowidPlanCache", "Uncompilable", "compile_plan",
+           "compile_rowid_predicate", "extract_params",
+           "extract_where_params", "plan_signature", "where_signature"]
 
 Row = dict[str, Any]
 Env = dict[str, Row]
@@ -66,6 +68,30 @@ class Uncompilable(Exception):
 # plan signatures and parameter extraction
 # ---------------------------------------------------------------------------
 
+def where_signature(predicate: Expr) -> Optional[tuple]:
+    """Literal-agnostic structural key of a WHERE tree, one entry per
+    conjunct (None: some node the compiled executors don't understand).
+
+    Shared by the SELECT plan cache and the single-relation rowid-path
+    cache, so both layers always agree on what counts as the same shape.
+    """
+    conjunct_sigs = []
+    for conjunct in predicate.conjuncts():
+        sig = conjunct.signature()
+        if sig is None:
+            return None
+        conjunct_sigs.append(sig)
+    return tuple(conjunct_sigs)
+
+
+def extract_where_params(predicate: Expr) -> Params:
+    """A WHERE tree's runtime values, in the compiler's slot order."""
+    out: list = []
+    for conjunct in predicate.conjuncts():
+        conjunct.collect_parameters(out)
+    return tuple(out)
+
+
 def plan_signature(plan: "SelectPlan") -> Optional[tuple]:
     """Literal-agnostic structural key of a plan (None: don't cache)."""
     if plan.columns is None:
@@ -78,13 +104,9 @@ def plan_signature(plan: "SelectPlan") -> Optional[tuple]:
     if plan.where is None:
         where_part: Optional[tuple] = None
     else:
-        conjunct_sigs = []
-        for conjunct in plan.where.conjuncts():
-            sig = conjunct.signature()
-            if sig is None:
-                return None
-            conjunct_sigs.append(sig)
-        where_part = tuple(conjunct_sigs)
+        where_part = where_signature(plan.where)
+        if where_part is None:
+            return None
     return (
         tuple((item.relation_name, item.alias) for item in plan.from_items),
         columns_part,
@@ -98,10 +120,7 @@ def extract_params(plan: "SelectPlan") -> Params:
     """The plan's runtime values, in the compiler's slot order."""
     if plan.where is None:
         return ()
-    out: list = []
-    for conjunct in plan.where.conjuncts():
-        conjunct.collect_parameters(out)
-    return tuple(out)
+    return extract_where_params(plan.where)
 
 
 # ---------------------------------------------------------------------------
@@ -268,6 +287,35 @@ class _Conjunct:
         self.right_fn = right_fn
 
 
+def _compile_conjuncts(
+    compiler: _ExprCompiler, conjuncts: list[Expr]
+) -> list["_Conjunct"]:
+    """Compile conjuncts in canonical order so parameter slots line up
+    with the ``collect_parameters`` traversal; comparisons keep their
+    side closures so an equality can later serve as an index/hash key
+    function.  Shared by the SELECT plan compiler and the
+    single-relation rowid-predicate compiler."""
+    compiled: list[_Conjunct] = []
+    for conjunct in conjuncts:
+        if isinstance(conjunct, Comparison):
+            left_fn = compiler.compile(conjunct.left)
+            right_fn = compiler.compile(conjunct.right)
+            fn = _make_comparison(left_fn, right_fn, COMPARATORS[conjunct.op])
+            compiled.append(_Conjunct(conjunct, fn, left_fn, right_fn))
+        else:
+            compiled.append(_Conjunct(conjunct, compiler.compile(conjunct)))
+    return compiled
+
+
+def _binding_value_fn(conjunct: "_Conjunct", value_expr: Expr) -> EvalFn:
+    """The side closure evaluating a binding's value expression."""
+    return (
+        conjunct.left_fn
+        if value_expr is conjunct.expr.left
+        else conjunct.right_fn
+    )
+
+
 class CompiledPlan:
     """Closures + access methods for one plan shape."""
 
@@ -398,19 +446,8 @@ def _compile(db: "Database", plan: "SelectPlan", order: list[int]) -> CompiledPl
     }
     compiler = _ExprCompiler(columns_of)
 
-    # compile conjuncts in canonical order first so parameter slots line
-    # up with extract_params; comparisons keep their side closures so an
-    # equality can later serve as an index/hash key function
     conjuncts = plan.where.conjuncts() if plan.where is not None else []
-    compiled_conjuncts: list[_Conjunct] = []
-    for conjunct in conjuncts:
-        if isinstance(conjunct, Comparison):
-            left_fn = compiler.compile(conjunct.left)
-            right_fn = compiler.compile(conjunct.right)
-            fn = _make_comparison(left_fn, right_fn, COMPARATORS[conjunct.op])
-            compiled_conjuncts.append(_Conjunct(conjunct, fn, left_fn, right_fn))
-        else:
-            compiled_conjuncts.append(_Conjunct(conjunct, compiler.compile(conjunct)))
+    compiled_conjuncts = _compile_conjuncts(compiler, conjuncts)
 
     levels: list[_Level] = []
     bound: set[str] = set()
@@ -427,12 +464,7 @@ def _compile(db: "Database", plan: "SelectPlan", order: list[int]) -> CompiledPl
             binding = binding_equalities(conjunct.expr, target, bound)
             if binding is not None and binding[0] not in equalities:
                 column, value_expr = binding
-                value_fn = (
-                    conjunct.left_fn
-                    if value_expr is conjunct.expr.left
-                    else conjunct.right_fn
-                )
-                equalities[column] = value_fn
+                equalities[column] = _binding_value_fn(conjunct, value_expr)
                 used.append((conjunct, column))
             else:
                 deferred.append(conjunct)
@@ -541,20 +573,215 @@ def _compile_projection(
 
 
 # ---------------------------------------------------------------------------
+# compiled single-relation rowid paths (find_rowids / select_rowids)
+# ---------------------------------------------------------------------------
+
+class RowidAccess:
+    """Cached access decision for ``Database.find_rowids``.
+
+    For one (relation, equality-column-set) signature: the widest index
+    whose columns the equalities pin (chosen through
+    :func:`repro.rdb.optimizer.choose_index`, so the most selective
+    covering index narrows the scan), plus the residual columns the
+    probe must still verify per candidate row.  ``index=None`` means a
+    full scan is unavoidable.
+    """
+
+    __slots__ = ("index", "residual")
+
+    def __init__(
+        self, index: Optional["HashIndex"], residual: tuple[str, ...]
+    ) -> None:
+        self.index = index
+        self.residual = residual
+
+
+def compile_rowid_access(
+    db: "Database", relation_name: str, columns: frozenset
+) -> RowidAccess:
+    """Pick the access path for an equality lookup over *columns*."""
+    index = choose_index(db, relation_name, set(columns))
+    if index is None:
+        return RowidAccess(None, tuple(sorted(columns)))
+    residual = tuple(sorted(columns - set(index.columns)))
+    return RowidAccess(index, residual)
+
+
+class CompiledRowidPredicate:
+    """A single-relation WHERE clause compiled into closures.
+
+    The artifact is literal-agnostic: predicate constants travel in the
+    parameter vector (same slot order as :meth:`Expr.collect_parameters`),
+    so one compiled predicate serves every same-shape probe.  When
+    literal equalities pin an indexed column set, candidates come from
+    one index probe instead of a scan; the remaining conjuncts run as
+    compiled filters.
+    """
+
+    __slots__ = ("name", "index", "key_fns", "filters")
+
+    def __init__(
+        self,
+        name: str,
+        index: Optional["HashIndex"],
+        key_fns: tuple[EvalFn, ...],
+        filters: tuple[EvalFn, ...],
+    ) -> None:
+        self.name = name
+        self.index = index
+        self.key_fns = key_fns
+        self.filters = filters
+
+    def run(self, db: "Database", table, params: Params) -> list[int]:
+        stats = db.stats
+        name = self.name
+        env: Env = {}
+        matched: list[int] = []
+        filters = self.filters
+        if self.index is not None:
+            try:
+                key = tuple(fn(env, params) for fn in self.key_fns)
+                rowids = self.index.lookup_rowids(key)
+            except TypeError:  # unhashable probe value: no match
+                rowids = ()
+            candidates = (
+                (rowid, table.get(rowid)) for rowid in rowids if rowid in table
+            )
+        else:
+            candidates = table.scan()
+        for rowid, row in candidates:
+            stats["rows_scanned"] += 1
+            env[name] = row
+            for fn in filters:
+                if fn(env, params) is not True:
+                    break
+            else:
+                matched.append(rowid)
+        # select_rowids returns ascending rowids on every path: scan
+        # order drifts once undo restores re-append old rowids, and the
+        # index bucket order is arbitrary — sorting is the one ordering
+        # compiled and interpreted can always agree on
+        matched.sort()
+        return matched
+
+
+def compile_rowid_predicate(
+    db: "Database", relation_name: str, predicate: Expr
+) -> Optional[CompiledRowidPredicate]:
+    """Compile a single-relation predicate; None → run interpreted."""
+    try:
+        return _compile_rowid_predicate(db, relation_name, predicate)
+    except Uncompilable:
+        return None
+
+
+def _compile_rowid_predicate(
+    db: "Database", relation_name: str, predicate: Expr
+) -> CompiledRowidPredicate:
+    columns_of = {
+        relation_name: set(db.relation(relation_name).attribute_names)
+    }
+    compiler = _ExprCompiler(columns_of)
+    compiled_conjuncts = _compile_conjuncts(compiler, predicate.conjuncts())
+    # literal equalities can pin an index (bound set is empty: there is
+    # only one relation, so column-to-column equalities never qualify)
+    equalities: dict[str, tuple[_Conjunct, EvalFn]] = {}
+    for conjunct in compiled_conjuncts:
+        binding = binding_equalities(conjunct.expr, relation_name, set())
+        if binding is not None and binding[0] not in equalities:
+            column, value_expr = binding
+            equalities[column] = (
+                conjunct, _binding_value_fn(conjunct, value_expr)
+            )
+    index = None
+    key_fns: tuple[EvalFn, ...] = ()
+    filters = compiled_conjuncts
+    if equalities:
+        index = choose_index(db, relation_name, set(equalities))
+        if index is not None:
+            key_fns = tuple(equalities[c][1] for c in index.columns)
+            consumed = {id(equalities[c][0]) for c in index.columns}
+            filters = [c for c in compiled_conjuncts if id(c) not in consumed]
+    return CompiledRowidPredicate(
+        name=relation_name,
+        index=index,
+        key_fns=key_fns,
+        filters=tuple(conjunct.fn for conjunct in filters),
+    )
+
+
+class _RowidEntry:
+    __slots__ = ("schema_version", "payload")
+
+    def __init__(self, schema_version: int, payload: Any) -> None:
+        self.schema_version = schema_version
+        self.payload = payload
+
+
+class RowidPlanCache:
+    """Compiled rowid-path artifacts, one cache per database.
+
+    Holds both :class:`RowidAccess` decisions (``find_rowids``) and
+    :class:`CompiledRowidPredicate` closures (``select_rowids``), keyed
+    on literal-agnostic signatures.  Entries are pinned to the owning
+    relation's schema version: CREATE INDEX / DROP TABLE / temp-table
+    recreation invalidates them, while DML never does — the artifacts
+    read live tables and indexes, so data drift cannot make them wrong,
+    only DDL can.  ``payload=None`` remembers that a predicate shape
+    must run interpreted.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        self.capacity = capacity
+        self._entries: dict[tuple, _RowidEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def get(self, key: tuple, db: "Database", relation_name: str) -> Optional[_RowidEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if db.schema_versions.get(relation_name, 0) != entry.schema_version:
+            del self._entries[key]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, db: "Database", relation_name: str, payload: Any) -> None:
+        if len(self._entries) >= self.capacity:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = _RowidEntry(
+            db.schema_versions.get(relation_name, 0), payload
+        )
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# ---------------------------------------------------------------------------
 # plan cache
 # ---------------------------------------------------------------------------
 
 class _Entry:
-    __slots__ = ("schema_versions", "data_versions", "compiled")
+    __slots__ = ("schema_versions", "data_versions", "row_counts", "compiled")
 
     def __init__(
         self,
         schema_versions: dict[str, int],
         data_versions: dict[str, int],
+        row_counts: dict[str, int],
         compiled: Optional[CompiledPlan],
     ) -> None:
         self.schema_versions = schema_versions
         self.data_versions = data_versions
+        self.row_counts = row_counts
         self.compiled = compiled
 
 
@@ -563,11 +790,19 @@ class PlanCache:
 
     Entries are validated against the per-relation schema versions (DDL:
     CREATE/DROP TABLE, CREATE INDEX) and data versions (DML) of the
-    relations the plan reads, so a cached join order never outlives the
-    statistics that justified it — while DDL/DML against *unrelated*
+    relations the plan reads — while DDL/DML against *unrelated*
     relations (e.g. the outside strategy's temp-table churn) leaves the
-    entry untouched.  ``compiled=None`` entries remember that a shape
-    must run interpreted.
+    entry untouched.
+
+    DDL always invalidates (a compiled plan may hold a dropped index).
+    DML is judged by the **re-planning threshold**: a cached join order
+    survives while the accumulated DML drift per relation stays within
+    ``max(db.replan_min_ops, db.replan_threshold × rows-at-compile-time)``
+    — compiled plans read live tables and indexes, so small drift only
+    risks a stale *order*, never a wrong *result*.  Past the threshold
+    the cardinalities that justified the order are declared stale and
+    the plan recompiles against fresh statistics.  ``compiled=None``
+    entries remember that a shape must run interpreted.
     """
 
     def __init__(self, capacity: int = 256) -> None:
@@ -576,6 +811,9 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        #: validations that saw DML drift below the threshold and kept
+        #: the cached plan (the "any DML recompiles" rule would not have)
+        self.drift_survivals = 0
 
     def get(self, signature: tuple, db: "Database") -> Optional[_Entry]:
         entry = self._entries.get(signature)
@@ -585,16 +823,31 @@ class PlanCache:
         if any(
             db.schema_versions.get(relation, 0) != version
             for relation, version in entry.schema_versions.items()
-        ) or any(
-            db.data_versions.get(relation, 0) != version
-            for relation, version in entry.data_versions.items()
         ):
-            del self._entries[signature]
-            self.invalidations += 1
-            self.misses += 1
-            return None
+            return self._invalidate(signature)
+        drifted = False
+        for relation, version in entry.data_versions.items():
+            delta = db.data_versions.get(relation, 0) - version
+            if delta == 0:
+                continue
+            allowed = max(
+                db.replan_min_ops,
+                int(db.replan_threshold * entry.row_counts.get(relation, 0)),
+            )
+            if delta > allowed:
+                return self._invalidate(signature)
+            drifted = True
+        if drifted:
+            self.drift_survivals += 1
+            db.stats["replans_avoided"] += 1
         self.hits += 1
         return entry
+
+    def _invalidate(self, signature: tuple) -> None:
+        del self._entries[signature]
+        self.invalidations += 1
+        self.misses += 1
+        return None
 
     def put(self, signature: tuple, db: "Database",
             compiled: Optional[CompiledPlan],
@@ -604,6 +857,10 @@ class PlanCache:
         self._entries[signature] = _Entry(
             {relation: db.schema_versions.get(relation, 0) for relation in relations},
             {relation: db.data_versions.get(relation, 0) for relation in relations},
+            {
+                relation: len(db.tables[relation]) if relation in db.tables else 0
+                for relation in relations
+            },
             compiled,
         )
 

@@ -29,11 +29,19 @@ from ..errors import (
     SchemaError,
     UniqueViolation,
 )
-from .compiled import PlanCache
+from .compiled import (
+    PlanCache,
+    RowidPlanCache,
+    compile_rowid_access,
+    compile_rowid_predicate,
+    extract_where_params,
+    where_signature,
+)
 from .constraints import DeletePolicy, ForeignKey, PrimaryKey, Unique
 from .expr import Expr
 from .index import HashIndex
 from .schema import Attribute, Relation, Schema
+from .statistics import StatisticsManager
 from .table import Table
 from .transactions import TransactionManager, UndoAction, UndoKind
 
@@ -70,9 +78,36 @@ class Database:
             "plan_cache_hits": 0,
             #: compiled plans whose join order differs from FROM order
             "reorders": 0,
+            #: statistics (re)builds — one scan per relation per build
+            "stats_rebuilds": 0,
+            #: rowid-path artifacts compiled (find_rowids access decisions
+            #: + select_rowids predicate closures; cache misses)
+            "rowid_plans_compiled": 0,
+            #: find_rowids / select_rowids probes served from the
+            #: compiled rowid-plan cache
+            "rowid_cache_hits": 0,
+            #: plan-cache validations that saw DML drift below the
+            #: re-planning threshold and kept the cached plan
+            "replans_avoided": 0,
         }
         #: compiled SELECT plans keyed on structural signature
         self.plan_cache = PlanCache()
+        #: compiled single-relation rowid paths (find_rowids access
+        #: decisions, select_rowids predicate closures)
+        self.rowid_plans = RowidPlanCache()
+        #: per-relation statistics (row counts, distinct counts,
+        #: equi-depth histograms, null fractions) feeding the planner
+        self.statistics = StatisticsManager(self)
+        #: re-planning threshold: a cached plan survives DML drift of up
+        #: to ``max(replan_min_ops, replan_threshold × rows-at-compile)``
+        #: modified rows per read relation before the join order is
+        #: declared stale (setting BOTH knobs to 0 restores the old
+        #: "any DML recompiles" rule)
+        self.replan_threshold = 0.2
+        self.replan_min_ops = 2
+        #: set while an undo log replays so per-row version bumps can be
+        #: coalesced into one bump per relation per rollback
+        self._coalesce_versions = False
         #: per-relation DDL counters (CREATE/DROP TABLE, CREATE INDEX) —
         #: compiled plans referencing stale schema objects are discarded,
         #: while temp-table churn leaves unrelated cached plans alone
@@ -194,6 +229,7 @@ class Database:
         self.schema.relations.pop(name, None)
         self.tables.pop(name, None)
         self.indexes.pop(name, None)
+        self.statistics.forget(name)
         self._bump_schema_version(name)
 
     def _bump_schema_version(self, relation_name: str) -> None:
@@ -231,16 +267,67 @@ class Database:
                 return index
         return None
 
-    def find_rowids(self, relation_name: str, equalities: Mapping[str, Any]) -> set[int]:
-        """Rowids whose columns equal *equalities* (index-assisted)."""
+    def find_rowids(
+        self,
+        relation_name: str,
+        equalities: Mapping[str, Any],
+        compiled: bool = True,
+    ) -> set[int]:
+        """Rowids whose columns equal *equalities* (index-assisted).
+
+        The access decision — the widest index the equality columns pin
+        (:func:`repro.rdb.optimizer.choose_index`) plus the residual
+        columns to verify — is compiled once per (relation, column-set)
+        signature and cached until DDL touches the relation.
+        ``compiled=False`` forces the interpreted per-call decision,
+        kept as the semantic oracle.
+        """
         table = self.table(relation_name)
         if not equalities:
             return set(table.rowids())
+        if not compiled or any(value is None for value in equalities.values()):
+            # NULL-valued probes keep the interpreted path: its outcome
+            # depends on which index the per-call pick lands on (index
+            # probes never match NULL, residual scans match None == None),
+            # and the cached widest-index decision cannot reproduce that
+            return self._find_rowids_interpreted(table, equalities)
+        access = self._rowid_access(relation_name, frozenset(equalities))
+        if access.index is not None:
+            key = tuple(equalities[column] for column in access.index.columns)
+            try:
+                hits = access.index.lookup(key)
+            except TypeError:  # unhashable probe value: no match
+                return set()
+            if not access.residual:
+                return hits
+            result = set()
+            for rowid in hits:
+                row = table.get(rowid)
+                self.stats["rows_scanned"] += 1
+                if all(
+                    row.get(column) == equalities[column]
+                    for column in access.residual
+                ):
+                    result.add(rowid)
+            return result
+        result = set()
+        items = list(equalities.items())
+        for rowid, row in table.scan():
+            self.stats["rows_scanned"] += 1
+            if all(row.get(column) == value for column, value in items):
+                result.add(rowid)
+        return result
+
+    def _find_rowids_interpreted(
+        self, table: Table, equalities: Mapping[str, Any]
+    ) -> set[int]:
+        """The pre-compilation scan: per-call index pick, dict-driven
+        residual checks.  The oracle compiled lookups must agree with."""
+        relation_name = table.relation_name
         index = self.index_on(relation_name, equalities.keys())
         if index is not None:
             key = tuple(equalities[column] for column in index.columns)
             return index.lookup(key)
-        # fall back to a scan; try a partial index to narrow it first
         candidates: Optional[set[int]] = None
         for index in self.indexes.get(relation_name, ()):
             if set(index.columns) <= set(equalities):
@@ -261,14 +348,69 @@ class Database:
                 result.add(rowid)
         return result
 
-    def select_rowids(self, relation_name: str, predicate: Optional[Expr]) -> list[int]:
-        """Rowids satisfying a predicate over this single relation."""
+    def _rowid_access(self, relation_name: str, columns: frozenset):
+        key = ("access", relation_name, columns)
+        entry = self.rowid_plans.get(key, self, relation_name)
+        if entry is not None:
+            self.stats["rowid_cache_hits"] += 1
+            return entry.payload
+        access = compile_rowid_access(self, relation_name, columns)
+        self.rowid_plans.put(key, self, relation_name, access)
+        self.stats["rowid_plans_compiled"] += 1
+        return access
+
+    def select_rowids(
+        self,
+        relation_name: str,
+        predicate: Optional[Expr],
+        compiled: bool = True,
+    ) -> list[int]:
+        """Rowids satisfying a predicate over this single relation.
+
+        The predicate is compiled once per literal-agnostic signature
+        into closures (plus an index probe when literal equalities pin
+        an indexed column set) and cached until DDL touches the
+        relation; constants travel as a parameter vector, so repeated
+        same-shape probes skip both analysis and compilation.
+        ``compiled=False`` (and shapes the compiler does not
+        understand) runs the interpreted per-row ``Expr`` walk — the
+        semantic oracle.
+
+        Rowids come back in ascending order on every path: insertion
+        (scan) order drifts once undo restores re-append old rowids,
+        so sorting is the one ordering both executors can agree on.
+        """
+        table = self.table(relation_name)
+        if predicate is None or not compiled:
+            return self._select_rowids_interpreted(table, relation_name, predicate)
+        signature = where_signature(predicate)
+        if signature is None:
+            return self._select_rowids_interpreted(table, relation_name, predicate)
+        key = ("predicate", relation_name, signature)
+        entry = self.rowid_plans.get(key, self, relation_name)
+        if entry is None:
+            plan = compile_rowid_predicate(self, relation_name, predicate)
+            self.rowid_plans.put(key, self, relation_name, plan)
+            if plan is not None:
+                self.stats["rowid_plans_compiled"] += 1
+        else:
+            plan = entry.payload
+            if plan is not None:
+                self.stats["rowid_cache_hits"] += 1
+        if plan is None:
+            return self._select_rowids_interpreted(table, relation_name, predicate)
+        return plan.run(self, table, extract_where_params(predicate))
+
+    def _select_rowids_interpreted(
+        self, table: Table, relation_name: str, predicate: Optional[Expr]
+    ) -> list[int]:
         matched = []
-        for rowid, row in self.table(relation_name).scan():
+        for rowid, row in table.scan():
             self.stats["rows_scanned"] += 1
             env = {relation_name: row}
             if predicate is None or predicate.eval(env) is True:
                 matched.append(rowid)
+        matched.sort()
         return matched
 
     # ------------------------------------------------------------------
@@ -335,6 +477,8 @@ class Database:
     # ------------------------------------------------------------------
 
     def _bump_data_version(self, relation_name: str) -> None:
+        if self._coalesce_versions:
+            return  # one bump per relation per rollback (see _replay_undo)
         self.data_versions[relation_name] = (
             self.data_versions.get(relation_name, 0) + 1
         )
@@ -351,6 +495,7 @@ class Database:
         stored = table.get(rowid)
         for index in self.indexes[relation_name]:
             index.add(rowid, stored)
+        self.statistics.on_insert(relation_name, stored)
         return rowid
 
     def _physical_delete(self, relation_name: str, rowid: int) -> Row:
@@ -359,7 +504,9 @@ class Database:
         row = table.get(rowid)
         for index in self.indexes[relation_name]:
             index.remove(rowid, row)
-        return table.delete_row(rowid)
+        removed = table.delete_row(rowid)
+        self.statistics.on_delete(relation_name, removed)
+        return removed
 
     def _physical_update(
         self, relation_name: str, rowid: int, changes: Mapping[str, Any]
@@ -372,6 +519,7 @@ class Database:
         old = table.update_row(rowid, changes)
         for index in self.indexes[relation_name]:
             index.add(rowid, table.get(rowid))
+        self.statistics.on_update(relation_name, old, changes)
         return old
 
     # ------------------------------------------------------------------
@@ -535,16 +683,43 @@ class Database:
         return len(log)
 
     def _replay_undo(self, log: Sequence[UndoAction]) -> None:
+        """Replay undo actions with coalesced version bumps.
+
+        A rolled-back batch update can undo thousands of rows; bumping
+        ``data_versions`` once per undone row costs one write (plus
+        statistics bookkeeping) per row mid-replay.  The per-row bumps
+        are suspended and replaced by a single per-relation write once
+        the replay completes — advancing the version by the number of
+        undone rows, so the re-planning threshold still sees the true
+        drift magnitude (a 10k-row rollback must not masquerade as one
+        statement of drift).
+        """
+        touched: dict[str, int] = {}
         for action in log:
-            if action.kind is UndoKind.INSERT:
-                self._physical_delete(action.relation_name, action.rowid)
-            elif action.kind is UndoKind.DELETE:
-                self._physical_insert(
-                    action.relation_name, action.old_values, action.rowid
-                )
-            else:
-                self._physical_update(
-                    action.relation_name, action.rowid, action.old_values
+            touched[action.relation_name] = (
+                touched.get(action.relation_name, 0) + 1
+            )
+        self._coalesce_versions = True
+        try:
+            for action in log:
+                if action.kind is UndoKind.INSERT:
+                    self._physical_delete(action.relation_name, action.rowid)
+                elif action.kind is UndoKind.DELETE:
+                    self._physical_insert(
+                        action.relation_name, action.old_values, action.rowid
+                    )
+                else:
+                    self._physical_update(
+                        action.relation_name, action.rowid, action.old_values
+                    )
+        finally:
+            # bump even when a replay step raises: the prefix already
+            # mutated these relations, and cached plans must see it
+            self._coalesce_versions = False
+            for relation_name in sorted(touched):
+                self.data_versions[relation_name] = (
+                    self.data_versions.get(relation_name, 0)
+                    + touched[relation_name]
                 )
 
     # ------------------------------------------------------------------

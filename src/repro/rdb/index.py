@@ -42,6 +42,9 @@ class HashIndex:
         #: buckets are insertion-ordered (dict keys) so probes can iterate
         #: them deterministically without re-sorting per lookup
         self._entries: dict[Key, dict[int, None]] = {}
+        #: incremental entry count — ``len()`` and ``average_bucket()``
+        #: are planner-estimate hot paths and must not sum every bucket
+        self._size = 0
         #: probe counter — used by benchmarks/tests to show index usage
         self.lookups = 0
 
@@ -61,15 +64,18 @@ class HashIndex:
         if key is None:
             return
         bucket = self._entries.setdefault(key, {})
-        bucket[rowid] = None
+        if rowid not in bucket:
+            bucket[rowid] = None
+            self._size += 1
 
     def remove(self, rowid: int, row: Mapping[str, Any]) -> None:
         key = self.key_of(row)
         if key is None:
             return
         bucket = self._entries.get(key)
-        if bucket is not None:
-            bucket.pop(rowid, None)
+        if bucket is not None and rowid in bucket:
+            del bucket[rowid]
+            self._size -= 1
             if not bucket:
                 del self._entries[key]
 
@@ -108,14 +114,18 @@ class HashIndex:
         many rows one probe of this index emits."""
         if not self._entries:
             return 0.0
-        return len(self) / len(self._entries)
+        return self._size / len(self._entries)
+
+    def distinct_keys(self) -> int:
+        """Number of distinct (fully non-NULL) keys currently indexed."""
+        return len(self._entries)
 
     def matches(self, columns: Iterable[str]) -> bool:
         """True iff this index covers exactly the given column set."""
         return set(self.columns) == set(columns)
 
     def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self._entries.values())
+        return self._size
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "UNIQUE " if self.unique else ""

@@ -12,21 +12,30 @@ smallest-bound-first:
 
 * **seed** — the most selective relation that an index (or at least a
   literal equality) can open: a unique index pinned by literals is
-  estimated at one row, a non-unique one at its mean bucket size;
+  estimated at one row, a non-unique one at ``rows / distinct(key)``;
 * **grow** — at each step, prefer relations *reachable* through
   equality conjuncts from the already-bound set (index probe if one
   covers the join columns, transient hash join otherwise) over
   relations that would start a cartesian product;
-* **fallback** — among unreachable relations, smallest cardinality
-  first.
+* **fallback** — among unreachable relations, smallest estimated
+  output first.
 
-Estimates come from live engine state (``db.count``, index bucket
-statistics), not from literal values, so one ordering is valid for a
-whole family of same-shape plans — which is what lets the plan cache in
+Estimates come from the statistics subsystem
+(:mod:`repro.rdb.statistics`): per-column distinct counts size equality
+and hash-join output, equi-depth histograms size range conjuncts, and
+null fractions size ``IS [NOT] NULL`` — so a relation whose non-equality
+filters are selective can win a join-order slot even without an index
+(the bushy-friendly part).  None of the estimates read literal values
+out of the plan being compiled beyond the conjunct shapes, and all are
+drawn from live engine state, so one ordering is valid for a whole
+family of same-shape plans — which is what lets the plan cache in
 :mod:`repro.rdb.compiled` key on a literal-agnostic signature.
 
 The binding/applicability helpers here are shared with both executors
-(compiled and interpreted) in :mod:`repro.rdb.plan`.
+(compiled and interpreted) in :mod:`repro.rdb.plan`.  Each ordering
+pass digests the conjunct list once into :class:`ConjunctInfo` records
+(qualifier sets, equality orientations) instead of re-materializing
+``Expr.columns()`` for every candidate × step combination.
 """
 
 from __future__ import annotations
@@ -34,20 +43,26 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING, Optional, Sequence
 
-from .expr import ColumnRef, Comparison, Expr, Literal
+from .expr import ColumnRef, Comparison, Expr, IsNull, Literal
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (plan -> optimizer)
     from .database import Database
     from .index import HashIndex
     from .plan import FromItem
+    from .statistics import TableStatistics
 
 __all__ = [
+    "ConjunctInfo",
     "applicable",
     "binding_equalities",
     "choose_index",
+    "conjunct_selectivity",
     "estimate_access",
     "order_from_items",
 ]
+
+#: a comparison seen from the other side: ``lit < col`` is ``col > lit``
+_MIRRORED_OP = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
 
 
 def binding_equalities(
@@ -72,11 +87,57 @@ def binding_equalities(
 
 def applicable(conjunct: Expr, bound: set[str]) -> bool:
     """True iff every column reference of *conjunct* is bound."""
+    columns = conjunct.columns()
     return all(
-        qualifier in bound
-        for qualifier, _ in conjunct.columns()
-        if qualifier is not None
-    ) and all(qualifier is not None for qualifier, _ in conjunct.columns())
+        qualifier is not None and qualifier in bound
+        for qualifier, _ in columns
+    )
+
+
+class ConjunctInfo:
+    """One conjunct, digested once per ordering pass.
+
+    Caches the qualifier set (so applicability checks stop
+    re-materializing ``Expr.columns()`` per candidate per step) and the
+    equality orientations usable for index/hash bindings.
+    """
+
+    __slots__ = ("expr", "qualifiers", "qualified_only", "eq_sides")
+
+    def __init__(self, expr: Expr) -> None:
+        self.expr = expr
+        columns = expr.columns()
+        self.qualifiers = frozenset(
+            qualifier for qualifier, _ in columns if qualifier is not None
+        )
+        self.qualified_only = all(
+            qualifier is not None for qualifier, _ in columns
+        )
+        eq_sides: list[tuple[str, str, Expr, Optional[str]]] = []
+        if isinstance(expr, Comparison) and expr.op == "=":
+            for this, other in ((expr.left, expr.right), (expr.right, expr.left)):
+                if isinstance(this, ColumnRef) and this.qualifier is not None:
+                    if isinstance(other, Literal):
+                        eq_sides.append((this.qualifier, this.column, other, None))
+                    elif isinstance(other, ColumnRef) and other.qualifier is not None:
+                        eq_sides.append(
+                            (this.qualifier, this.column, other, other.qualifier)
+                        )
+        self.eq_sides = tuple(eq_sides)
+
+    def binding_for(
+        self, target: str, bound: set[str]
+    ) -> Optional[tuple[str, Expr]]:
+        """:func:`binding_equalities` over the pre-digested orientations."""
+        for qualifier, column, value_expr, value_qualifier in self.eq_sides:
+            if qualifier != target:
+                continue
+            if value_qualifier is None or value_qualifier in bound:
+                return column, value_expr
+        return None
+
+    def applicable(self, bound: set[str]) -> bool:
+        return self.qualified_only and self.qualifiers <= bound
 
 
 def choose_index(
@@ -91,35 +152,95 @@ def choose_index(
     return best
 
 
+def conjunct_selectivity(
+    stats: "TableStatistics", expr: Expr, target: str
+) -> float:
+    """Estimated fraction of *target*'s rows satisfying *expr*.
+
+    Understands ``column <op> literal`` comparisons (either orientation;
+    histogram-estimated for range operators, distinct-count-estimated
+    for ``=`` / ``<>``) and ``IS [NOT] NULL`` over a column of *target*.
+    Everything else estimates 1.0 — never pretend to know more than the
+    statistics do.
+    """
+    if isinstance(expr, Comparison):
+        for this, other in ((expr.left, expr.right), (expr.right, expr.left)):
+            if (
+                isinstance(this, ColumnRef)
+                and this.qualifier == target
+                and isinstance(other, Literal)
+            ):
+                op = expr.op if this is expr.left else _MIRRORED_OP[expr.op]
+                return stats.comparison_selectivity(op, this.column, other.value)
+        return 1.0
+    if isinstance(expr, IsNull):
+        operand = expr.operand
+        if isinstance(operand, ColumnRef) and operand.qualifier == target:
+            null_fraction = stats.null_fraction(operand.column)
+            return (1.0 - null_fraction) if expr.negate else null_fraction
+    return 1.0
+
+
 def estimate_access(
     db: "Database",
     item: "FromItem",
     conjuncts: Sequence[Expr],
     bound: set[str],
+    infos: Optional[Sequence[ConjunctInfo]] = None,
 ) -> tuple[str, int]:
     """How the executor would open *item* given the *bound* relations.
 
     Returns ``(kind, emitted)`` where *kind* is ``"index"`` / ``"hash"``
     / ``"scan"`` and *emitted* estimates the rows each instantiation of
-    the level yields.
+    the level yields.  Estimates come from :mod:`repro.rdb.statistics`:
+    equality bindings are sized by distinct counts (per index key for
+    index probes, per join-column set for hash joins), and the residual
+    conjuncts that become applicable at this level scale the output by
+    their histogram/null-fraction selectivities.
+
+    *infos* carries the pre-digested conjuncts of the current ordering
+    pass; when absent (direct callers, tests) it is derived here.
     """
+    if infos is None:
+        infos = [ConjunctInfo(conjunct) for conjunct in conjuncts]
+    target = item.name
     equalities: dict[str, Expr] = {}
-    for conjunct in conjuncts:
-        binding = binding_equalities(conjunct, item.name, bound)
+    consumed: set[int] = set()
+    for info in infos:
+        binding = info.binding_for(target, bound)
         if binding is not None and binding[0] not in equalities:
             equalities[binding[0]] = binding[1]
-    cardinality = db.count(item.relation_name)
+            consumed.add(id(info))
+    stats = db.statistics.table(item.relation_name)
+    cardinality = stats.row_count
     if equalities:
         index = choose_index(db, item.relation_name, set(equalities))
+        # every equality column filters the output — the index serves
+        # the covered subset, the rest run as residual filters
+        emitted = stats.equality_rows(equalities)
         if index is not None:
-            emitted = min(cardinality, math.ceil(index.average_bucket()))
+            kind = "index"
             if index.unique:
-                emitted = min(emitted, 1)
-            return "index", emitted
-        # transient hash join: the build is paid once per execution, each
-        # probe emits one bucket — assume moderate key skew
-        return "hash", max(1, cardinality // 4) if cardinality else 0
-    return "scan", cardinality
+                emitted = min(emitted, 1.0)
+        else:
+            # transient hash join: the build is paid once per execution,
+            # each probe emits one bucket — sized by the join columns'
+            # distinct counts instead of the old count // 4 guess
+            kind = "hash"
+    else:
+        kind = "scan"
+        emitted = float(cardinality)
+    # bushy-friendly residual selectivity: non-equality conjuncts that
+    # become applicable once this item is bound shrink its output
+    bound_after = bound | {target}
+    for info in infos:
+        if id(info) in consumed:
+            continue
+        if target in info.qualifiers and info.applicable(bound_after):
+            emitted *= conjunct_selectivity(stats, info.expr, target)
+    if emitted <= 0.0:
+        return kind, 0
+    return kind, max(1, min(cardinality, math.ceil(emitted - 1e-9)))
 
 
 def order_from_items(
@@ -128,8 +249,11 @@ def order_from_items(
     """Greedy smallest-bound-first join order (indices into *from_items*).
 
     Ties break on the original FROM position, so already-good orders are
-    left untouched and the result is deterministic.
+    left untouched and the result is deterministic.  The conjunct list
+    is digested once per pass (:class:`ConjunctInfo`), not once per
+    candidate × step.
     """
+    infos = [ConjunctInfo(conjunct) for conjunct in conjuncts]
     remaining = list(range(len(from_items)))
     order: list[int] = []
     bound: set[str] = set()
@@ -137,7 +261,9 @@ def order_from_items(
         best = remaining[0]
         best_score: Optional[tuple] = None
         for position in remaining:
-            kind, emitted = estimate_access(db, from_items[position], conjuncts, bound)
+            kind, emitted = estimate_access(
+                db, from_items[position], conjuncts, bound, infos=infos
+            )
             score = (0 if kind != "scan" else 1, emitted, position)
             if best_score is None or score < best_score:
                 best, best_score = position, score

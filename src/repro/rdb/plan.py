@@ -5,12 +5,15 @@
 1. :mod:`repro.rdb.compiled` — a per-database **plan cache** keyed on a
    literal-agnostic structural signature.  Repeated probe shapes (the
    common case inside ``UpdateSession`` batches) skip both planning and
-   compilation; entries are invalidated by DDL and by DML against the
-   relations they read.
+   compilation; entries are invalidated by DDL against the relations
+   they read, while DML drift below the re-planning threshold
+   (``db.replan_threshold``) keeps them alive.
 2. :mod:`repro.rdb.optimizer` — on a cache miss, the FROM items are
-   reordered greedy smallest-bound-first (cardinalities, index bucket
-   statistics, equality-binding reachability), seeded by the most
-   selective indexed relation.
+   reordered greedy smallest-bound-first, every estimate drawn from
+   the statistics subsystem (:mod:`repro.rdb.statistics`: distinct
+   counts, equi-depth histograms, null fractions) plus
+   equality-binding reachability, seeded by the most selective
+   indexed relation.
 3. compiled execution — index nested loops where an index covers the
    join columns, a transient **hash join** where equality conjuncts
    exist but no index does (what joins against unindexed temp-table
@@ -25,8 +28,9 @@ executor, which is kept as the semantic oracle for tests/benchmarks.
 
 The executor maintains counters in ``db.stats``: ``selects``,
 ``rows_scanned``, ``index_joins``, plus the optimizer-layer counters
-``plans_compiled``, ``plan_cache_hits``, ``hash_joins`` and
-``reorders`` (see tests/README.md for the full vocabulary).
+``plans_compiled``, ``plan_cache_hits``, ``hash_joins``, ``reorders``,
+``stats_rebuilds`` and ``replans_avoided`` (see tests/README.md for
+the full vocabulary).
 
 Queries are represented programmatically (:class:`SelectPlan`); the
 textual SQL layer (:mod:`repro.rdb.sql`) parses into the same structure.

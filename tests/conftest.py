@@ -1,6 +1,22 @@
-"""Shared fixtures: the paper's running example and small TPC-H data."""
+"""Shared fixtures: the paper's running example and small TPC-H data.
+
+Also registers hypothesis profiles: CI exports ``HYPOTHESIS_PROFILE=ci``
+to get derandomized (seed-pinned) property runs, so a red property test
+on one matrix entry reproduces everywhere.  Locally the default profile
+keeps exploring fresh examples.
+"""
+
+import os
 
 import pytest
+from hypothesis import settings
+from hypothesis.errors import InvalidArgument
+
+settings.register_profile("ci", derandomize=True, print_blob=True)
+try:
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+except InvalidArgument:  # unknown inherited profile name: keep the default
+    settings.load_profile("default")
 
 from repro.core import UFilter
 from repro.workloads import books

@@ -1,0 +1,145 @@
+"""Properties of the statistics subsystem and the compiled rowid paths.
+
+Two invariant families:
+
+* histogram/distinct-count estimates are *sane* — every selectivity
+  lands in [0, 1] and every estimated row count in [0, row_count] —
+  for arbitrary (including NULL-heavy and constant) columns;
+* the compiled ``find_rowids`` / ``select_rowids`` paths are
+  observationally the interpreted per-row oracle, for random data,
+  random index sets and random predicate shapes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdb import (
+    Attribute,
+    Comparison,
+    Database,
+    Integer,
+    IsNull,
+    Relation,
+    Schema,
+    col,
+    conjoin,
+    lit,
+)
+
+COLUMNS = ("a", "b", "c")
+OPS = ("=", "<", ">", "<=", ">=", "<>")
+
+values = st.one_of(st.none(), st.integers(min_value=0, max_value=6))
+rows = st.lists(
+    st.fixed_dictionaries({column: values for column in COLUMNS}), max_size=25
+)
+index_sets = st.lists(
+    st.lists(st.sampled_from(COLUMNS), min_size=1, max_size=2, unique=True),
+    max_size=3,
+)
+
+
+def build_db(data, indexed=()):
+    schema = Schema()
+    schema.add_relation(
+        Relation("r", [Attribute(column, Integer()) for column in COLUMNS])
+    )
+    db = Database(schema)
+    for row in data:
+        db.insert("r", row)
+    for columns in indexed:
+        db.create_index("r", columns)
+    return db
+
+
+# ---------------------------------------------------------------------------
+# estimate sanity
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=80, deadline=None)
+@given(
+    rows,
+    st.sampled_from(OPS),
+    st.sampled_from(COLUMNS),
+    st.integers(min_value=-2, max_value=8),
+)
+def test_histogram_selectivities_are_sane(data, op, column, probe):
+    db = build_db(data)
+    stats = db.statistics.table("r")
+    selectivity = stats.comparison_selectivity(op, column, probe)
+    assert 0.0 <= selectivity <= 1.0
+    estimated_rows = selectivity * stats.row_count
+    assert 0.0 <= estimated_rows <= stats.row_count
+    assert 0.0 <= stats.null_fraction(column) <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows, st.lists(st.sampled_from(COLUMNS), min_size=1, unique=True))
+def test_equality_estimates_bounded_by_row_count(data, key_columns):
+    db = build_db(data)
+    stats = db.statistics.table("r")
+    estimate = stats.equality_rows(key_columns)
+    assert 0.0 <= estimate <= max(stats.row_count, 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows, rows)
+def test_incremental_counts_stay_exact_across_dml(initial, extra):
+    db = build_db(initial)
+    db.statistics.table("r")
+    for row in extra:
+        db.insert("r", row)
+    for rowid in list(db.table("r").rowids())[::2]:
+        db.delete("r", [rowid])
+    stats = db.statistics.peek("r") or db.statistics.table("r")
+    assert stats.row_count == db.count("r")
+    live = db.rows("r")
+    for column in COLUMNS:
+        assert stats.null_counts[column] == sum(
+            1 for row in live if row[column] is None
+        )
+
+
+# ---------------------------------------------------------------------------
+# compiled rowid paths ≡ interpreted oracle
+# ---------------------------------------------------------------------------
+
+equality_dicts = st.dictionaries(
+    st.sampled_from(COLUMNS),
+    st.one_of(st.none(), st.integers(min_value=0, max_value=6)),
+    min_size=1,
+    max_size=3,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(rows, index_sets, equality_dicts)
+def test_find_rowids_equals_oracle(data, indexed, equalities):
+    db = build_db(data, indexed)
+    assert db.find_rowids("r", equalities) == db.find_rowids(
+        "r", equalities, compiled=False
+    )
+
+
+column_refs = st.sampled_from(COLUMNS).map(lambda c: col(f"r.{c}"))
+operands = st.one_of(
+    column_refs, st.integers(min_value=0, max_value=6).map(lit)
+)
+conjunct = st.one_of(
+    st.tuples(st.sampled_from(OPS), column_refs, operands).map(
+        lambda t: Comparison(t[0], t[1], t[2])
+    ),
+    st.tuples(column_refs, st.booleans()).map(
+        lambda pair: IsNull(pair[0], negate=pair[1])
+    ),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(rows, index_sets, st.lists(conjunct, min_size=1, max_size=4))
+def test_select_rowids_equals_oracle(data, indexed, conjuncts):
+    db = build_db(data, indexed)
+    predicate = conjoin(conjuncts)
+    compiled = db.select_rowids("r", predicate)
+    interpreted = db.select_rowids("r", predicate, compiled=False)
+    assert compiled == interpreted

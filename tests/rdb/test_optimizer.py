@@ -125,18 +125,55 @@ def test_plan_cache_shared_across_literals(db):
     assert second == [{"pubname": "Simon & Schuster Inc."}]
 
 
-def test_plan_cache_invalidated_by_dml(db):
+def test_plan_cache_survives_sub_threshold_dml(db):
+    """Small data drift no longer recompiles: the re-planning threshold
+    keeps the cached order until the drift could actually stale it."""
     execute_select(db, keyed_plan("98001"))
     db.insert(
         "book",
         {"bookid": "b9", "title": "New", "pubid": "A01", "price": 9.0},
     )
     rows = execute_select(db, keyed_plan("98001"))
-    # the insert changed book's cardinality: the cached order is stale
+    # one insert into a 4-row relation is below max(replan_min_ops,
+    # threshold × rows-at-compile): the plan survives and the survival
+    # is counted
+    assert db.stats["plans_compiled"] == 1
+    assert db.stats["plan_cache_hits"] == 1
+    assert db.stats["replans_avoided"] == 1
+    assert db.plan_cache.invalidations == 0
+    assert rows == [{"pubname": "McGraw-Hill Inc."}]
+
+
+def test_plan_cache_invalidated_past_replan_threshold(db):
+    execute_select(db, keyed_plan("98001"))
+    allowed = max(
+        db.replan_min_ops, int(db.replan_threshold * db.count("book"))
+    )
+    for i in range(allowed + 1):
+        db.insert(
+            "book",
+            {"bookid": f"b9{i}", "title": "New", "pubid": "A01", "price": 9.0},
+        )
+    rows = execute_select(db, keyed_plan("98001"))
+    # the accumulated drift crossed the threshold: the cardinalities
+    # that justified the cached order are stale, so it recompiles
     assert db.stats["plans_compiled"] == 2
     assert db.stats["plan_cache_hits"] == 0
     assert db.plan_cache.invalidations == 1
     assert rows == [{"pubname": "McGraw-Hill Inc."}]
+
+
+def test_zero_threshold_restores_any_dml_recompiles(db):
+    db.replan_threshold = 0.0
+    db.replan_min_ops = 0
+    execute_select(db, keyed_plan("98001"))
+    db.insert(
+        "book",
+        {"bookid": "b9", "title": "New", "pubid": "A01", "price": 9.0},
+    )
+    execute_select(db, keyed_plan("98001"))
+    assert db.stats["plans_compiled"] == 2
+    assert db.plan_cache.invalidations == 1
 
 
 def test_plan_cache_invalidated_by_ddl(db):

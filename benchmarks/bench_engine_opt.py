@@ -169,9 +169,14 @@ def run_workload(db, label: str, plan: SelectPlan, rounds: int) -> dict:
 def run_suite(megabytes: float, rounds: int = 3) -> dict:
     scale = tpch.scale_rows(megabytes)
     db = tpch.build_tpch_database(scale)
+    workloads = build_workloads(db, scale)
+    # explicit ANALYZE after the bulk load (and the temp-table
+    # materializations build_workloads creates): the planner starts from
+    # fresh statistics instead of charging the first probe with the
+    # lazy-rebuild scan
+    db.analyze()
     results = [
-        run_workload(db, label, plan, rounds)
-        for label, plan in build_workloads(db, scale)
+        run_workload(db, label, plan, rounds) for label, plan in workloads
     ]
     before_total = sum(entry["before"]["rows_scanned"] for entry in results)
     after_total = sum(entry["after"]["rows_scanned"] for entry in results)
@@ -192,11 +197,37 @@ def run_suite(megabytes: float, rounds: int = 3) -> dict:
             for key in (
                 "selects", "rows_scanned", "index_joins", "hash_joins",
                 "plans_compiled", "plan_cache_hits", "reorders",
-                "stats_rebuilds", "rowid_plans_compiled",
+                "bushy_plans", "stats_rebuilds", "rowid_plans_compiled",
                 "rowid_cache_hits", "replans_avoided",
             )
         },
     }
+
+
+def check_regression(
+    report: dict, committed_path: Path, tolerance: float = 0.10
+) -> None:
+    """CI gate: fail when the fresh aggregate ``rows_scanned`` regresses
+    more than *tolerance* versus the committed ``BENCH_engine.json``."""
+    committed = json.loads(committed_path.read_text())
+    if committed.get("db_size_mb") != report.get("db_size_mb"):
+        raise SystemExit(
+            f"scan-regression check needs matching scales: fresh run is "
+            f"{report.get('db_size_mb')} MB, committed file is "
+            f"{committed.get('db_size_mb')} MB (drop --quick)"
+        )
+    baseline = committed["aggregate"]["after_rows_scanned"]
+    fresh = report["aggregate"]["after_rows_scanned"]
+    limit = baseline * (1.0 + tolerance)
+    print(
+        f"scan-regression check: fresh={fresh} committed={baseline} "
+        f"allowed<={limit:.0f}"
+    )
+    if fresh > limit:
+        raise SystemExit(
+            f"rows_scanned regression: {fresh} > {limit:.0f} "
+            f"({tolerance:.0%} over the committed {baseline})"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -224,9 +255,16 @@ def main() -> None:
         "--out", type=Path, default=BENCH_PATH,
         help=f"output JSON path (default: {BENCH_PATH})",
     )
+    parser.add_argument(
+        "--check-against", type=Path, default=None, metavar="COMMITTED",
+        help="fail if aggregate rows_scanned regresses >10%% versus this "
+             "committed BENCH_engine.json (run at the committed scale)",
+    )
     args = parser.parse_args()
     report = run_suite(0.5 if args.quick else 2.0, rounds=1 if args.quick else 5)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
+    if args.check_against is not None:
+        check_regression(report, args.check_against)
     aggregate = report["aggregate"]
     print(f"wrote {args.out}")
     for entry in report["workloads"]:

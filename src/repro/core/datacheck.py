@@ -72,9 +72,27 @@ class DataCheckResult:
     rows_affected: int = 0
     context_sql: str = ""
     context_rows: int = 0
+    #: lazily rendered by :attr:`context_plan` — a thunk until read
+    _context_plan: Any = field(default="", repr=False)
     #: the structured translation, in execution order — batch sessions
     #: use these for conflict detection and the deferred apply phase
     planned_ops: list[PlannedOp] = field(default_factory=list)
+
+    @property
+    def context_plan(self) -> str:
+        """EXPLAIN rendering of the context probe's physical plan — the
+        operator tree with per-node row estimates (diagnostics for "why
+        was this check slow/empty").  Rendered lazily on first read so
+        checks that never look at it pay nothing; the rendering reflects
+        the plan cache *at read time* — if DML applied after the check
+        crossed the re-planning threshold, the tree shown is the one the
+        probe would compile to now, not necessarily the one it ran."""
+        if callable(self._context_plan):
+            try:
+                self._context_plan = self._context_plan()
+            except Exception as exc:  # schema moved on (e.g. DROP TABLE)
+                self._context_plan = f"(context plan unavailable: {exc})"
+        return self._context_plan
 
     def mutated_relations(self) -> set[str]:
         """Relations the planned ops write (direct targets only)."""
@@ -131,6 +149,12 @@ class DataChecker:
             )
             result.context_sql = context.sql
             result.context_rows = len(context.rows)
+            narrow = strategy == "hybrid"
+            result._context_plan = (
+                lambda: self.translator.explain_probe(
+                    target, resolved, narrow=narrow
+                )
+            )
             result.probes.append(context.sql)
             if context.empty:
                 result.ok = False

@@ -112,6 +112,9 @@ class SessionResult:
     #: plan-cache validations that kept a plan across sub-threshold
     #: DML drift instead of recompiling
     replans_avoided: int = 0
+    #: compiled probe plans whose join tree came out bushy — the DP
+    #: enumerator beat every left-deep order on the estimates
+    bushy_plans: int = 0
 
     @property
     def applied(self) -> list[SessionEntry]:
@@ -138,7 +141,8 @@ class SessionResult:
             f"{self.plan_cache_hits} plan-cache hit(s), "
             f"{self.hash_joins} hash join(s), "
             f"{self.rowid_cache_hits} rowid-cache hit(s), "
-            f"{self.replans_avoided} replan(s) avoided",
+            f"{self.replans_avoided} replan(s) avoided, "
+            f"{self.bushy_plans} bushy plan(s)",
         ]
         lines.extend(f"  {entry.describe()}" for entry in self.entries)
         return "\n".join(lines)
@@ -250,6 +254,7 @@ class UpdateSession:
         result.replans_avoided = (
             stats["replans_avoided"] - stats_before["replans_avoided"]
         )
+        result.bushy_plans = stats["bushy_plans"] - stats_before["bushy_plans"]
         result.cache_hits = self.cache.hits - hits_before
         result.cache_misses = self.cache.misses - misses_before
         result.cache_invalidations = (

@@ -354,6 +354,21 @@ class Translator:
             )
         return probe
 
+    def explain_probe(
+        self,
+        node: ViewNode,
+        resolved: Optional[ResolvedUpdate] = None,
+        narrow: bool = False,
+    ) -> str:
+        """The physical operator tree the probe for *node* runs through
+        (per-node row estimates included).  Served from the plan cache
+        after the probe first compiles, so reading it is cheap.
+        """
+        from repro.rdb.plan import explain_select
+
+        plan = self.probe_plan(node, resolved, narrow=narrow)
+        return explain_select(self.db, plan)
+
     # ------------------------------------------------------------------
     # delete translation
     # ------------------------------------------------------------------

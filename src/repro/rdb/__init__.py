@@ -39,8 +39,16 @@ from .expr import (
 )
 from .compiled import CompiledPlan, PlanCache, RowidPlanCache
 from .index import HashIndex
-from .optimizer import order_from_items
-from .plan import FromItem, OutputColumn, SelectPlan, execute_select
+from .optimizer import enumerate_joins, order_from_items
+from .plan import (
+    FromItem,
+    LogicalPlan,
+    OutputColumn,
+    PlanNode,
+    SelectPlan,
+    execute_select,
+    explain_select,
+)
 from .schema import Attribute, Relation, Schema
 from .statistics import StatisticsManager, TableStatistics
 from .sql import SQLEngine, parse_script, parse_statement
@@ -62,8 +70,12 @@ __all__ = [
     "Date",
     "DeletePolicy",
     "Double",
+    "enumerate_joins",
     "execute_select",
+    "explain_select",
     "Expr",
+    "LogicalPlan",
+    "PlanNode",
     "ForeignKey",
     "FromItem",
     "HashIndex",

@@ -1,25 +1,28 @@
-"""Compiled SELECT plans: closures instead of per-row ``Expr`` walks.
+"""Compiled physical plans: operator trees lowered into nested closures.
 
-``execute_select`` used to re-interpret the WHERE tree for every row of
-every join level — the paper's Fig. 15/16 inefficiencies amplified by
-the executor itself.  This module compiles a plan **once** into:
-
-* per-level *access methods* — index probe, transient **hash join**
-  (built over the inner relation's join columns when equality conjuncts
-  exist but no index covers them, exactly what joins against unindexed
-  temp-table materializations degrade to), or scan;
-* per-level *filter closures* for the residual predicates that become
-  applicable at that level;
-* a *projection closure* emitting output rows with the same key order
-  the interpreted executor produced.
+The plan IR in :mod:`repro.rdb.plan` describes *what* to run (Scan /
+IndexProbe / Filter / NestedLoopJoin / HashJoin / Sort / Project /
+Distinct); this module turns one tree into *how*: every operator
+compiles to a closure in continuation-passing style — a node receives
+the compiled continuation of everything downstream and bakes it in, so
+executing a plan is one chain of direct calls with no per-row dispatch,
+no ``Expr`` walks and no intermediate row materialization outside hash
+builds.
 
 Literals and pre-materialized ``IN`` sets are lifted out as a parameter
-vector, so the compiled artifact is shared by every plan with the same
-structural :func:`plan_signature` — the common case inside
-``UpdateSession`` batches, where probe shapes repeat with different
-predicate constants.  :class:`PlanCache` stores compiled plans per
-database and invalidates them on DDL (schema version) and DML (per
-relation data versions).
+vector (slot order = the logical plan's canonical conjunct order), so
+one compiled artifact serves every query with the same structural
+signature — the common case inside ``UpdateSession`` batches, where
+probe shapes repeat with different predicate constants.
+
+Two caches hold compiled artifacts per database:
+
+* :class:`PlanCache` — SELECT plans keyed on the logical plan
+  signature, invalidated by DDL and by DML drift past the re-planning
+  threshold;
+* :class:`RowidPlanCache` — the single-relation ``find_rowids`` /
+  ``select_rowids`` plans, keyed on cheap per-call signatures and
+  pinned to the owning relation's schema version.
 
 Anything the compiler does not understand (unknown expression nodes,
 unresolvable column references) falls back to the interpreted executor
@@ -42,17 +45,14 @@ from .expr import (
     Not,
     Or,
 )
-from .optimizer import applicable, binding_equalities, choose_index
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (plan -> compiled)
     from .database import Database
-    from .index import HashIndex
-    from .plan import SelectPlan
+    from .plan import PlanNode
 
-__all__ = ["CompiledPlan", "CompiledRowidPredicate", "PlanCache",
-           "RowidAccess", "RowidPlanCache", "Uncompilable", "compile_plan",
-           "compile_rowid_predicate", "extract_params",
-           "extract_where_params", "plan_signature", "where_signature"]
+__all__ = ["CompiledPlan", "PlanCache", "RowidPlanCache", "Uncompilable",
+           "compile_tree", "dedup_rows", "extract_where_params",
+           "where_signature"]
 
 Row = dict[str, Any]
 Env = dict[str, Row]
@@ -65,15 +65,16 @@ class Uncompilable(Exception):
 
 
 # ---------------------------------------------------------------------------
-# plan signatures and parameter extraction
+# predicate signatures and parameter extraction
 # ---------------------------------------------------------------------------
 
 def where_signature(predicate: Expr) -> Optional[tuple]:
     """Literal-agnostic structural key of a WHERE tree, one entry per
     conjunct (None: some node the compiled executors don't understand).
 
-    Shared by the SELECT plan cache and the single-relation rowid-path
-    cache, so both layers always agree on what counts as the same shape.
+    This is the cheap per-call key of the rowid-path cache; the SELECT
+    plan cache keys on the richer :class:`repro.rdb.plan.LogicalPlan`
+    signature, which canonicalizes conjunct order on top of this.
     """
     conjunct_sigs = []
     for conjunct in predicate.conjuncts():
@@ -92,35 +93,23 @@ def extract_where_params(predicate: Expr) -> Params:
     return tuple(out)
 
 
-def plan_signature(plan: "SelectPlan") -> Optional[tuple]:
-    """Literal-agnostic structural key of a plan (None: don't cache)."""
-    if plan.columns is None:
-        columns_part: Optional[tuple] = None
-    else:
-        columns_part = tuple(
-            (column.column, column.qualifier, column.label)
-            for column in plan.columns
-        )
-    if plan.where is None:
-        where_part: Optional[tuple] = None
-    else:
-        where_part = where_signature(plan.where)
-        if where_part is None:
-            return None
-    return (
-        tuple((item.relation_name, item.alias) for item in plan.from_items),
-        columns_part,
-        where_part,
-        plan.select_rowids,
-        plan.include_rowids,
-    )
+def dedup_rows(rows: list[Row]) -> list[Row]:
+    """DISTINCT: drop duplicate rows, keeping the first occurrence.
 
-
-def extract_params(plan: "SelectPlan") -> Params:
-    """The plan's runtime values, in the compiler's slot order."""
-    if plan.where is None:
-        return ()
-    return extract_where_params(plan.where)
+    Every row of one projection shares the same keys, so the dedup
+    column order is computed once, not per row.
+    """
+    if not rows:
+        return rows
+    key_columns = sorted(rows[0])
+    seen: set[tuple] = set()
+    unique_rows = []
+    for row in rows:
+        key = tuple(row[column] for column in key_columns)
+        if key not in seen:
+            seen.add(key)
+            unique_rows.append(row)
+    return unique_rows
 
 
 # ---------------------------------------------------------------------------
@@ -249,34 +238,6 @@ def _make_comparison(left: EvalFn, right: EvalFn, op) -> EvalFn:
     return comparison
 
 
-# ---------------------------------------------------------------------------
-# compiled plan
-# ---------------------------------------------------------------------------
-
-SCAN, INDEX, HASH = "scan", "index", "hash"
-
-
-class _Level:
-    """One join level of a compiled plan."""
-
-    __slots__ = (
-        "name", "relation_name", "kind", "index", "key_fns",
-        "build_columns", "build_filters", "filters",
-    )
-
-    def __init__(self, name: str, relation_name: str) -> None:
-        self.name = name
-        self.relation_name = relation_name
-        self.kind = SCAN
-        self.index: Optional["HashIndex"] = None
-        self.key_fns: tuple[EvalFn, ...] = ()
-        self.build_columns: tuple[str, ...] = ()
-        #: predicates over the inner relation only — applied while the
-        #: hash table is built, shrinking every bucket
-        self.build_filters: tuple[EvalFn, ...] = ()
-        self.filters: tuple[EvalFn, ...] = ()
-
-
 class _Conjunct:
     __slots__ = ("expr", "fn", "left_fn", "right_fn")
 
@@ -289,426 +250,491 @@ class _Conjunct:
 
 def _compile_conjuncts(
     compiler: _ExprCompiler, conjuncts: list[Expr]
-) -> list["_Conjunct"]:
+) -> dict[int, _Conjunct]:
     """Compile conjuncts in canonical order so parameter slots line up
-    with the ``collect_parameters`` traversal; comparisons keep their
-    side closures so an equality can later serve as an index/hash key
-    function.  Shared by the SELECT plan compiler and the
-    single-relation rowid-predicate compiler."""
-    compiled: list[_Conjunct] = []
+    with the logical plan's :meth:`parameters` extraction; comparisons
+    keep their side closures so an equality can serve as an index or
+    hash key function without consuming fresh slots."""
+    compiled: dict[int, _Conjunct] = {}
     for conjunct in conjuncts:
         if isinstance(conjunct, Comparison):
             left_fn = compiler.compile(conjunct.left)
             right_fn = compiler.compile(conjunct.right)
             fn = _make_comparison(left_fn, right_fn, COMPARATORS[conjunct.op])
-            compiled.append(_Conjunct(conjunct, fn, left_fn, right_fn))
+            compiled[id(conjunct)] = _Conjunct(conjunct, fn, left_fn, right_fn)
         else:
-            compiled.append(_Conjunct(conjunct, compiler.compile(conjunct)))
+            compiled[id(conjunct)] = _Conjunct(
+                conjunct, compiler.compile(conjunct)
+            )
     return compiled
 
 
-def _binding_value_fn(conjunct: "_Conjunct", value_expr: Expr) -> EvalFn:
-    """The side closure evaluating a binding's value expression."""
-    return (
-        conjunct.left_fn
-        if value_expr is conjunct.expr.left
-        else conjunct.right_fn
-    )
+# ---------------------------------------------------------------------------
+# runtime context
+# ---------------------------------------------------------------------------
 
+class _Ctx:
+    """Per-execution state threaded through the compiled closures."""
+
+    __slots__ = ("stats", "env", "rowids", "params", "tables", "hashes",
+                 "results")
+
+    def __init__(self, stats, params, tables, hash_count) -> None:
+        self.stats = stats
+        self.env: Env = {}
+        self.rowids: dict[str, int] = {}
+        self.params = params
+        self.tables = tables
+        self.hashes: list[Optional[dict]] = [None] * hash_count
+        self.results: list = []
+
+
+RunFn = Callable[[_Ctx], None]
+
+
+# ---------------------------------------------------------------------------
+# compiled plan
+# ---------------------------------------------------------------------------
 
 class CompiledPlan:
-    """Closures + access methods for one plan shape."""
+    """One physical plan tree, compiled into nested closures."""
+
+    __slots__ = (
+        "root_run", "leaf_relations", "hash_count", "mode", "distinct",
+        "reordered", "bushy", "index_only", "_explain_root", "_explain_text",
+    )
 
     def __init__(
         self,
-        order: list[int],
-        levels: list[_Level],
-        residual_filters: tuple[EvalFn, ...],
-        project: Callable[[Env, dict[str, int], Params], Row],
-        original_names: tuple[str, ...],
+        root_run: RunFn,
+        leaf_relations: list[str],
+        hash_count: int,
+        mode: str,
+        distinct: bool,
+        reordered: bool,
+        bushy: bool,
+        explain_root,
+        index_only: Optional[tuple] = None,
     ) -> None:
-        self.order = order
-        self.levels = levels
-        self.residual_filters = residual_filters
-        self.project = project
-        #: names in FROM order — result rows sort on this rowid tuple so
-        #: output order is independent of the join order chosen
-        self.original_names = original_names
-        self.reordered = order != sorted(order)
+        self.root_run = root_run
+        self.leaf_relations = leaf_relations
+        self.hash_count = hash_count
+        self.mode = mode
+        self.distinct = distinct
+        self.reordered = reordered
+        self.bushy = bushy
+        #: the physical tree, kept for :attr:`explain_text` — rendering
+        #: is lazy so the rowid-path compiles on the constraint-check
+        #: hot path (which never surface EXPLAIN) pay nothing
+        self._explain_root = explain_root
+        self._explain_text: Optional[str] = None
+        #: ``(index, key_fns)`` when the whole plan is one covering
+        #: index lookup emitting rowids — served straight from the
+        #: bucket, no row fetch, no scan accounting (the ``find_rowids``
+        #: constraint-check hot path)
+        self.index_only = index_only
 
-    def run(self, db: "Database", plan: "SelectPlan") -> list[Row]:
-        params = extract_params(plan)
-        stats = db.stats
-        levels = self.levels
-        tables = [db.table(level.relation_name) for level in levels]
-        hash_tables: list[Optional[dict]] = [None] * len(levels)
-        depth = len(levels)
-        env: Env = {}
-        rowids: dict[str, int] = {}
-        keyed_results: list[tuple[tuple, Row]] = []
-        residual = self.residual_filters
-        project = self.project
-        sort_names = self.original_names
+    @property
+    def explain_text(self) -> str:
+        """The rendered operator tree (memoized on first read)."""
+        if self._explain_text is None:
+            self._explain_text = self._explain_root.explain()
+        return self._explain_text
 
-        def recurse(position: int) -> None:
-            if position == depth:
-                for predicate in residual:
-                    if predicate(env, params) is not True:
-                        return
-                key = tuple(rowids[name] for name in sort_names)
-                keyed_results.append((key, project(env, rowids, params)))
-                return
-            level = levels[position]
-            table = tables[position]
-            name = level.name
-            if level.kind is SCAN:
-                candidates = table.scan()
-            elif level.kind is INDEX:
-                stats["index_joins"] += 1
-                key = tuple(fn(env, params) for fn in level.key_fns)
-                candidates = (
-                    (rowid, table.get(rowid))
-                    for rowid in level.index.lookup_rowids(key)
-                    if rowid in table
-                )
-            else:  # HASH
-                build = hash_tables[position]
-                if build is None:
-                    build = hash_tables[position] = _build_hash_table(
-                        db, table, level, params
+    def _execute(self, db: "Database", params: Params) -> list:
+        ctx = _Ctx(
+            db.stats,
+            params,
+            [db.table(name) for name in self.leaf_relations],
+            self.hash_count,
+        )
+        self.root_run(ctx)
+        return ctx.results
+
+    def run(self, db: "Database", params: Params) -> list:
+        if self.index_only is not None:
+            index, key_fns = self.index_only
+            try:
+                key = tuple(fn({}, params) for fn in key_fns)
+                return sorted(index.lookup(key))
+            except TypeError:  # unhashable probe value: no match
+                return []
+        results = self._execute(db, params)
+        if self.mode == "rowid_list":
+            # ascending rowids on every path: scan order drifts once
+            # undo restores re-append old rowids, and index bucket
+            # order is arbitrary — sorting is the one ordering the
+            # compiled and interpreted executors can always agree on
+            results.sort()
+            return results
+        # deterministic output: rowid order of the original FROM clause
+        results.sort(key=_sort_key)
+        rows = [row for _, row in results]
+        if self.distinct:
+            rows = dedup_rows(rows)
+        return rows
+
+    def run_rowid_set(self, db: "Database", params: Params) -> set:
+        """``find_rowids``' contract: membership only, no ordering —
+        skips the ascending sort :meth:`run` pays for ``select_rowids``."""
+        if self.index_only is not None:
+            index, key_fns = self.index_only
+            try:
+                key = tuple(fn({}, params) for fn in key_fns)
+                return index.lookup(key)
+            except TypeError:  # unhashable probe value: no match
+                return set()
+        return set(self._execute(db, params))
+
+
+def _sort_key(pair):
+    return pair[0]
+
+
+# ---------------------------------------------------------------------------
+# tree compilation
+# ---------------------------------------------------------------------------
+
+def compile_tree(
+    db: "Database",
+    root: "PlanNode",
+    conjuncts: list[Expr],
+    count_index_joins: bool = True,
+    reordered: bool = False,
+    bushy: bool = False,
+) -> Optional[CompiledPlan]:
+    """Compile a physical plan tree; None → the plan runs interpreted.
+
+    *conjuncts* is the canonical conjunct list of the owning logical
+    plan — every ``Filter`` predicate and every index/hash key in the
+    tree references one of these expressions, and compiling them first
+    (in order) pins the parameter slot layout.
+
+    *reordered* / *bushy* are the enumerator's verdicts about the join
+    tree this physical plan lowered from (``JoinTree.leaf_positions`` /
+    ``JoinTree.is_bushy``) — the compiler records them for the
+    ``reorders`` / ``bushy_plans`` counters rather than re-deriving its
+    own notion from the lowered tree.
+
+    ``count_index_joins=False`` suppresses the ``index_joins`` counter —
+    the single-relation rowid paths never counted their probes as join
+    levels, and constraint checks would otherwise dominate the metric.
+    """
+    try:
+        return _TreeCompiler(
+            db, root, conjuncts, count_index_joins, reordered, bushy
+        ).compile()
+    except Uncompilable:
+        return None
+
+
+def _leaf_nodes(node: "PlanNode") -> list:
+    if node.kind in ("scan", "index_probe"):
+        return [node]
+    return [child for sub in node.children() for child in _leaf_nodes(sub)]
+
+
+class _TreeCompiler:
+    def __init__(
+        self, db, root, conjuncts, count_index_joins, reordered, bushy
+    ) -> None:
+        self.db = db
+        self.root = root
+        self.count_index_joins = count_index_joins
+        self.reordered = reordered
+        self.bushy = bushy
+        leaves = _leaf_nodes(root)
+        self.leaf_relations = [leaf.relation_name for leaf in leaves]
+        self.leaf_slots = {id(leaf): slot for slot, leaf in enumerate(leaves)}
+        self.hash_count = 0
+        columns_of = {
+            leaf.name: set(db.relation(leaf.relation_name).attribute_names)
+            for leaf in leaves
+        }
+        self.expr_compiler = _ExprCompiler(columns_of)
+        self.conjunct_map = _compile_conjuncts(self.expr_compiler, conjuncts)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _side_fn(self, conjunct: Expr, side: Expr) -> EvalFn:
+        """The compiled closure of one side of an equality conjunct —
+        reused from the conjunct's compilation so parameter slots stay
+        aligned with the logical plan's extraction order."""
+        compiled = self.conjunct_map[id(conjunct)]
+        return compiled.left_fn if side is conjunct.left else compiled.right_fn
+
+    def _predicate_fns(self, predicates) -> tuple[EvalFn, ...]:
+        return tuple(self.conjunct_map[id(p)].fn for p in predicates)
+
+    # -- node compilation (continuation-passing) -----------------------------
+
+    def compile(self) -> CompiledPlan:
+        node = self.root
+        distinct = False
+        if node.kind == "distinct":
+            distinct = True
+            node = node.child
+        if node.kind != "project":
+            raise Uncompilable(f"unexpected root {node.kind}")
+        project_node = node
+        sort_node = project_node.child
+        if sort_node.kind != "sort":
+            raise Uncompilable(f"unexpected project child {sort_node.kind}")
+        join_root = sort_node.child
+        mode = project_node.mode
+
+        index_only = self._index_only(mode, join_root)
+        if index_only is not None:
+            return CompiledPlan(
+                root_run=lambda ctx: None,
+                leaf_relations=[],
+                hash_count=0,
+                mode=mode,
+                distinct=distinct,
+                reordered=False,
+                bushy=False,
+                explain_root=self.root,
+                index_only=index_only,
+            )
+
+        if mode == "rowid_list":
+            only_name = sort_node.names[0]
+
+            def collect(ctx: _Ctx) -> None:
+                ctx.results.append(ctx.rowids[only_name])
+        else:
+            project = self._compile_projection(project_node)
+            sort_names = sort_node.names
+
+            def collect(ctx: _Ctx) -> None:
+                rowids = ctx.rowids
+                ctx.results.append(
+                    (
+                        tuple(rowids[name] for name in sort_names),
+                        project(ctx.env, rowids, ctx.params),
                     )
-                key = tuple(fn(env, params) for fn in level.key_fns)
-                try:
-                    candidates = build.get(key, ())
-                except TypeError:  # unhashable probe value: no match
-                    candidates = ()
-            filters = level.filters
-            for rowid, row in candidates:
+                )
+
+        root_run = self._compile_node(join_root, collect)
+        return CompiledPlan(
+            root_run=root_run,
+            leaf_relations=self.leaf_relations,
+            hash_count=self.hash_count,
+            mode=mode,
+            distinct=distinct,
+            reordered=self.reordered,
+            bushy=self.bushy,
+            explain_root=self.root,
+        )
+
+    def _index_only(self, mode: str, join_root) -> Optional[tuple]:
+        """``rowid_list`` plans that are one covering index lookup with
+        literal keys and no residual predicates skip execution entirely:
+        the bucket *is* the answer."""
+        if mode != "rowid_list" or join_root.kind != "index_probe":
+            return None
+        if not all(
+            isinstance(value, Literal) for _conjunct, value in join_root.keys
+        ):
+            return None
+        key_fns = tuple(
+            self._side_fn(conjunct, value) for conjunct, value in join_root.keys
+        )
+        return (join_root.index, key_fns)
+
+    def _compile_node(self, node, emit: RunFn) -> RunFn:
+        kind = node.kind
+        if kind == "scan":
+            return self._compile_scan(node, emit)
+        if kind == "index_probe":
+            return self._compile_index_probe(node, emit)
+        if kind == "filter":
+            return self._compile_filter(node, emit)
+        if kind == "nested_loop":
+            inner = self._compile_node(node.inner, emit)
+            return self._compile_node(node.outer, inner)
+        if kind == "hash_join":
+            return self._compile_hash_join(node, emit)
+        raise Uncompilable(f"unknown plan node {kind}")
+
+    def _compile_scan(self, node, emit: RunFn) -> RunFn:
+        slot = self.leaf_slots[id(node)]
+        name = node.name
+
+        def run(ctx: _Ctx) -> None:
+            stats = ctx.stats
+            env = ctx.env
+            rowids = ctx.rowids
+            for rowid, row in ctx.tables[slot].scan():
                 stats["rows_scanned"] += 1
                 env[name] = row
                 rowids[name] = rowid
-                for predicate in filters:
-                    if predicate(env, params) is not True:
-                        break
-                else:
-                    recurse(position + 1)
-                del env[name]
-                del rowids[name]
+                emit(ctx)
+            env.pop(name, None)
+            rowids.pop(name, None)
 
-        recurse(0)
-        keyed_results.sort(key=lambda pair: pair[0])
-        return [row for _, row in keyed_results]
+        return run
 
+    def _compile_index_probe(self, node, emit: RunFn) -> RunFn:
+        slot = self.leaf_slots[id(node)]
+        name = node.name
+        index = node.index
+        key_fns = tuple(
+            self._side_fn(conjunct, value) for conjunct, value in node.keys
+        )
+        count_probes = self.count_index_joins
 
-def _build_hash_table(
-    db: "Database", table, level: _Level, params: Params
-) -> dict:
-    """Transient hash table over the inner relation's join columns."""
-    db.stats["hash_joins"] += 1
-    mapping: dict = {}
-    columns = level.build_columns
-    build_filters = level.build_filters
-    name = level.name
-    probe_env: Env = {}
-    for rowid, row in table.scan():
-        db.stats["rows_scanned"] += 1
-        if build_filters:
-            probe_env[name] = row
-            kept = all(fn(probe_env, params) is True for fn in build_filters)
-            probe_env.clear()
-            if not kept:
-                continue
-        key = tuple(row[column] for column in columns)
-        if any(component is None for component in key):
-            continue  # SQL equality: NULL never joins
-        mapping.setdefault(key, []).append((rowid, row))
-    return mapping
-
-
-# ---------------------------------------------------------------------------
-# plan compilation
-# ---------------------------------------------------------------------------
-
-def compile_plan(
-    db: "Database", plan: "SelectPlan", order: list[int]
-) -> Optional[CompiledPlan]:
-    """Compile *plan* with join levels in *order*; None → run interpreted."""
-    try:
-        return _compile(db, plan, order)
-    except Uncompilable:
-        return None
-
-
-def _compile(db: "Database", plan: "SelectPlan", order: list[int]) -> CompiledPlan:
-    columns_of = {
-        item.name: set(db.relation(item.relation_name).attribute_names)
-        for item in plan.from_items
-    }
-    compiler = _ExprCompiler(columns_of)
-
-    conjuncts = plan.where.conjuncts() if plan.where is not None else []
-    compiled_conjuncts = _compile_conjuncts(compiler, conjuncts)
-
-    levels: list[_Level] = []
-    bound: set[str] = set()
-    remaining = list(compiled_conjuncts)
-    for position in order:
-        item = plan.from_items[position]
-        target = item.name
-        level = _Level(target, item.relation_name)
-
-        equalities: dict[str, EvalFn] = {}
-        used: list[tuple[_Conjunct, str]] = []
-        deferred: list[_Conjunct] = []
-        for conjunct in remaining:
-            binding = binding_equalities(conjunct.expr, target, bound)
-            if binding is not None and binding[0] not in equalities:
-                column, value_expr = binding
-                equalities[column] = _binding_value_fn(conjunct, value_expr)
-                used.append((conjunct, column))
-            else:
-                deferred.append(conjunct)
-
-        bound_after = bound | {target}
-        applicable_now = [
-            conjunct for conjunct in deferred if applicable(conjunct.expr, bound_after)
-        ]
-        applicable_ids = {id(conjunct) for conjunct in applicable_now}
-        remaining = [
-            conjunct for conjunct in deferred if id(conjunct) not in applicable_ids
-        ]
-
-        if equalities:
-            index = choose_index(db, item.relation_name, set(equalities))
-            if index is not None:
-                level.kind = INDEX
-                level.index = index
-                level.key_fns = tuple(equalities[c] for c in index.columns)
-                covered = set(index.columns)
-                applicable_now.extend(
-                    conjunct for conjunct, column in used if column not in covered
-                )
-            elif bound:
-                level.kind = HASH
-                build_columns = tuple(sorted(equalities))
-                level.build_columns = build_columns
-                level.key_fns = tuple(equalities[c] for c in build_columns)
-            else:
-                # outermost level: it is entered exactly once, so a hash
-                # build can never amortize — scan and filter instead
-                applicable_now.extend(conjunct for conjunct, _ in used)
-
-        filters: list[EvalFn] = []
-        build_filters: list[EvalFn] = []
-        for conjunct in applicable_now:
-            refs = {qualifier for qualifier, _ in conjunct.expr.columns()}
-            if level.kind is HASH and refs <= {target}:
-                build_filters.append(conjunct.fn)
-            else:
-                filters.append(conjunct.fn)
-        level.filters = tuple(filters)
-        level.build_filters = tuple(build_filters)
-        levels.append(level)
-        bound = bound_after
-
-    residual_filters = tuple(conjunct.fn for conjunct in remaining)
-    project = _compile_projection(db, plan, compiler)
-    return CompiledPlan(
-        order=order,
-        levels=levels,
-        residual_filters=residual_filters,
-        project=project,
-        original_names=tuple(item.name for item in plan.from_items),
-    )
-
-
-def _compile_projection(
-    db: "Database", plan: "SelectPlan", compiler: _ExprCompiler
-) -> Callable[[Env, dict[str, int], Params], Row]:
-    names = tuple(item.name for item in plan.from_items)
-    if plan.select_rowids:
-        if len(names) == 1:
-            only = names[0]
-            return lambda env, rowids, params: {"ROWID": rowids[only]}
-        return lambda env, rowids, params: {
-            f"{name}.ROWID": rowids[name] for name in names
-        }
-    if plan.columns is None:
-        # SELECT *: precompute output keys with the interpreted
-        # executor's collision rule (qualified name on clashes)
-        entries: list[tuple[str, str, str]] = []
-        existing: set[str] = set()
-        for item in plan.from_items:
-            for column in db.table(item.relation_name).columns:
-                out_key = (
-                    column if column not in existing else f"{item.name}.{column}"
-                )
-                existing.add(out_key)
-                entries.append((item.name, column, out_key))
-
-        def project_star(env: Env, rowids: dict[str, int], params: Params) -> Row:
-            return {key: env[name][column] for name, column, key in entries}
-
-        base = project_star
-    else:
-        getters = [
-            (column.output_name, compiler.compile(ColumnRef(column.column, column.qualifier)))
-            for column in plan.columns
-        ]
-
-        def project_columns(env: Env, rowids: dict[str, int], params: Params) -> Row:
-            return {label: fn(env, params) for label, fn in getters}
-
-        base = project_columns
-    if not plan.include_rowids:
-        return base
-
-    def with_rowids(env: Env, rowids: dict[str, int], params: Params) -> Row:
-        row = base(env, rowids, params)
-        for name in names:
-            row[f"{name}.ROWID"] = rowids[name]
-        return row
-
-    return with_rowids
-
-
-# ---------------------------------------------------------------------------
-# compiled single-relation rowid paths (find_rowids / select_rowids)
-# ---------------------------------------------------------------------------
-
-class RowidAccess:
-    """Cached access decision for ``Database.find_rowids``.
-
-    For one (relation, equality-column-set) signature: the widest index
-    whose columns the equalities pin (chosen through
-    :func:`repro.rdb.optimizer.choose_index`, so the most selective
-    covering index narrows the scan), plus the residual columns the
-    probe must still verify per candidate row.  ``index=None`` means a
-    full scan is unavoidable.
-    """
-
-    __slots__ = ("index", "residual")
-
-    def __init__(
-        self, index: Optional["HashIndex"], residual: tuple[str, ...]
-    ) -> None:
-        self.index = index
-        self.residual = residual
-
-
-def compile_rowid_access(
-    db: "Database", relation_name: str, columns: frozenset
-) -> RowidAccess:
-    """Pick the access path for an equality lookup over *columns*."""
-    index = choose_index(db, relation_name, set(columns))
-    if index is None:
-        return RowidAccess(None, tuple(sorted(columns)))
-    residual = tuple(sorted(columns - set(index.columns)))
-    return RowidAccess(index, residual)
-
-
-class CompiledRowidPredicate:
-    """A single-relation WHERE clause compiled into closures.
-
-    The artifact is literal-agnostic: predicate constants travel in the
-    parameter vector (same slot order as :meth:`Expr.collect_parameters`),
-    so one compiled predicate serves every same-shape probe.  When
-    literal equalities pin an indexed column set, candidates come from
-    one index probe instead of a scan; the remaining conjuncts run as
-    compiled filters.
-    """
-
-    __slots__ = ("name", "index", "key_fns", "filters")
-
-    def __init__(
-        self,
-        name: str,
-        index: Optional["HashIndex"],
-        key_fns: tuple[EvalFn, ...],
-        filters: tuple[EvalFn, ...],
-    ) -> None:
-        self.name = name
-        self.index = index
-        self.key_fns = key_fns
-        self.filters = filters
-
-    def run(self, db: "Database", table, params: Params) -> list[int]:
-        stats = db.stats
-        name = self.name
-        env: Env = {}
-        matched: list[int] = []
-        filters = self.filters
-        if self.index is not None:
+        def run(ctx: _Ctx) -> None:
+            stats = ctx.stats
+            if count_probes:
+                stats["index_joins"] += 1
+            env = ctx.env
+            params = ctx.params
             try:
-                key = tuple(fn(env, params) for fn in self.key_fns)
-                rowids = self.index.lookup_rowids(key)
+                key = tuple(fn(env, params) for fn in key_fns)
+                bucket = index.lookup_rowids(key)
             except TypeError:  # unhashable probe value: no match
-                rowids = ()
-            candidates = (
-                (rowid, table.get(rowid)) for rowid in rowids if rowid in table
-            )
-        else:
-            candidates = table.scan()
-        for rowid, row in candidates:
-            stats["rows_scanned"] += 1
-            env[name] = row
-            for fn in filters:
+                bucket = ()
+            table = ctx.tables[slot]
+            rowids = ctx.rowids
+            for rowid in bucket:
+                if rowid not in table:
+                    continue
+                stats["rows_scanned"] += 1
+                env[name] = table.get(rowid)
+                rowids[name] = rowid
+                emit(ctx)
+            env.pop(name, None)
+            rowids.pop(name, None)
+
+        return run
+
+    def _compile_filter(self, node, emit: RunFn) -> RunFn:
+        fns = self._predicate_fns(node.predicates)
+
+        def check(ctx: _Ctx) -> None:
+            env = ctx.env
+            params = ctx.params
+            for fn in fns:
                 if fn(env, params) is not True:
-                    break
-            else:
-                matched.append(rowid)
-        # select_rowids returns ascending rowids on every path: scan
-        # order drifts once undo restores re-append old rowids, and the
-        # index bucket order is arbitrary — sorting is the one ordering
-        # compiled and interpreted can always agree on
-        matched.sort()
-        return matched
+                    return
+            emit(ctx)
 
+        return self._compile_node(node.child, check)
 
-def compile_rowid_predicate(
-    db: "Database", relation_name: str, predicate: Expr
-) -> Optional[CompiledRowidPredicate]:
-    """Compile a single-relation predicate; None → run interpreted."""
-    try:
-        return _compile_rowid_predicate(db, relation_name, predicate)
-    except Uncompilable:
-        return None
+    def _compile_hash_join(self, node, emit: RunFn) -> RunFn:
+        inner_names = tuple(
+            sorted(leaf.name for leaf in _leaf_nodes(node.inner))
+        )
+        outer_key_fns = tuple(
+            self._side_fn(conjunct, outer) for conjunct, outer, _inner in node.keys
+        )
+        inner_key_fns = tuple(
+            self._side_fn(conjunct, inner) for conjunct, _outer, inner in node.keys
+        )
+        hash_slot = self.hash_count
+        self.hash_count += 1
 
-
-def _compile_rowid_predicate(
-    db: "Database", relation_name: str, predicate: Expr
-) -> CompiledRowidPredicate:
-    columns_of = {
-        relation_name: set(db.relation(relation_name).attribute_names)
-    }
-    compiler = _ExprCompiler(columns_of)
-    compiled_conjuncts = _compile_conjuncts(compiler, predicate.conjuncts())
-    # literal equalities can pin an index (bound set is empty: there is
-    # only one relation, so column-to-column equalities never qualify)
-    equalities: dict[str, tuple[_Conjunct, EvalFn]] = {}
-    for conjunct in compiled_conjuncts:
-        binding = binding_equalities(conjunct.expr, relation_name, set())
-        if binding is not None and binding[0] not in equalities:
-            column, value_expr = binding
-            equalities[column] = (
-                conjunct, _binding_value_fn(conjunct, value_expr)
+        def build_collect(ctx: _Ctx) -> None:
+            env = ctx.env
+            key = tuple(fn(env, ctx.params) for fn in inner_key_fns)
+            if any(component is None for component in key):
+                return  # SQL equality: NULL never joins
+            snapshot = tuple(
+                (name, env[name], ctx.rowids[name]) for name in inner_names
             )
-    index = None
-    key_fns: tuple[EvalFn, ...] = ()
-    filters = compiled_conjuncts
-    if equalities:
-        index = choose_index(db, relation_name, set(equalities))
-        if index is not None:
-            key_fns = tuple(equalities[c][1] for c in index.columns)
-            consumed = {id(equalities[c][0]) for c in index.columns}
-            filters = [c for c in compiled_conjuncts if id(c) not in consumed]
-    return CompiledRowidPredicate(
-        name=relation_name,
-        index=index,
-        key_fns=key_fns,
-        filters=tuple(conjunct.fn for conjunct in filters),
-    )
+            ctx.hashes[hash_slot].setdefault(key, []).append(snapshot)
 
+        build_run = self._compile_node(node.inner, build_collect)
+
+        def probe(ctx: _Ctx) -> None:
+            build = ctx.hashes[hash_slot]
+            if build is None:
+                # built lazily on the first probe, once per execution
+                ctx.stats["hash_joins"] += 1
+                build = ctx.hashes[hash_slot] = {}
+                build_run(ctx)
+            env = ctx.env
+            params = ctx.params
+            try:
+                key = tuple(fn(env, params) for fn in outer_key_fns)
+                bucket = build.get(key, ())
+            except TypeError:  # unhashable probe value: no match
+                bucket = ()
+            stats = ctx.stats
+            rowids = ctx.rowids
+            for snapshot in bucket:
+                stats["rows_scanned"] += 1
+                for name, row, rowid in snapshot:
+                    env[name] = row
+                    rowids[name] = rowid
+                emit(ctx)
+            for name in inner_names:
+                env.pop(name, None)
+                rowids.pop(name, None)
+
+        return self._compile_node(node.outer, probe)
+
+    # -- projection ----------------------------------------------------------
+
+    def _compile_projection(
+        self, node
+    ) -> Callable[[Env, dict[str, int], Params], Row]:
+        names = tuple(item.name for item in node.from_items)
+        if node.mode == "rowids":
+            if len(names) == 1:
+                only = names[0]
+                return lambda env, rowids, params: {"ROWID": rowids[only]}
+            return lambda env, rowids, params: {
+                f"{name}.ROWID": rowids[name] for name in names
+            }
+        if node.mode == "star":
+            # SELECT *: precompute output keys with the interpreted
+            # executor's collision rule (qualified name on clashes)
+            entries: list[tuple[str, str, str]] = []
+            existing: set[str] = set()
+            for item in node.from_items:
+                for column in self.db.table(item.relation_name).columns:
+                    out_key = (
+                        column if column not in existing else f"{item.name}.{column}"
+                    )
+                    existing.add(out_key)
+                    entries.append((item.name, column, out_key))
+
+            def project_star(env: Env, rowids: dict[str, int], params: Params) -> Row:
+                return {key: env[name][column] for name, column, key in entries}
+
+            base = project_star
+        else:
+            getters = [
+                (
+                    column.output_name,
+                    self.expr_compiler.compile(
+                        ColumnRef(column.column, column.qualifier)
+                    ),
+                )
+                for column in node.columns
+            ]
+
+            def project_columns(env: Env, rowids: dict[str, int], params: Params) -> Row:
+                return {label: fn(env, params) for label, fn in getters}
+
+            base = project_columns
+        if not node.include_rowids:
+            return base
+
+        def with_rowids(env: Env, rowids: dict[str, int], params: Params) -> Row:
+            row = base(env, rowids, params)
+            for name in names:
+                row[f"{name}.ROWID"] = rowids[name]
+            return row
+
+        return with_rowids
+
+
+# ---------------------------------------------------------------------------
+# rowid-path plan cache (find_rowids / select_rowids)
+# ---------------------------------------------------------------------------
 
 class _RowidEntry:
     __slots__ = ("schema_version", "payload")
@@ -719,16 +745,16 @@ class _RowidEntry:
 
 
 class RowidPlanCache:
-    """Compiled rowid-path artifacts, one cache per database.
+    """Compiled rowid-path plans, one cache per database.
 
-    Holds both :class:`RowidAccess` decisions (``find_rowids``) and
-    :class:`CompiledRowidPredicate` closures (``select_rowids``), keyed
-    on literal-agnostic signatures.  Entries are pinned to the owning
-    relation's schema version: CREATE INDEX / DROP TABLE / temp-table
-    recreation invalidates them, while DML never does — the artifacts
-    read live tables and indexes, so data drift cannot make them wrong,
-    only DDL can.  ``payload=None`` remembers that a predicate shape
-    must run interpreted.
+    Holds the :class:`CompiledPlan` artifacts of ``find_rowids``
+    (equality lookups keyed per column set) and ``select_rowids``
+    (predicate closures keyed per :func:`where_signature`).  Entries are
+    pinned to the owning relation's schema version: CREATE INDEX / DROP
+    TABLE / temp-table recreation invalidates them, while DML never does
+    — the artifacts read live tables and indexes, so data drift cannot
+    make them wrong, only DDL can.  ``payload=None`` remembers that a
+    predicate shape must run interpreted.
     """
 
     def __init__(self, capacity: int = 512) -> None:
@@ -786,7 +812,7 @@ class _Entry:
 
 
 class PlanCache:
-    """Compiled plans keyed on :func:`plan_signature`.
+    """Compiled plans keyed on the logical plan signature.
 
     Entries are validated against the per-relation schema versions (DDL:
     CREATE/DROP TABLE, CREATE INDEX) and data versions (DML) of the

@@ -32,13 +32,12 @@ from ..errors import (
 from .compiled import (
     PlanCache,
     RowidPlanCache,
-    compile_rowid_access,
-    compile_rowid_predicate,
+    compile_tree,
     extract_where_params,
     where_signature,
 )
 from .constraints import DeletePolicy, ForeignKey, PrimaryKey, Unique
-from .expr import Expr
+from .expr import ColumnRef, Comparison, Expr, Literal
 from .index import HashIndex
 from .schema import Attribute, Relation, Schema
 from .statistics import StatisticsManager
@@ -89,6 +88,10 @@ class Database:
             #: plan-cache validations that saw DML drift below the
             #: re-planning threshold and kept the cached plan
             "replans_avoided": 0,
+            #: compiled plans whose join tree is bushy (some join's
+            #: build side is itself a join) — the DP enumerator found a
+            #: tree no left-deep order could express
+            "bushy_plans": 0,
         }
         #: compiled SELECT plans keyed on structural signature
         self.plan_cache = PlanCache()
@@ -267,6 +270,18 @@ class Database:
                 return index
         return None
 
+    def analyze(self, relation_name: Optional[str] = None) -> int:
+        """ANALYZE: rebuild planner statistics eagerly, now.
+
+        Statistics normally build lazily on first planner access and
+        rebuild lazily once DML drift crosses the staleness threshold —
+        which means the first probe after heavy DML pays the rebuild
+        scan.  Call this after bulk loads (benchmark setup does) to move
+        that cost off the query path.  Returns the number of relations
+        analyzed.
+        """
+        return self.statistics.analyze(relation_name)
+
     def find_rowids(
         self,
         relation_name: str,
@@ -275,54 +290,59 @@ class Database:
     ) -> set[int]:
         """Rowids whose columns equal *equalities* (index-assisted).
 
-        The access decision — the widest index the equality columns pin
-        (:func:`repro.rdb.optimizer.choose_index`) plus the residual
-        columns to verify — is compiled once per (relation, column-set)
-        signature and cached until DDL touches the relation.
-        ``compiled=False`` forces the interpreted per-call decision,
-        kept as the semantic oracle.
+        The equality dictionary lowers to the shared plan IR
+        (:func:`repro.rdb.plan.lower_rowid_plan`: one ``col = ?``
+        conjunct per column) and compiles once per (relation,
+        column-set) signature, cached until DDL touches the relation; a
+        probe that is one covering index lookup is served straight from
+        the bucket.  SQL NULL semantics hold on every path: a
+        NULL-valued probe matches nothing.  ``compiled=False`` forces
+        the interpreted per-call decision, kept as the semantic oracle.
         """
         table = self.table(relation_name)
         if not equalities:
             return set(table.rowids())
-        if not compiled or any(value is None for value in equalities.values()):
-            # NULL-valued probes keep the interpreted path: its outcome
-            # depends on which index the per-call pick lands on (index
-            # probes never match NULL, residual scans match None == None),
-            # and the cached widest-index decision cannot reproduce that
+        if not compiled:
             return self._find_rowids_interpreted(table, equalities)
-        access = self._rowid_access(relation_name, frozenset(equalities))
-        if access.index is not None:
-            key = tuple(equalities[column] for column in access.index.columns)
-            try:
-                hits = access.index.lookup(key)
-            except TypeError:  # unhashable probe value: no match
-                return set()
-            if not access.residual:
-                return hits
-            result = set()
-            for rowid in hits:
-                row = table.get(rowid)
-                self.stats["rows_scanned"] += 1
-                if all(
-                    row.get(column) == equalities[column]
-                    for column in access.residual
-                ):
-                    result.add(rowid)
-            return result
-        result = set()
-        items = list(equalities.items())
-        for rowid, row in table.scan():
-            self.stats["rows_scanned"] += 1
-            if all(row.get(column) == value for column, value in items):
-                result.add(rowid)
-        return result
+        columns = frozenset(equalities)
+        key = ("access", relation_name, columns)
+        entry = self.rowid_plans.get(key, self, relation_name)
+        if entry is not None:
+            plan = entry.payload
+            if plan is not None:
+                self.stats["rowid_cache_hits"] += 1
+        else:
+            plan = self._compile_rowid_equalities(relation_name, columns)
+        if plan is None:
+            return self._find_rowids_interpreted(table, equalities)
+        params = tuple(equalities[column] for column in sorted(columns))
+        return plan.run_rowid_set(self, params)
+
+    def _compile_rowid_equalities(self, relation_name: str, columns: frozenset):
+        from .plan import lower_rowid_plan
+
+        conjuncts: list[Expr] = [
+            Comparison("=", ColumnRef(column, relation_name), Literal(None))
+            for column in sorted(columns)
+        ]
+        root = lower_rowid_plan(self, relation_name, conjuncts)
+        plan = compile_tree(self, root, conjuncts, count_index_joins=False)
+        self.rowid_plans.put(
+            ("access", relation_name, columns), self, relation_name, plan
+        )
+        if plan is not None:
+            self.stats["rowid_plans_compiled"] += 1
+        return plan
 
     def _find_rowids_interpreted(
         self, table: Table, equalities: Mapping[str, Any]
     ) -> set[int]:
         """The pre-compilation scan: per-call index pick, dict-driven
         residual checks.  The oracle compiled lookups must agree with."""
+        if any(value is None for value in equalities.values()):
+            # SQL equality (defined once in the IR's predicate lowering,
+            # repro.rdb.plan): NULL matches nothing, on every path
+            return set()
         relation_name = table.relation_name
         index = self.index_on(relation_name, equalities.keys())
         if index is not None:
@@ -348,17 +368,6 @@ class Database:
                 result.add(rowid)
         return result
 
-    def _rowid_access(self, relation_name: str, columns: frozenset):
-        key = ("access", relation_name, columns)
-        entry = self.rowid_plans.get(key, self, relation_name)
-        if entry is not None:
-            self.stats["rowid_cache_hits"] += 1
-            return entry.payload
-        access = compile_rowid_access(self, relation_name, columns)
-        self.rowid_plans.put(key, self, relation_name, access)
-        self.stats["rowid_plans_compiled"] += 1
-        return access
-
     def select_rowids(
         self,
         relation_name: str,
@@ -367,19 +376,21 @@ class Database:
     ) -> list[int]:
         """Rowids satisfying a predicate over this single relation.
 
-        The predicate is compiled once per literal-agnostic signature
-        into closures (plus an index probe when literal equalities pin
-        an indexed column set) and cached until DDL touches the
-        relation; constants travel as a parameter vector, so repeated
-        same-shape probes skip both analysis and compilation.
-        ``compiled=False`` (and shapes the compiler does not
-        understand) runs the interpreted per-row ``Expr`` walk — the
-        semantic oracle.
+        The predicate lowers to the shared plan IR and compiles once
+        per literal-agnostic signature into closures (an index probe
+        when literal equalities pin an indexed column set) cached until
+        DDL touches the relation; constants travel as a parameter
+        vector, so repeated same-shape probes skip both analysis and
+        compilation.  ``compiled=False`` (and shapes the compiler does
+        not understand) runs the interpreted per-row ``Expr`` walk —
+        the semantic oracle.
 
         Rowids come back in ascending order on every path: insertion
         (scan) order drifts once undo restores re-append old rowids,
         so sorting is the one ordering both executors can agree on.
         """
+        from .plan import lower_rowid_plan
+
         table = self.table(relation_name)
         if predicate is None or not compiled:
             return self._select_rowids_interpreted(table, relation_name, predicate)
@@ -389,7 +400,9 @@ class Database:
         key = ("predicate", relation_name, signature)
         entry = self.rowid_plans.get(key, self, relation_name)
         if entry is None:
-            plan = compile_rowid_predicate(self, relation_name, predicate)
+            conjuncts = predicate.conjuncts()
+            root = lower_rowid_plan(self, relation_name, conjuncts)
+            plan = compile_tree(self, root, conjuncts, count_index_joins=False)
             self.rowid_plans.put(key, self, relation_name, plan)
             if plan is not None:
                 self.stats["rowid_plans_compiled"] += 1
@@ -399,7 +412,7 @@ class Database:
                 self.stats["rowid_cache_hits"] += 1
         if plan is None:
             return self._select_rowids_interpreted(table, relation_name, predicate)
-        return plan.run(self, table, extract_where_params(predicate))
+        return plan.run(self, extract_where_params(predicate))
 
     def _select_rowids_interpreted(
         self, table: Table, relation_name: str, predicate: Optional[Expr]

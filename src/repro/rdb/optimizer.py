@@ -53,10 +53,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (plan -> optimizer)
 
 __all__ = [
     "ConjunctInfo",
+    "JoinTree",
+    "MAX_DP_RELATIONS",
     "applicable",
     "binding_equalities",
     "choose_index",
     "conjunct_selectivity",
+    "enumerate_joins",
     "estimate_access",
     "order_from_items",
 ]
@@ -271,3 +274,251 @@ def order_from_items(
         bound.add(from_items[best].name)
         remaining.remove(best)
     return order
+
+
+# ---------------------------------------------------------------------------
+# dynamic-programming bushy join enumeration
+# ---------------------------------------------------------------------------
+
+#: relation count up to which the DP search runs; above it the greedy
+#: smallest-bound-first order builds a left-deep tree (3^n subset splits
+#: stop being "planning is free" territory quickly)
+MAX_DP_RELATIONS = 6
+
+
+class JoinTree:
+    """One node of the join-order search result.
+
+    A *leaf* carries the FROM item it opens (``position`` indexes the
+    original FROM clause) and the access ``method`` the estimator
+    predicts for it standalone (``"index"`` / ``"scan"``).  A *join*
+    carries its two subtrees — ``outer`` is the probe/driving side,
+    ``inner`` the indexed/build side — and a ``method`` of ``"index"``
+    (nested loop into an index probe), ``"hash"`` (transient hash table
+    over the inner subtree) or ``"nlj"`` (cartesian rescan).
+
+    ``est_rows`` / ``est_cost`` are the statistics-driven estimates the
+    enumerator compared; the physical lowering copies them onto the
+    operator nodes so ``explain()`` can show per-node row estimates.
+    """
+
+    __slots__ = (
+        "item", "position", "method", "outer", "inner",
+        "est_rows", "est_cost", "inner_emitted", "names",
+    )
+
+    def __init__(
+        self,
+        method: str,
+        item=None,
+        position: Optional[int] = None,
+        outer: Optional["JoinTree"] = None,
+        inner: Optional["JoinTree"] = None,
+    ) -> None:
+        self.method = method
+        self.item = item
+        self.position = position
+        self.outer = outer
+        self.inner = inner
+        self.est_rows = 0.0
+        self.est_cost = 0.0
+        #: for a singleton inner side: the rows one instantiation of the
+        #: inner emits given the outer bindings (what the DP priced) —
+        #: the leaf's own est_rows is its *standalone* estimate, which
+        #: would mislead per-node EXPLAIN output inside a join
+        self.inner_emitted: Optional[float] = None
+        if item is not None:
+            self.names: frozenset[str] = frozenset((item.name,))
+        else:
+            self.names = outer.names | inner.names
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.item is not None
+
+    def leaf_positions(self) -> list[int]:
+        """Leaf FROM positions in execution (outer-first) order."""
+        if self.is_leaf:
+            return [self.position]
+        return self.outer.leaf_positions() + self.inner.leaf_positions()
+
+    def is_bushy(self) -> bool:
+        """True iff some join's inner (build) side is itself a join."""
+        if self.is_leaf:
+            return False
+        if not self.inner.is_leaf:
+            return True
+        return self.outer.is_bushy()
+
+
+def _leaf_tree(
+    db: "Database", from_items: Sequence["FromItem"], position: int,
+    conjuncts: Sequence[Expr], infos: Sequence[ConjunctInfo],
+) -> JoinTree:
+    """DP base case: open one relation with no other relation bound."""
+    item = from_items[position]
+    kind, emitted = estimate_access(db, item, conjuncts, set(), infos=infos)
+    stats = db.statistics.table(item.relation_name)
+    if kind != "index":
+        # a literal equality without an index runs as scan + filter when
+        # the relation opens a (sub)tree: the level is entered once, so
+        # a hash build can never amortize
+        kind = "scan"
+    tree = JoinTree(kind, item=item, position=position)
+    tree.est_rows = float(emitted)
+    tree.est_cost = (
+        float(emitted) if kind == "index" else float(max(stats.row_count, 1))
+    )
+    return tree
+
+
+def _spanning_equalities(
+    infos: Sequence[ConjunctInfo], left: frozenset, right: frozenset
+) -> list[ConjunctInfo]:
+    """Equality conjuncts with one column side in each name set."""
+    spanning = []
+    for info in infos:
+        for qualifier, _column, _value, other_qualifier in info.eq_sides:
+            if other_qualifier is None:
+                continue
+            if qualifier in left and other_qualifier in right:
+                spanning.append(info)
+                break
+            if qualifier in right and other_qualifier in left:
+                spanning.append(info)
+                break
+    return spanning
+
+
+def _combine(
+    db: "Database",
+    from_items: Sequence["FromItem"],
+    conjuncts: Sequence[Expr],
+    infos: Sequence[ConjunctInfo],
+    outer: JoinTree,
+    inner: JoinTree,
+) -> Optional[JoinTree]:
+    """Cost one way of joining two disjoint subtrees (*outer* drives).
+
+    A single-relation inner side re-uses :func:`estimate_access` — the
+    same estimator the executor's access-path selection trusts — so the
+    plan the DP prices is exactly the plan the lowering emits.  A
+    multi-relation inner side is only considered as the build side of a
+    transient hash join over the equality conjuncts spanning the two
+    subtrees; splits with no spanning equality are skipped (every
+    subset still gets a plan through its singleton splits, which admit
+    the cartesian rescan).
+    """
+    if inner.is_leaf:
+        item = from_items[inner.position]
+        kind, emitted = estimate_access(
+            db, item, conjuncts, set(outer.names), infos=infos
+        )
+        rows = outer.est_rows * emitted
+        if kind == "index":
+            cost = outer.est_cost + outer.est_rows * max(float(emitted), 1.0)
+        elif kind == "hash":
+            cost = (
+                outer.est_cost + inner.est_cost + inner.est_rows
+                + outer.est_rows + rows
+            )
+        else:  # cartesian nested loop: the inner is rescanned per row
+            kind = "nlj"
+            cost = outer.est_cost + outer.est_rows * max(inner.est_cost, 1.0)
+        tree = JoinTree(kind, outer=outer, inner=inner)
+        tree.est_rows = rows
+        tree.est_cost = cost
+        tree.inner_emitted = float(emitted)
+        return tree
+    spanning = _spanning_equalities(infos, outer.names, inner.names)
+    if not spanning:
+        return None
+    selectivity = 1.0
+    qualifier_relation = {item.name: item.relation_name for item in from_items}
+    for info in spanning:
+        for qualifier, column, other, other_qualifier in info.eq_sides:
+            if other_qualifier is None or qualifier not in outer.names:
+                continue
+            if other_qualifier not in inner.names:
+                continue
+            left_stats = db.statistics.table(qualifier_relation[qualifier])
+            right_stats = db.statistics.table(qualifier_relation[other_qualifier])
+            selectivity /= max(
+                left_stats.distinct(column),
+                right_stats.distinct(other.column),
+                1,
+            )
+            break
+    rows = outer.est_rows * inner.est_rows * selectivity
+    tree = JoinTree("hash", outer=outer, inner=inner)
+    tree.est_rows = rows
+    tree.est_cost = (
+        outer.est_cost + inner.est_cost + inner.est_rows + outer.est_rows + rows
+    )
+    return tree
+
+
+def _dp_tree(
+    db: "Database",
+    from_items: Sequence["FromItem"],
+    conjuncts: Sequence[Expr],
+    infos: Sequence[ConjunctInfo],
+) -> JoinTree:
+    """Exhaustive bushy-tree search over subset splits (≤ 2^n states)."""
+    n = len(from_items)
+    best: dict[int, JoinTree] = {}
+    for position in range(n):
+        best[1 << position] = _leaf_tree(db, from_items, position, conjuncts, infos)
+    for mask in range(3, 1 << n):
+        if mask & (mask - 1) == 0:
+            continue  # singleton: already seeded
+        chosen: Optional[JoinTree] = None
+        sub = (mask - 1) & mask
+        while sub:
+            other = mask ^ sub
+            if other:
+                candidate = _combine(
+                    db, from_items, conjuncts, infos, best[sub], best[other]
+                )
+                if candidate is not None and (
+                    chosen is None
+                    or (candidate.est_cost, candidate.est_rows)
+                    < (chosen.est_cost, chosen.est_rows)
+                ):
+                    chosen = candidate
+            sub = (sub - 1) & mask
+        best[mask] = chosen
+    return best[(1 << n) - 1]
+
+
+def _greedy_tree(
+    db: "Database",
+    from_items: Sequence["FromItem"],
+    conjuncts: Sequence[Expr],
+    infos: Sequence[ConjunctInfo],
+) -> JoinTree:
+    """Left-deep fallback above :data:`MAX_DP_RELATIONS`: fold the
+    greedy smallest-bound-first order through the same cost model."""
+    order = order_from_items(db, from_items, conjuncts)
+    tree = _leaf_tree(db, from_items, order[0], conjuncts, infos)
+    for position in order[1:]:
+        leaf = _leaf_tree(db, from_items, position, conjuncts, infos)
+        tree = _combine(db, from_items, conjuncts, infos, tree, leaf)
+    return tree
+
+
+def enumerate_joins(
+    db: "Database", from_items: Sequence["FromItem"], conjuncts: Sequence[Expr]
+) -> JoinTree:
+    """The join tree the executor should run, estimates attached.
+
+    Dynamic programming over bushy trees for up to
+    :data:`MAX_DP_RELATIONS` relations (cost and cardinality from the
+    statistics subsystem), greedy left-deep above that.
+    """
+    infos = [ConjunctInfo(conjunct) for conjunct in conjuncts]
+    if len(from_items) == 1:
+        return _leaf_tree(db, from_items, 0, conjuncts, infos)
+    if len(from_items) > MAX_DP_RELATIONS:
+        return _greedy_tree(db, from_items, conjuncts, infos)
+    return _dp_tree(db, from_items, conjuncts, infos)

@@ -71,11 +71,9 @@ def _select_to_sql(statement: SelectStatement) -> str:
         columns=statement.columns,
         where=statement.where,
         select_rowids=statement.select_rowids,
+        distinct=statement.distinct,
     )
-    sql = plan.to_sql()
-    if statement.distinct:
-        sql = sql.replace("SELECT ", "SELECT DISTINCT ", 1)
-    return sql
+    return plan.to_sql()
 
 
 @dataclass

@@ -21,7 +21,7 @@ from ..constraints import (
 )
 from ..database import Database
 from ..expr import And, Comparison, Expr, InSubquery, IsNull, Literal, Not, Or
-from ..plan import SelectPlan, execute_select
+from ..plan import SelectPlan, execute_select, explain_select
 from ..schema import Attribute, Relation
 from .ast import (
     CreateTableStatement,
@@ -81,27 +81,35 @@ class SQLEngine:
     # ------------------------------------------------------------------
 
     def _execute_select(self, statement: SelectStatement) -> list[Row]:
+        # DISTINCT is part of the plan now (a Distinct operator above
+        # the projection), so both executors — compiled and the
+        # interpreted oracle — apply the same dedup rule
+        rows = execute_select(self.db, self._plan_for(statement))
+        return rows
+
+    def _plan_for(self, statement: SelectStatement) -> SelectPlan:
         where = self._resolve_subqueries(statement.where)
-        plan = SelectPlan(
+        return SelectPlan(
             from_items=statement.from_items,
             columns=statement.columns,
             where=where,
             select_rowids=statement.select_rowids,
+            distinct=statement.distinct,
         )
-        rows = execute_select(self.db, plan)
-        if statement.distinct and rows:
-            # every row of one projection shares the same keys, so the
-            # dedup column order is computed once, not per row
-            key_columns = sorted(rows[0])
-            seen: set[tuple] = set()
-            unique_rows = []
-            for row in rows:
-                key = tuple(row[column] for column in key_columns)
-                if key not in seen:
-                    seen.add(key)
-                    unique_rows.append(row)
-            rows = unique_rows
-        return rows
+
+    def explain(self, statement: Union[str, Statement]) -> str:
+        """EXPLAIN: the physical operator tree a SELECT lowers to.
+
+        Returns the indented plan rendering (per-node row estimates
+        included) without executing the query — though ``IN (SELECT
+        ...)`` subqueries are still materialized, since the outer plan
+        shape depends on their result.
+        """
+        if isinstance(statement, str):
+            statement = parse_statement(statement)
+        if not isinstance(statement, SelectStatement):
+            raise SQLSyntaxError("explain() requires a SELECT statement")
+        return explain_select(self.db, self._plan_for(statement))
 
     def _resolve_subqueries(self, expression: Optional[Expr]) -> Optional[Expr]:
         if expression is None:

@@ -293,6 +293,22 @@ class StatisticsManager:
         """The current statistics without triggering a (re)build."""
         return self._tables.get(relation_name)
 
+    def analyze(self, relation_name: Optional[str] = None) -> int:
+        """Eagerly (re)build statistics — one relation, or every
+        relation of the database.  The explicit counterpart of the lazy
+        rebuild, exposed as :meth:`repro.rdb.database.Database.analyze`
+        so bulk-load setup can pay the scan up front.  Returns the
+        number of relations built.
+        """
+        names = (
+            [relation_name]
+            if relation_name is not None
+            else list(self.db.tables)
+        )
+        for name in names:
+            self._build(name)
+        return len(names)
+
     def _build(self, relation_name: str) -> TableStatistics:
         table = self.db.table(relation_name)
         stats = TableStatistics(relation_name, table.columns)

@@ -18,6 +18,14 @@ class TestContextCheck:
         assert report.data.context_rows == 1
         assert "SELECT" in report.data.context_sql
 
+    def test_context_plan_renders_lazily(self, checker):
+        report = checker.check(books.update("u13"))
+        # the EXPLAIN tree is a thunk until read, then a cached string
+        assert callable(report.data._context_plan)
+        text = report.data.context_plan
+        assert "Project" in text and "est." in text
+        assert report.data.context_plan is text
+
     def test_empty_context_rejects(self, checker):
         report = checker.check(books.update("u3"))
         assert report.outcome is Outcome.DATA_CONFLICT

@@ -209,29 +209,54 @@ def test_plan_cache_survives_unrelated_dml(db):
 # hash join
 # ---------------------------------------------------------------------------
 
+def _probe_rows():
+    return [{"book__bookid": f"x{i}"} for i in range(40)] + [
+        {"book__bookid": "98001"}
+    ]
+
+
 def test_hash_join_on_unindexed_equality(db):
+    """Equality conjuncts with no index on either side degrade to a
+    transient hash join — one build pass instead of |A| × |B| rescans."""
+    db.create_temp_table("TAB_probe", ["book__bookid"], _probe_rows())
     db.create_temp_table(
-        "TAB_probe",
-        ["book__bookid"],
-        [{"book__bookid": f"x{i}"} for i in range(40)]
-        + [{"book__bookid": "98001"}],
+        "TAB_titles",
+        ["title__bookid", "title__title"],
+        [{"title__bookid": "98001", "title__title": "TCP/IP Illustrated"}]
+        + [{"title__bookid": f"y{i}", "title__title": "other"} for i in range(20)],
     )
+    plan = SelectPlan(
+        from_items=[FromItem("TAB_titles"), FromItem("TAB_probe")],
+        columns=[OutputColumn("title__title", "TAB_titles", "title")],
+        where=Comparison(
+            "=", col("TAB_probe.book__bookid"), col("TAB_titles.title__bookid")
+        ),
+    )
+    optimized = execute_select(db, plan)
+    assert db.stats["hash_joins"] == 1
+    assert optimized == [{"title": "TCP/IP Illustrated"}]
+
+    naive = execute_select(db, plan, optimize=False)
+    assert naive == optimized
+
+
+def test_indexed_inner_preferred_over_hash_join(db):
+    """When a covering index exists on the join column, the enumerator
+    prices the index nested loop below the hash build and picks it —
+    the old greedy order hash-joined here and scanned more rows."""
+    db.create_temp_table("TAB_probe", ["book__bookid"], _probe_rows())
     plan = SelectPlan(
         from_items=[FromItem("book"), FromItem("TAB_probe")],
         columns=[OutputColumn("title", "book")],
         where=Comparison("=", col("TAB_probe.book__bookid"), col("book.bookid")),
     )
     optimized = execute_select(db, plan)
-    assert db.stats["hash_joins"] == 1
     assert optimized == [{"title": "TCP/IP Illustrated"}]
+    assert db.stats["hash_joins"] == 0
+    assert db.stats["index_joins"] > 0
 
     naive_db = books.build_book_database()
-    naive_db.create_temp_table(
-        "TAB_probe",
-        ["book__bookid"],
-        [{"book__bookid": f"x{i}"} for i in range(40)]
-        + [{"book__bookid": "98001"}],
-    )
+    naive_db.create_temp_table("TAB_probe", ["book__bookid"], _probe_rows())
     naive = execute_select(naive_db, plan, optimize=False)
     assert naive == optimized
     assert db.stats["rows_scanned"] < naive_db.stats["rows_scanned"]

@@ -79,16 +79,30 @@ def test_find_rowids_cache_invalidated_by_ddl(db):
     assert db.stats["rows_scanned"] - rows_before <= 2  # index-narrowed
 
 
-def test_find_rowids_null_probe_matches_oracle():
-    """A NULL equality value must not change results between the
-    compiled and interpreted paths, whatever indexes exist."""
+def test_find_rowids_unhashable_probe_matches_nothing():
+    """An unhashable probe value cannot be in a hash index: empty
+    result, no TypeError — on the index-only fast path too."""
+    db = fresh_int_db([{"a": 1, "b": 2, "c": 3}])
+    db.create_index("r", ["a"])
+    assert db.find_rowids("r", {"a": [1, 2]}) == set()
+    assert db.find_rowids("r", {"b": [1, 2]}) == set()  # scan path
+
+
+def test_find_rowids_null_probe_matches_nothing():
+    """SQL NULL semantics, defined once in the IR's predicate lowering:
+    a NULL-valued probe matches nothing on every path — scan, index or
+    residual — and compiled and interpreted agree, whatever indexes
+    exist.  (Before the unified lowering, scan paths matched
+    ``None == None`` while index paths matched nothing.)"""
     db = fresh_int_db([{"a": 1, "b": None, "c": 7}])
     db.create_index("r", ["a"])
     db.create_index("r", ["a", "b"])
     equalities = {"a": 1, "b": None, "c": 7}
     assert db.find_rowids("r", equalities) == db.find_rowids(
         "r", equalities, compiled=False
-    ) == {1}
+    ) == set()
+    # non-NULL probes over the same column set still match
+    assert db.find_rowids("r", {"a": 1, "c": 7}) == {1}
 
 
 def test_partial_index_fallback_picks_widest_index():
@@ -153,7 +167,9 @@ def test_select_rowids_uses_index_for_literal_equality(db):
     before = db.stats["rows_scanned"]
     result = db.select_rowids("book", predicate)
     scanned = db.stats["rows_scanned"] - before
-    assert scanned == 1  # unique-index probe, not a 3-row scan
+    # index-only plan: the covering lookup consumes the whole
+    # predicate, so the bucket is the answer — no row fetched at all
+    assert scanned == 0
     assert result == db.select_rowids("book", predicate, compiled=False)
 
 

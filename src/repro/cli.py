@@ -11,7 +11,11 @@ Subcommands:
   :class:`repro.core.session.UpdateSession` (probe caching, conflict
   detection, single transaction);
 * ``audit`` — regenerate the Fig. 12 W3C expressiveness table;
-* ``wellnested`` — report whether a view is well-nested.
+* ``wellnested`` — report whether a view is well-nested;
+* ``qa`` — round-trip seeded random scenarios through every strategy
+  and the interpreted oracles, cross-checking outcomes, final states,
+  the rectangle rule and the post-translation QA audit
+  (:mod:`repro.core.scenario_gen`).
 
 Schemas/data are supplied as SQL scripts (CREATE TABLE + INSERT
 statements in the dialect of :mod:`repro.rdb.sql`), views and updates
@@ -141,6 +145,28 @@ def build_parser() -> argparse.ArgumentParser:
     wn.add_argument("--db", required=True)
     wn.add_argument("--view", required=True)
 
+    qa = sub.add_parser(
+        "qa",
+        help="cross-check strategies/oracles over generated scenarios",
+    )
+    qa.add_argument(
+        "--scenarios",
+        type=int,
+        default=100,
+        help="number of seeded scenarios to round-trip (default 100)",
+    )
+    qa.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="first scenario seed; scenarios use seed, seed+1, ...",
+    )
+    qa.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the summary and any divergences as JSON",
+    )
+
     return parser
 
 
@@ -245,6 +271,32 @@ def _cmd_wellnested(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_qa(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.scenario_gen import run_many
+
+    summary = run_many(args.scenarios, seed=args.seed)
+    print(summary.describe())
+    if args.json:
+        payload = {
+            "scenarios": summary.scenarios,
+            "updates_checked": summary.updates_checked,
+            "accepted": summary.accepted,
+            "rejected": summary.rejected,
+            "qa_warnings": summary.qa_warnings,
+            "divergences": [d.to_dict() for d in summary.divergences],
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if not summary.ok:
+        print(
+            "replay one divergence with: repro qa --scenarios 1 --seed <seed>",
+            file=sys.stderr,
+        )
+    return 0 if summary.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "demo":
@@ -259,6 +311,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_audit()
     if args.command == "wellnested":
         return _cmd_wellnested(args)
+    if args.command == "qa":
+        return _cmd_qa(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

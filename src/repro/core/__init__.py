@@ -24,6 +24,7 @@ from .closure import (
     view_closure,
 )
 from .datacheck import STRATEGIES, DataChecker, DataCheckResult
+from .qa import QAAuditor, QAFinding, qa_errors, raise_on_error
 from .satisfiability import constraints_overlap, is_satisfiable, value_satisfies
 from .star import (
     CONDITION_DUP_CONSISTENCY,
@@ -88,6 +89,10 @@ __all__ = [
     "PredicateResolution",
     "ProbeCache",
     "ProbeResult",
+    "QAAuditor",
+    "QAFinding",
+    "qa_errors",
+    "raise_on_error",
     "RectangleReport",
     "resolve_update",
     "ResolvedUpdate",

@@ -77,6 +77,10 @@ class DataCheckResult:
     #: the structured translation, in execution order — batch sessions
     #: use these for conflict detection and the deferred apply phase
     planned_ops: list[PlannedOp] = field(default_factory=list)
+    #: structured findings from the post-translation QA audit
+    #: (:mod:`repro.core.qa`); populated only when the check ran with
+    #: ``qa=True``
+    qa_findings: list[Any] = field(default_factory=list)
 
     @property
     def context_plan(self) -> str:
@@ -126,6 +130,7 @@ class DataChecker:
         execute: bool = True,
         expand_cascades: bool = False,
         index_temp_tables: bool = False,
+        qa: bool = False,
     ) -> DataCheckResult:
         if strategy not in STRATEGIES:
             raise UFilterError(
@@ -182,7 +187,37 @@ class DataChecker:
             result.notes.append(
                 "duplication consistency verified against existing tuples"
             )
+        if qa:
+            self._run_qa(result, resolved, applied=execute)
         return result
+
+    def _run_qa(
+        self,
+        result: DataCheckResult,
+        resolved: ResolvedUpdate,
+        *,
+        applied: bool,
+    ) -> None:
+        """Post-translation QA audit (:mod:`repro.core.qa`).
+
+        Pre-apply (``execute=False``) ERROR findings demote the result
+        to a conflict — the plan never reaches the apply phase.  After
+        an apply, only state-independent checks ran; ERRORs there are
+        surfaced on :attr:`DataCheckResult.qa_findings` for the caller
+        (the session layer raises / retries on them).
+        """
+        from .qa import QAAuditor, qa_errors
+
+        auditor = QAAuditor(self.db, self.asg)
+        result.qa_findings = auditor.audit(
+            result, resolved, applied=applied, strategy=result.strategy
+        )
+        errors = qa_errors(result.qa_findings)
+        if errors and not applied and result.ok:
+            result.ok = False
+            result.conflict = "QA: " + "; ".join(
+                finding.describe() for finding in errors[:3]
+            )
 
     # ------------------------------------------------------------------
     # shared helpers
@@ -699,6 +734,27 @@ class DataChecker:
                         result.probes.append(probe.sql)
                         wide = probe.rows[0] if probe.rows else None
                 inserts = self.translator.build_inserts(op, wide)
+                # the flat view cannot tell "new child element" apart
+                # from "new descendant under an existing child": a
+                # driving tuple whose key already exists would be
+                # silently skipped by the LEFT-JOIN decomposition even
+                # though the XML semantics demand a NEW element — probe
+                # the driving keys first (same rule as the outside
+                # strategy's PQ3)
+                for insert in inserts:
+                    if insert.role != "driving":
+                        continue
+                    probe = self.translator.key_probe(insert)
+                    if probe is None or probe.empty:
+                        continue
+                    result.probes.append(probe.sql)
+                    result.ok = False
+                    result.conflict = (
+                        f"data conflict: a {insert.relation} tuple with "
+                        f"the same key already exists"
+                    )
+                    return
+                result.planned_ops.extend(inserts)
                 view_row: Row = {}
                 if wide is not None:
                     view_row.update(

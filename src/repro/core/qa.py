@@ -1,0 +1,468 @@
+"""Post-translation QA: structured audits of a translated plan.
+
+Step 3 produces a :class:`repro.core.datacheck.DataCheckResult` whose
+``planned_ops`` are the structured SQL translation.  This module audits
+those ops *independently of the translator that built them* — the same
+shape as a post-translation QA pass in a content pipeline (typed
+ERROR/WARNING findings, per-strategy policies, bounded auto-retry at
+the session layer):
+
+* **duplication consistency** (`duplication-consistency`) — dirty
+  inserts whose duplicate parts must agree with existing base data: a
+  *driving* insert may not duplicate an existing key; a *supporting*
+  insert that does must agree attribute-for-attribute; an insert the
+  strategy downgraded to ``skip`` must actually have a consistent
+  existing tuple to stand in for it.
+* **parent-before-child ordering** (`insert-order` /
+  `missing-parent`) — an INSERT whose foreign key is satisfied only by
+  a *later* INSERT of the same plan violates FK execution order; one
+  whose parent neither exists nor is planned at all would be rejected
+  by the engine outright.
+* **minimized dirty deletes** (`dirty-delete-referenced`) — a
+  minimization-produced delete of a shared tuple is only sound when no
+  surviving tuple still references it; anything else silently removes
+  view content published elsewhere.
+* **untouched-relation preservation** (`relation-scope`) — planned ops
+  may only write relations the update's anchor nodes bind in the view;
+  a write outside that scope would change parts of the view (or base)
+  the update never addressed.
+* **no-op statements** (`empty-rowid-set` / `stale-rowid`) — DELETEs /
+  UPDATEs addressing zero rowids execute as no-ops and are surfaced as
+  warnings, as are rowids that vanished between probe and audit (the
+  stale-probe-cache signature the session layer retries on).
+
+Findings are :class:`QAFinding` values attached to
+``DataCheckResult.qa_findings``.  State-dependent checks (duplication,
+dirty deletes, missing parents) audit the *pre-apply* database; when a
+result was produced with ``execute=True`` the audit runs in
+``applied`` mode and keeps only the state-independent checks, so it
+never reports the plan's own effects as violations.
+
+Severities come from :data:`DEFAULT_SEVERITIES`, overridden per
+strategy through :data:`POLICIES` (e.g. the internal strategy applies
+inserts through the mapping relational view, which completes parent
+tuples itself — a missing parent is a warning there, not an error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, Optional
+
+from ..errors import QAError
+from ..rdb.database import Database
+from .asg import NodeKind, ViewASG
+from .translation import TupleDelete, TupleInsert, TupleUpdate
+from .update_binding import ResolvedUpdate
+
+__all__ = [
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "CHECK_EMPTY_ROWIDS",
+    "CHECK_STALE_ROWID",
+    "CHECK_INSERT_ORDER",
+    "CHECK_MISSING_PARENT",
+    "CHECK_DUP_CONSISTENCY",
+    "CHECK_DIRTY_DELETE",
+    "CHECK_RELATION_SCOPE",
+    "DEFAULT_SEVERITIES",
+    "POLICIES",
+    "QAFinding",
+    "QAAuditor",
+    "qa_errors",
+    "raise_on_error",
+]
+
+SEVERITY_ERROR = "ERROR"
+SEVERITY_WARNING = "WARNING"
+
+CHECK_EMPTY_ROWIDS = "empty-rowid-set"
+CHECK_STALE_ROWID = "stale-rowid"
+CHECK_INSERT_ORDER = "insert-order"
+CHECK_MISSING_PARENT = "missing-parent"
+CHECK_DUP_CONSISTENCY = "duplication-consistency"
+CHECK_DIRTY_DELETE = "dirty-delete-referenced"
+CHECK_RELATION_SCOPE = "relation-scope"
+
+#: baseline severity per check id
+DEFAULT_SEVERITIES = {
+    CHECK_EMPTY_ROWIDS: SEVERITY_WARNING,
+    CHECK_STALE_ROWID: SEVERITY_WARNING,
+    CHECK_INSERT_ORDER: SEVERITY_ERROR,
+    CHECK_MISSING_PARENT: SEVERITY_ERROR,
+    CHECK_DUP_CONSISTENCY: SEVERITY_ERROR,
+    CHECK_DIRTY_DELETE: SEVERITY_ERROR,
+    CHECK_RELATION_SCOPE: SEVERITY_ERROR,
+}
+
+#: per-strategy severity overrides (strategy -> {check id -> severity})
+POLICIES: dict[str, dict[str, str]] = {
+    # the mapping relational view completes missing parent tuples while
+    # applying, so an unplanned parent is survivable there
+    "internal": {CHECK_MISSING_PARENT: SEVERITY_WARNING},
+    "hybrid": {},
+    "outside": {},
+}
+
+
+@dataclass(frozen=True)
+class QAFinding:
+    """One structured audit finding over a translated plan."""
+
+    check: str
+    severity: str
+    detail: str
+    relation: str = ""
+    #: position in ``DataCheckResult.planned_ops`` (-1: plan-level)
+    op_index: int = -1
+
+    def describe(self) -> str:
+        where = f" [{self.relation}]" if self.relation else ""
+        return f"{self.severity} {self.check}{where}: {self.detail}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "check": self.check,
+            "severity": self.severity,
+            "detail": self.detail,
+            "relation": self.relation,
+            "op_index": self.op_index,
+        }
+
+
+def qa_errors(findings: Iterable[QAFinding]) -> list[QAFinding]:
+    """The ERROR-severity subset of *findings*."""
+    return [f for f in findings if f.severity == SEVERITY_ERROR]
+
+
+def raise_on_error(findings: Iterable[QAFinding]) -> None:
+    """Raise :class:`repro.errors.QAError` if any finding is an ERROR."""
+    errors = qa_errors(findings)
+    if errors:
+        raise QAError(errors)
+
+
+class QAAuditor:
+    """Audits one :class:`DataCheckResult`'s planned ops against view
+    semantics, returning structured findings.
+
+    The auditor deliberately re-derives every conclusion from the
+    database and schema rather than trusting the translator's notes —
+    it is the independent reviewer of the translation, not its echo.
+    """
+
+    def __init__(self, db: Database, asg: ViewASG) -> None:
+        self.db = db
+        self.asg = asg
+
+    # ------------------------------------------------------------------
+
+    def audit(
+        self,
+        result: Any,
+        resolved: Optional[ResolvedUpdate] = None,
+        *,
+        applied: bool = False,
+        strategy: Optional[str] = None,
+    ) -> list[QAFinding]:
+        """Audit *result* (a ``DataCheckResult``); returns findings.
+
+        ``applied=True`` marks the plan as already executed: checks
+        that compare against pre-apply base state are skipped (they
+        would flag the plan's own effects).
+        """
+        ops = list(getattr(result, "planned_ops", ()))
+        findings: list[QAFinding] = []
+        self._check_rowid_sets(ops, findings, applied)
+        self._check_insert_order(ops, findings, applied)
+        if not applied:
+            self._check_duplication(ops, findings)
+            self._check_dirty_deletes(ops, findings)
+        self._check_relation_scope(ops, resolved, findings)
+        policy = POLICIES.get(strategy or getattr(result, "strategy", ""), {})
+        if policy:
+            findings = [
+                replace(f, severity=policy.get(f.check, f.severity))
+                for f in findings
+            ]
+        return findings
+
+    # ------------------------------------------------------------------
+    # no-op statements
+    # ------------------------------------------------------------------
+
+    def _check_rowid_sets(
+        self, ops: list, findings: list[QAFinding], applied: bool
+    ) -> None:
+        for index, op in enumerate(ops):
+            if not isinstance(op, (TupleDelete, TupleUpdate)):
+                continue
+            verb = "DELETE" if isinstance(op, TupleDelete) else "UPDATE"
+            if not op.rowids:
+                findings.append(
+                    QAFinding(
+                        CHECK_EMPTY_ROWIDS,
+                        DEFAULT_SEVERITIES[CHECK_EMPTY_ROWIDS],
+                        f"{verb} on {op.relation} addresses zero rowids — "
+                        f"the statement is a no-op",
+                        relation=op.relation,
+                        op_index=index,
+                    )
+                )
+                continue
+            if applied or op.relation not in self.db.tables:
+                continue
+            table = self.db.table(op.relation)
+            missing = sorted(r for r in op.rowids if r not in table)
+            if missing:
+                findings.append(
+                    QAFinding(
+                        CHECK_STALE_ROWID,
+                        DEFAULT_SEVERITIES[CHECK_STALE_ROWID],
+                        f"{verb} on {op.relation} addresses vanished "
+                        f"rowid(s) {missing} — a stale probe result fed "
+                        f"this plan",
+                        relation=op.relation,
+                        op_index=index,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # parent-before-child INSERT ordering
+    # ------------------------------------------------------------------
+
+    def _check_insert_order(
+        self, ops: list, findings: list[QAFinding], applied: bool
+    ) -> None:
+        inserts = [
+            (index, op)
+            for index, op in enumerate(ops)
+            if isinstance(op, TupleInsert)
+        ]
+        for position, (index, op) in enumerate(inserts):
+            if op.relation not in self.db.schema or op.role == "skip":
+                continue
+            for fk in self.db.relation(op.relation).foreign_keys:
+                values = tuple(op.values.get(column) for column in fk.columns)
+                if any(value is None for value in values):
+                    continue  # NULL FK references nothing
+
+                def provides(other: TupleInsert) -> bool:
+                    return other.relation == fk.ref_relation and all(
+                        other.values.get(ref_column) == value
+                        for ref_column, value in zip(fk.ref_columns, values)
+                    )
+
+                if any(provides(other) for _, other in inserts[:position]):
+                    continue  # parent planned earlier: correct order
+                key = dict(zip(fk.ref_columns, values))
+                if self.db.find_rowids(fk.ref_relation, key):
+                    continue  # parent already in the base data
+                later = [
+                    later_index
+                    for later_index, other in inserts[position + 1:]
+                    if provides(other)
+                ]
+                if later:
+                    findings.append(
+                        QAFinding(
+                            CHECK_INSERT_ORDER,
+                            DEFAULT_SEVERITIES[CHECK_INSERT_ORDER],
+                            f"INSERT into {op.relation} (op {index}) runs "
+                            f"before the {fk.ref_relation} INSERT (op "
+                            f"{later[0]}) that provides its FK "
+                            f"{tuple(fk.columns)} -> {tuple(fk.ref_columns)}",
+                            relation=op.relation,
+                            op_index=index,
+                        )
+                    )
+                elif not applied:
+                    findings.append(
+                        QAFinding(
+                            CHECK_MISSING_PARENT,
+                            DEFAULT_SEVERITIES[CHECK_MISSING_PARENT],
+                            f"INSERT into {op.relation} references a "
+                            f"{fk.ref_relation} tuple {key!r} that neither "
+                            f"exists nor is inserted by this plan",
+                            relation=op.relation,
+                            op_index=index,
+                        )
+                    )
+
+    # ------------------------------------------------------------------
+    # duplication consistency (dirty inserts)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _agrees(planned: dict[str, Any], existing: dict[str, Any]) -> bool:
+        return all(
+            existing.get(attribute) == value
+            for attribute, value in planned.items()
+            if value is not None
+        )
+
+    def _check_duplication(self, ops: list, findings: list[QAFinding]) -> None:
+        for index, op in enumerate(ops):
+            if not isinstance(op, TupleInsert) or op.relation not in self.db.schema:
+                continue
+            key = self.db.relation(op.relation).primary_key
+            if key is None:
+                continue
+            key_values = {
+                column: op.values.get(column) for column in key.columns
+            }
+            if any(value is None for value in key_values.values()):
+                continue
+            rowids = self.db.find_rowids(op.relation, key_values)
+            if op.role == "skip":
+                if not rowids:
+                    findings.append(
+                        QAFinding(
+                            CHECK_DUP_CONSISTENCY,
+                            DEFAULT_SEVERITIES[CHECK_DUP_CONSISTENCY],
+                            f"INSERT into {op.relation} was skipped as a "
+                            f"consistent duplicate, but no existing tuple "
+                            f"has key {tuple(key_values.values())!r}",
+                            relation=op.relation,
+                            op_index=index,
+                        )
+                    )
+                    continue
+                existing = self.db.row(op.relation, min(rowids))
+                if not self._agrees(op.values, existing):
+                    findings.append(
+                        QAFinding(
+                            CHECK_DUP_CONSISTENCY,
+                            DEFAULT_SEVERITIES[CHECK_DUP_CONSISTENCY],
+                            f"skipped {op.relation} INSERT disagrees with "
+                            f"the existing tuple it relies on "
+                            f"(key {tuple(key_values.values())!r})",
+                            relation=op.relation,
+                            op_index=index,
+                        )
+                    )
+                continue
+            if not rowids:
+                continue
+            if op.role == "driving":
+                findings.append(
+                    QAFinding(
+                        CHECK_DUP_CONSISTENCY,
+                        DEFAULT_SEVERITIES[CHECK_DUP_CONSISTENCY],
+                        f"driving INSERT into {op.relation} duplicates an "
+                        f"existing tuple (key {tuple(key_values.values())!r}) "
+                        f"— the new region would not be new",
+                        relation=op.relation,
+                        op_index=index,
+                    )
+                )
+                continue
+            existing = self.db.row(op.relation, min(rowids))
+            if not self._agrees(op.values, existing):
+                findings.append(
+                    QAFinding(
+                        CHECK_DUP_CONSISTENCY,
+                        DEFAULT_SEVERITIES[CHECK_DUP_CONSISTENCY],
+                        f"supporting {op.relation} INSERT duplicates key "
+                        f"{tuple(key_values.values())!r} but disagrees with "
+                        f"the existing tuple's values",
+                        relation=op.relation,
+                        op_index=index,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # minimized dirty deletes
+    # ------------------------------------------------------------------
+
+    def _check_dirty_deletes(self, ops: list, findings: list[QAFinding]) -> None:
+        deleted: dict[str, set[int]] = {}
+        for op in ops:
+            if isinstance(op, TupleDelete):
+                deleted.setdefault(op.relation, set()).update(op.rowids)
+        for index, op in enumerate(ops):
+            if not isinstance(op, TupleDelete) or op.kind != "minimized":
+                continue
+            if op.relation not in self.db.schema:
+                continue
+            table = self.db.table(op.relation)
+            for rowid in sorted(op.rowids):
+                if rowid not in table:
+                    continue  # stale rowid: reported by _check_rowid_sets
+                target = self.db.row(op.relation, rowid)
+                for fk in self.db.schema.foreign_keys_into(op.relation):
+                    key = {
+                        column: target.get(ref_column)
+                        for column, ref_column in zip(fk.columns, fk.ref_columns)
+                    }
+                    if any(value is None for value in key.values()):
+                        continue
+                    referrers = self.db.find_rowids(fk.relation_name, key)
+                    referrers -= deleted.get(fk.relation_name, set())
+                    if referrers:
+                        findings.append(
+                            QAFinding(
+                                CHECK_DIRTY_DELETE,
+                                DEFAULT_SEVERITIES[CHECK_DIRTY_DELETE],
+                                f"minimized DELETE of {op.relation} rowid "
+                                f"{rowid} removes a tuple still referenced "
+                                f"by surviving {fk.relation_name} tuple(s) "
+                                f"{sorted(referrers)} — view content "
+                                f"published elsewhere would disappear",
+                                relation=op.relation,
+                                op_index=index,
+                            )
+                        )
+                        break
+
+    # ------------------------------------------------------------------
+    # untouched-relation preservation
+    # ------------------------------------------------------------------
+
+    def _allowed_relations(
+        self, resolved: Optional[ResolvedUpdate]
+    ) -> Optional[set[str]]:
+        """Relations the update's anchor nodes may write: the cumulative
+        UC bindings of each anchor's subject subtree (join-completion
+        may touch any relation bound on the nesting path)."""
+        if resolved is None:
+            return None
+        allowed: set[str] = set()
+        for op in resolved.ops:
+            node = op.node
+            if node is None:
+                return None  # unresolved anchor: scope undecidable
+            subject = node
+            while subject.kind not in (NodeKind.INTERNAL, NodeKind.ROOT):
+                if subject.parent is None:
+                    break
+                subject = subject.parent
+            for member in subject.iter_subtree():
+                allowed |= set(member.uc_binding)
+        return allowed or None
+
+    def _check_relation_scope(
+        self,
+        ops: list,
+        resolved: Optional[ResolvedUpdate],
+        findings: list[QAFinding],
+    ) -> None:
+        allowed = self._allowed_relations(resolved)
+        if allowed is None:
+            return
+        for index, op in enumerate(ops):
+            relation = getattr(op, "relation", None)
+            if relation is None or relation in allowed:
+                continue
+            findings.append(
+                QAFinding(
+                    CHECK_RELATION_SCOPE,
+                    DEFAULT_SEVERITIES[CHECK_RELATION_SCOPE],
+                    f"planned op writes {relation}, which none of the "
+                    f"update's anchor nodes bind (allowed: "
+                    f"{sorted(allowed)}) — untouched relations must be "
+                    f"preserved",
+                    relation=relation,
+                    op_index=index,
+                )
+            )

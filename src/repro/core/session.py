@@ -115,6 +115,11 @@ class SessionResult:
     #: compiled probe plans whose join tree came out bushy — the DP
     #: enumerator beat every left-deep order on the estimates
     bushy_plans: int = 0
+    #: post-translation QA accounting (sessions opened with ``qa=True``)
+    qa_findings: int = 0
+    qa_errors: int = 0
+    #: re-checks triggered by QA (cache cleared + update re-checked)
+    qa_retries_used: int = 0
 
     @property
     def applied(self) -> list[SessionEntry]:
@@ -169,6 +174,15 @@ class UpdateSession:
         process-wide :data:`repro.core.asg_cache.shared_store`.
     cache:
         A :class:`ProbeCache` to (re)use; fresh by default.
+    qa:
+        Run the post-translation QA audit (:mod:`repro.core.qa`) on
+        every checked plan.  Off by default: sessions exist for
+        throughput, and the audit re-probes base data per plan.
+    qa_retries:
+        With ``qa=True``: how many times a plan whose audit failed (or
+        reported stale probe rowids) is re-checked after clearing the
+        probe cache before the failure sticks.  Bounded, like any
+        auto-retry on a QA gate.
     """
 
     def __init__(
@@ -179,10 +193,14 @@ class UpdateSession:
         index_temp_tables: bool = True,
         asg_store: Optional[ASGStore] = None,
         cache: Optional[ProbeCache] = None,
+        qa: bool = False,
+        qa_retries: int = 1,
     ) -> None:
         self.db = db
         self.strategy = strategy
         self.index_temp_tables = index_temp_tables
+        self.qa = qa
+        self.qa_retries = max(0, qa_retries)
         store = shared_store if asg_store is None else asg_store
         parsed_view = parse_view_query(view) if isinstance(view, str) else view
         self.ufilter = UFilter(
@@ -273,12 +291,7 @@ class UpdateSession:
         # Nothing mutates, so every probe result stays valid and the
         # cache serves repeated contexts without invalidation.
         for entry in entries:
-            report = self.ufilter.check(
-                entry.update,
-                strategy=self.strategy,
-                execute=False,
-                index_temp_tables=self.index_temp_tables,
-            )
+            report = self._checked_report(entry.update, result)
             entry.report = report
             if report.outcome.accepted:
                 entry.status = "planned"
@@ -339,6 +352,72 @@ class UpdateSession:
             mutated |= entry.report.data.mutated_relations()
         if mutated:
             self.cache.invalidate(self._cascade_closure(mutated))
+
+    def _checked_report(
+        self, update: ViewUpdate, result: SessionResult
+    ) -> CheckReport:
+        """Phase-1 check with the (optional) QA gate and bounded retry.
+
+        A failed audit is most often a stale probe cache (the
+        ``stale-rowid`` signature): the cache is cleared and the update
+        re-checked up to ``qa_retries`` times before the failure sticks.
+        """
+        report = self.ufilter.check(
+            update,
+            strategy=self.strategy,
+            execute=False,
+            index_temp_tables=self.index_temp_tables,
+            qa=self.qa,
+        )
+        if not self.qa:
+            return report
+        retries = 0
+        while retries < self.qa_retries and self._qa_retryable(report):
+            self.cache.clear()
+            retries += 1
+            result.qa_retries_used += 1
+            report = self.ufilter.check(
+                update,
+                strategy=self.strategy,
+                execute=False,
+                index_temp_tables=self.index_temp_tables,
+                qa=self.qa,
+            )
+        self._tally_qa(report, result)
+        return report
+
+    @staticmethod
+    def _qa_retryable(report: CheckReport) -> bool:
+        from .qa import CHECK_STALE_ROWID, qa_errors
+
+        if report.data is None:
+            return False
+        findings = report.data.qa_findings
+        if any(f.check == CHECK_STALE_ROWID for f in findings):
+            return True
+        return bool(qa_errors(findings))
+
+    @staticmethod
+    def _annotate_qa(entry: SessionEntry, report: CheckReport) -> None:
+        from .qa import qa_errors
+
+        if report.data is None:
+            return
+        errors = qa_errors(report.data.qa_findings)
+        if errors and not entry.reason:
+            entry.reason = "QA: " + "; ".join(
+                finding.describe() for finding in errors[:3]
+            )
+
+    @staticmethod
+    def _tally_qa(report: CheckReport, result: SessionResult) -> None:
+        from .qa import qa_errors
+
+        if report.data is None:
+            return
+        findings = report.data.qa_findings
+        result.qa_findings += len(findings)
+        result.qa_errors += len(qa_errors(findings))
 
     def _apply_planned(self, ops: Sequence[Any]) -> int:
         """Replay one update's structured translation against the engine.
@@ -509,8 +588,15 @@ class UpdateSession:
                     strategy=self.strategy,
                     execute=True,
                     index_temp_tables=self.index_temp_tables,
+                    qa=self.qa,
                 )
                 entry.report = report
+                if self.qa:
+                    # the plan already applied, so the audit ran in
+                    # ``applied`` mode (state-independent checks only);
+                    # errors annotate the entry rather than undo it
+                    self._tally_qa(report, result)
+                    self._annotate_qa(entry, report)
                 failed = not report.outcome.accepted
                 if failed:
                     reason = report.reason or report.outcome.value

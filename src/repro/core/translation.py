@@ -87,10 +87,26 @@ class ProbeCache:
 
     @staticmethod
     def context_key(
-        node: ViewNode, resolved: Optional[ResolvedUpdate], narrow: bool
+        node: ViewNode,
+        resolved: Optional[ResolvedUpdate],
+        narrow: bool,
+        canon: Optional[Any] = None,
     ) -> tuple:
         """The (view node, predicate signature) cache key of the issue's
-        design: literal predicates are order-insensitive."""
+        design: literal predicates are order-insensitive.
+
+        Literals are canonicalized through *canon* — ``canon(relation,
+        attribute, literal)`` returns the literal's SQL rendering after
+        column-type coercion (:meth:`Translator._literal_signature`), so
+        SQL-equal literals of distinct Python types (``1`` vs ``1.0`` on
+        a DOUBLE column, ``"1"`` vs ``1`` on an INTEGER column) share
+        one entry, while type-distinct renderings (``'1'`` vs ``1``)
+        stay apart.  The bare-``repr()`` keys this replaces split those
+        entries (cache misses) or — for values whose ``repr`` collides
+        across types — wrongly shared them.
+        """
+        if canon is None:
+            canon = lambda relation, attribute, literal: sql_literal(literal)
         signature: list[tuple] = []
         if resolved is not None:
             for resolution in resolved.predicates:
@@ -101,14 +117,19 @@ class ProbeCache:
                         resolution.relation,
                         resolution.attribute,
                         resolution.constraint.op,
-                        repr(resolution.constraint.literal),
+                        canon(
+                            resolution.relation,
+                            resolution.attribute,
+                            resolution.constraint.literal,
+                        ),
                     )
                 )
         return ("context", node.node_id, narrow, tuple(sorted(signature)))
 
     @staticmethod
     def key_probe_key(relation: str, key_values: tuple) -> tuple:
-        return ("key", relation, tuple(repr(value) for value in key_values))
+        """PQ3 cache key: canonical SQL literals, not bare ``repr``."""
+        return ("key", relation, tuple(sql_literal(value) for value in key_values))
 
     def get(self, key: tuple) -> Optional[ProbeResult]:
         entry = self._entries.get(key)
@@ -163,8 +184,16 @@ class TupleDelete:
     rowids: set[int]
     #: display form (the executed op addresses rowids directly)
     description: str = ""
+    #: "primary" targets the clean source, "minimized" an unshared dirty
+    #: tuple, "expanded" one subtree level of the multi-statement mode —
+    #: the QA pass scopes its referenced-tuple audit by this tag
+    kind: str = "primary"
 
     def sql(self) -> str:
+        if not self.rowids:
+            # an empty IN () list is not valid SQL; render the no-op the
+            # executor actually performs (zero matching rowids)
+            return f"DELETE FROM {self.relation} WHERE 1 = 0"
         ids = ", ".join(str(r) for r in sorted(self.rowids))
         return f"DELETE FROM {self.relation} WHERE ROWID IN ({ids})"
 
@@ -179,10 +208,12 @@ class TupleUpdate:
     changes: dict[str, Any]
 
     def sql(self) -> str:
-        ids = ", ".join(str(r) for r in sorted(self.rowids))
         assignments = ", ".join(
             f"{column} = {sql_literal(value)}" for column, value in self.changes.items()
         )
+        if not self.rowids:
+            return f"UPDATE {self.relation} SET {assignments} WHERE 1 = 0"
+        ids = ", ".join(str(r) for r in sorted(self.rowids))
         return f"UPDATE {self.relation} SET {assignments} WHERE ROWID IN ({ids})"
 
 
@@ -234,6 +265,13 @@ class Translator:
             )
         except TypeMismatchError:
             return literal
+
+    def _literal_signature(self, relation: str, attribute: str, literal: Any) -> str:
+        """Canonical cache-key rendering of a predicate literal: coerce
+        through the column's SQL type (exactly what probe composition
+        does), then render with :func:`sql_literal` — the key equals the
+        probe SQL the literal actually produces."""
+        return sql_literal(self._coerce_literal(relation, attribute, literal))
 
     def _constraint_expr(
         self, relation: str, attribute: str, constraint: ValueConstraint
@@ -334,7 +372,9 @@ class Translator:
     ) -> ProbeResult:
         key: Optional[tuple] = None
         if self.cache is not None:
-            key = ProbeCache.context_key(node, resolved, narrow)
+            key = ProbeCache.context_key(
+                node, resolved, narrow, canon=self._literal_signature
+            )
             cached = self.cache.get(key)
             if cached is not None:
                 return cached
@@ -489,6 +529,7 @@ class Translator:
                     relation=relation,
                     rowids=rowids,
                     description=f"expanded delete at <{member.name}>",
+                    kind="expanded" if relation != primary else "primary",
                 )
             )
         return deletes, notes
@@ -542,6 +583,7 @@ class Translator:
                         relation=relation,
                         rowids={rowid},
                         description=f"minimized delete of unshared {relation} tuple",
+                        kind="minimized",
                     )
                 )
         return notes, deletes
@@ -778,7 +820,12 @@ class Translator:
         if self.cache is not None:
             cache_key = ProbeCache.key_probe_key(
                 insert.relation,
-                tuple(insert.values[column] for column in key.columns),
+                tuple(
+                    self._coerce_literal(
+                        insert.relation, column, insert.values[column]
+                    )
+                    for column in key.columns
+                ),
             )
             cached = self.cache.get(cache_key)
             if cached is not None:

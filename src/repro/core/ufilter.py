@@ -154,6 +154,7 @@ class UFilter:
         force_data_check: bool = False,
         expand_cascades: bool = False,
         index_temp_tables: bool = False,
+        qa: bool = False,
     ) -> CheckReport:
         """Run the update through the three-step filter.
 
@@ -167,6 +168,10 @@ class UFilter:
         ``index_temp_tables=True`` attaches ad-hoc hash indexes to
         materialized probe results (outside strategy), turning its
         temp-table joins into index nested loops.
+        ``qa=True`` runs the post-translation QA audit
+        (:mod:`repro.core.qa`) over the planned ops; pre-apply ERROR
+        findings demote the outcome to DATA_CONFLICT, and all findings
+        land on ``report.data.qa_findings``.
         """
         parsed = self.parse(update)
         timings: dict[str, float] = {}
@@ -227,6 +232,7 @@ class UFilter:
             execute=execute,
             expand_cascades=expand_cascades,
             index_temp_tables=index_temp_tables,
+            qa=qa,
         )
         timings["data"] = time.perf_counter() - start
         if not data.ok:

@@ -111,3 +111,21 @@ class UpdateSyntaxError(XQueryError):
 
 class UFilterError(ReproError):
     """Internal misuse of the U-Filter pipeline."""
+
+
+class QAError(UFilterError):
+    """A post-translation QA audit surfaced ERROR-severity findings.
+
+    Raised by :func:`repro.core.qa.raise_on_error` when a translated
+    plan fails a semantic audit (duplication consistency, insert
+    ordering, minimized-delete safety, relation scope); carries the
+    structured findings on :attr:`findings`.
+    """
+
+    def __init__(self, findings) -> None:
+        self.findings = list(findings)
+        lines = "; ".join(f.describe() for f in self.findings[:3])
+        extra = len(self.findings) - 3
+        if extra > 0:
+            lines += f" (+{extra} more)"
+        super().__init__(f"QA audit failed: {lines}")

@@ -108,6 +108,12 @@ class Database:
         #: "any DML recompiles" rule)
         self.replan_threshold = 0.2
         self.replan_min_ops = 2
+        #: force every query path onto the interpreted executors
+        #: (``execute_select(optimize=False)`` and ``find_rowids`` /
+        #: ``select_rowids(compiled=False)``) — the semantic-oracle
+        #: switch the translation QA scenario generator flips on a clone
+        #: to cross-check compiled results end to end
+        self.oracle_mode = False
         #: set while an undo log replays so per-row version bumps can be
         #: coalesced into one bump per relation per rollback
         self._coalesce_versions = False
@@ -302,7 +308,7 @@ class Database:
         table = self.table(relation_name)
         if not equalities:
             return set(table.rowids())
-        if not compiled:
+        if not compiled or self.oracle_mode:
             return self._find_rowids_interpreted(table, equalities)
         columns = frozenset(equalities)
         key = ("access", relation_name, columns)
@@ -392,7 +398,7 @@ class Database:
         from .plan import lower_rowid_plan
 
         table = self.table(relation_name)
-        if predicate is None or not compiled:
+        if predicate is None or not compiled or self.oracle_mode:
             return self._select_rowids_interpreted(table, relation_name, predicate)
         signature = where_signature(predicate)
         if signature is None:
@@ -750,6 +756,7 @@ class Database:
         translation to a copy and compare the recomputed views.
         """
         copy = Database(self.schema)
+        copy.oracle_mode = self.oracle_mode
         for relation_name, table in self.tables.items():
             if relation_name not in copy.tables:  # temp tables
                 copy.create_temp_table(relation_name, table.columns)

@@ -753,6 +753,8 @@ def execute_select(
         # degenerate no-FROM query: one empty row (the DP has no
         # relations to enumerate — the oracle defines the semantics)
         return _execute_interpreted(db, plan)
+    if db.oracle_mode:
+        optimize = False
     if optimize:
         logical = LogicalPlan.build(plan)
         if logical is not None:

@@ -1,5 +1,6 @@
 """Paper workloads: the books running example, TPC-H-like benchmark
-schema, the W3C use-case suite (Fig. 12) and the PSD bio scenario."""
+schema, the W3C use-case suite (Fig. 12), the PSD bio scenario and the
+generator-backed random corpus."""
 
 from . import books
 
@@ -7,7 +8,7 @@ __all__ = ["books"]
 
 
 def __getattr__(name):
-    if name in ("tpch", "w3c_usecases", "psd"):
+    if name in ("tpch", "w3c_usecases", "psd", "generated"):
         import importlib
 
         return importlib.import_module(f".{name}", __name__)

@@ -1,0 +1,62 @@
+"""The generator-backed corpus: seeded random scenarios as a workload.
+
+The other workloads are fixed listings from the paper; this one is a
+window onto :mod:`repro.core.scenario_gen` — the same schema/view/
+update shapes, drawn deterministically from seeds, packaged with the
+``build_*``/``*_view_query``/``*_updates`` conventions the rest of the
+suite uses.  ``DEFAULT_SEED`` pins the scenario every helper returns
+by default, so tests and demos referencing "the generated workload"
+all see the same world; pass another seed for another world.
+"""
+
+from __future__ import annotations
+
+from ..core.scenario_gen import (
+    RunSummary,
+    Scenario,
+    generate_scenario,
+    run_many,
+    _build_db,
+)
+from ..rdb import Database
+from ..xquery import ViewQuery, ViewUpdate, parse_view_query, parse_view_update
+
+__all__ = [
+    "DEFAULT_SEED",
+    "scenario",
+    "build_generated_database",
+    "generated_view_query",
+    "generated_updates",
+    "audit",
+]
+
+#: seed of the corpus' canonical scenario (depth-3 chain, 4 updates)
+DEFAULT_SEED = 307
+
+
+def scenario(seed: int = DEFAULT_SEED) -> Scenario:
+    """The generated scenario for *seed* (schema, data, view, updates)."""
+    return generate_scenario(seed)
+
+
+def build_generated_database(seed: int = DEFAULT_SEED) -> Database:
+    """A loaded database for the scenario drawn from *seed*."""
+    return _build_db(generate_scenario(seed))
+
+
+def generated_view_query(seed: int = DEFAULT_SEED) -> ViewQuery:
+    """The parsed view definition of the scenario drawn from *seed*."""
+    return parse_view_query(generate_scenario(seed).view_text)
+
+
+def generated_updates(seed: int = DEFAULT_SEED) -> dict[str, ViewUpdate]:
+    """The scenario's updates parsed, keyed by their generated names."""
+    return {
+        name: parse_view_update(text, name=name)
+        for name, text in generate_scenario(seed).updates
+    }
+
+
+def audit(scenarios: int = 50, seed: int = 0) -> RunSummary:
+    """Round-trip *scenarios* seeded worlds; see ``repro qa`` for the CLI."""
+    return run_many(scenarios, seed=seed)

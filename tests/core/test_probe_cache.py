@@ -1,0 +1,205 @@
+"""ProbeCache key canonicalization and invalidation.
+
+The cache used to key probes on bare ``repr()`` of predicate literals
+and key values: ``1`` vs ``1.0`` on a DOUBLE column (or ``"1"`` vs
+``1`` on an INTEGER column) composed the *same* SQL but missed each
+other's entries — and any repr collision across types would have
+wrongly shared one.  Keys now canonicalize through column-type
+coercion + ``sql_literal``.  Invalidation is cross-checked against the
+session's FK cascade closure: a mutation must drop every entry whose
+read set a cascade could reach, and nothing else.
+"""
+
+import pytest
+
+from repro.core import UFilter, UpdateSession
+from repro.core.translation import ProbeCache, ProbeResult
+from repro.core.update_binding import PredicateResolution, ResolvedUpdate
+from repro.core.asg import ValueConstraint
+from repro.workloads import books
+
+from test_qa import CHAIN_VIEW, build_chain_db
+
+
+def resolved_with(relation, attribute, op, literal):
+    resolution = PredicateResolution(
+        predicate=None,
+        relation=relation,
+        attribute=attribute,
+        constraint=ValueConstraint(op=op, literal=literal),
+    )
+    return ResolvedUpdate(update=None, predicates=[resolution])
+
+
+@pytest.fixture()
+def book_translator(book_db):
+    return UFilter(book_db, books.BOOK_VIEW_QUERY).checker.translator
+
+
+@pytest.fixture()
+def chain_translator():
+    db = build_chain_db()
+    return UFilter(db, CHAIN_VIEW).checker.translator
+
+
+class FakeNode:
+    node_id = "n1"
+
+
+# ---------------------------------------------------------------------------
+# context keys (PQ1/PQ2)
+# ---------------------------------------------------------------------------
+
+def context_key(translator, literal):
+    return ProbeCache.context_key(
+        FakeNode(),
+        resolved_with("book", "price", "=", literal),
+        narrow=False,
+        canon=translator._literal_signature,
+    )
+
+
+def test_int_and_float_literal_share_a_double_key(book_translator):
+    assert context_key(book_translator, 37) == context_key(book_translator, 37.0)
+
+
+def test_lexical_and_numeric_literal_share_an_integer_key(chain_translator):
+    lexical = ProbeCache.context_key(
+        FakeNode(),
+        resolved_with("child", "cnum", "=", "1"),
+        narrow=False,
+        canon=chain_translator._literal_signature,
+    )
+    numeric = ProbeCache.context_key(
+        FakeNode(),
+        resolved_with("child", "cnum", "=", 1),
+        narrow=False,
+        canon=chain_translator._literal_signature,
+    )
+    assert lexical == numeric
+
+
+def test_type_distinct_literals_stay_apart(book_translator):
+    """'37' on a VARCHAR column renders quoted; 37 on DOUBLE does not —
+    canonicalization must not merge across genuinely distinct types."""
+    on_title = ProbeCache.context_key(
+        FakeNode(),
+        resolved_with("book", "title", "=", "37"),
+        narrow=False,
+        canon=book_translator._literal_signature,
+    )
+    on_price = context_key(book_translator, 37)
+    assert on_title != on_price
+
+
+def test_distinct_values_stay_apart(book_translator):
+    assert context_key(book_translator, 37) != context_key(book_translator, 48)
+
+
+def test_default_canon_uses_sql_literal_not_repr():
+    key_a = ProbeCache.context_key(
+        FakeNode(), resolved_with("r", "a", "=", 1.0), narrow=False
+    )
+    key_b = ProbeCache.context_key(
+        FakeNode(), resolved_with("r", "a", "=", 1), narrow=False
+    )
+    # sql_literal(1.0) == '1.0' vs sql_literal(1) == '1': without a
+    # schema there is no coercion, but the rendering is still SQL
+    assert key_a != key_b
+    assert key_a[3][0][3] == "1.0"
+    assert key_b[3][0][3] == "1"
+
+
+# ---------------------------------------------------------------------------
+# key-probe keys (PQ3)
+# ---------------------------------------------------------------------------
+
+def test_key_probe_key_canonicalizes_strings_vs_numbers():
+    assert ProbeCache.key_probe_key("child", (1,)) == ProbeCache.key_probe_key(
+        "child", (1,)
+    )
+    # quoted string and bare int render differently — distinct entries
+    assert ProbeCache.key_probe_key("child", ("1",)) != ProbeCache.key_probe_key(
+        "child", (1,)
+    )
+
+
+def test_key_probe_cache_hit_after_type_coercion(chain_translator):
+    """The translator coerces key values through the column types before
+    keying, so a lexical '1' and a numeric 1 probe collapse."""
+    from repro.core.translation import TupleInsert
+
+    first = TupleInsert("child", {"cid": "C1", "pid": "P1", "cname": "c", "cnum": 1})
+    probe_cache = ProbeCache()
+    chain_translator.cache = probe_cache
+    chain_translator.key_probe(first)
+    misses = probe_cache.misses
+    chain_translator.key_probe(first)
+    assert probe_cache.hits == 1
+    assert probe_cache.misses == misses
+
+
+# ---------------------------------------------------------------------------
+# invalidation under the FK cascade closure
+# ---------------------------------------------------------------------------
+
+def entry(cache, name, read_relations):
+    cache.put(
+        ("context", name, False, ()),
+        ProbeResult(sql=f"-- {name}", rows=[]),
+        frozenset(read_relations),
+    )
+
+
+def test_invalidate_drops_intersecting_entries_only():
+    cache = ProbeCache()
+    entry(cache, "on-child", {"parent", "child"})
+    entry(cache, "on-grand", {"grand"})
+    dropped = cache.invalidate({"child"})
+    assert dropped == 1
+    assert cache.get(("context", "on-grand", False, ())) is not None
+    assert cache.get(("context", "on-child", False, ())) is None
+
+
+def test_cascade_closure_reaches_fk_descendants():
+    db = build_chain_db()
+    session = UpdateSession(db, CHAIN_VIEW)
+    closure = session._cascade_closure({"parent"})
+    assert closure == {"parent", "child", "grand"}
+    assert session._cascade_closure({"grand"}) == {"grand"}
+
+
+def test_invalidate_under_cascade_closure():
+    """A parent mutation must drop entries reading any FK descendant (a
+    cascade may touch them); entries on disjoint relations survive."""
+    db = build_chain_db()
+    session = UpdateSession(db, CHAIN_VIEW)
+    cache = session.cache
+    entry(cache, "reads-grand", {"grand"})
+    entry(cache, "reads-offview", {"offview"})
+    dropped = cache.invalidate(session._cascade_closure({"parent"}))
+    assert dropped == 1
+    assert cache.get(("context", "reads-offview", False, ())) is not None
+    assert cache.get(("context", "reads-grand", False, ())) is None
+
+
+def test_interleaved_session_invalidates_cascade_reachable_entries():
+    """End to end: applying a parent-level delete through an interleaved
+    session drops cached probes over the cascade-reachable relations."""
+    db = build_chain_db()
+    session = UpdateSession(db, CHAIN_VIEW)
+    entry(session.cache, "reads-grand", {"grand"})
+    entry(session.cache, "reads-offview", {"offview"})
+    session.add(
+        """
+FOR $root IN document("GenView.xml"),
+    $p IN $root/parent
+WHERE $p/pid/text() = "P2"
+UPDATE $root {
+    DELETE $p }
+"""
+    )
+    result = session.execute(mode="interleaved")
+    assert result.committed
+    assert session.cache.get(("context", "reads-offview", False, ())) is not None
+    assert session.cache.get(("context", "reads-grand", False, ())) is None

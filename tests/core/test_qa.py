@@ -1,0 +1,488 @@
+"""The post-translation QA audit (:mod:`repro.core.qa`).
+
+Unit tests drive :class:`QAAuditor` over hand-built plans (each check
+family, both severities, the per-strategy policies); the integration
+tests run ``qa=True`` through :class:`UFilter` / :class:`UpdateSession`
+and pin the two bugs the scenario generator surfaced:
+
+* the internal strategy silently *skipping* a driving insert whose key
+  already exists (the flat mapping view cannot tell "new child
+  element" apart from "new descendant under an existing child");
+* DELETE/UPDATE statements rendering invalid ``WHERE ROWID IN ()`` on
+  empty rowid sets.
+"""
+
+import pytest
+
+from repro.core import UFilter, UpdateSession
+from repro.core.datacheck import DataCheckResult
+from repro.core.qa import (
+    CHECK_DIRTY_DELETE,
+    CHECK_DUP_CONSISTENCY,
+    CHECK_EMPTY_ROWIDS,
+    CHECK_INSERT_ORDER,
+    CHECK_MISSING_PARENT,
+    CHECK_RELATION_SCOPE,
+    CHECK_STALE_ROWID,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    QAAuditor,
+    QAFinding,
+    qa_errors,
+    raise_on_error,
+)
+from repro.core.translation import TupleDelete, TupleInsert, TupleUpdate
+from repro.errors import QAError
+from repro.rdb import Database, Schema, SQLEngine, parse_script
+
+CHAIN_DDL = """
+CREATE TABLE parent(
+    pid VARCHAR2(10),
+    pname VARCHAR2(20),
+    CONSTRAINTS QaParPK PRIMARYKEY (pid));
+
+CREATE TABLE child(
+    cid VARCHAR2(10),
+    pid VARCHAR2(10),
+    cname VARCHAR2(20),
+    cnum INTEGER,
+    CONSTRAINTS QaChPK PRIMARYKEY (cid),
+    FOREIGNKEY (pid) REFERENCES parent (pid));
+
+CREATE TABLE grand(
+    gid VARCHAR2(10),
+    cid VARCHAR2(10),
+    gname VARCHAR2(20),
+    CONSTRAINTS QaGrPK PRIMARYKEY (gid),
+    FOREIGNKEY (cid) REFERENCES child (cid));
+
+CREATE TABLE offview(
+    oid VARCHAR2(10),
+    CONSTRAINTS QaOffPK PRIMARYKEY (oid));
+"""
+
+CHAIN_VIEW = """
+<GenView>
+FOR $p IN document("default.xml")/parent/row
+RETURN {
+    <parent>
+        $p/pid, $p/pname,
+        FOR $c IN document("default.xml")/child/row
+        WHERE ($c/pid = $p/pid)
+        RETURN {
+            <child>
+                $c/cid, $c/cname, $c/cnum,
+                FOR $g IN document("default.xml")/grand/row
+                WHERE ($g/cid = $c/cid)
+                RETURN {
+                    <grand>
+                        $g/gid, $g/gname
+                    </grand>}
+            </child>}
+    </parent>}
+</GenView>
+"""
+
+
+def build_chain_db() -> Database:
+    db = Database(Schema())
+    engine = SQLEngine(db)
+    for statement in parse_script(CHAIN_DDL):
+        engine.execute(statement)
+    db.load("parent", [{"pid": "P1", "pname": "a"}, {"pid": "P2", "pname": "b"}])
+    db.load(
+        "child",
+        [
+            {"cid": "C1", "pid": "P1", "cname": "c", "cnum": 1},
+            {"cid": "C2", "pid": "P2", "cname": "d", "cnum": 7},
+        ],
+    )
+    db.load("grand", [{"gid": "G1", "cid": "C1", "gname": "g"}])
+    return db
+
+
+@pytest.fixture()
+def chain_db():
+    return build_chain_db()
+
+
+@pytest.fixture()
+def chain_ufilter(chain_db):
+    return UFilter(chain_db, CHAIN_VIEW)
+
+
+@pytest.fixture()
+def auditor(chain_ufilter):
+    return QAAuditor(chain_ufilter.db, chain_ufilter.view_asg)
+
+
+def audit(auditor, ops, **kwargs):
+    result = DataCheckResult(strategy=kwargs.pop("strategy", "outside"))
+    result.planned_ops = list(ops)
+    return auditor.audit(result, **kwargs)
+
+
+def checks(findings):
+    return [f.check for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# no-op statements (empty / stale rowid sets)
+# ---------------------------------------------------------------------------
+
+def test_empty_rowid_delete_is_a_warning(auditor):
+    findings = audit(auditor, [TupleDelete("child", set())])
+    assert checks(findings) == [CHECK_EMPTY_ROWIDS]
+    assert findings[0].severity == SEVERITY_WARNING
+    assert findings[0].op_index == 0
+
+
+def test_empty_rowid_update_is_a_warning(auditor):
+    findings = audit(auditor, [TupleUpdate("child", set(), {"cname": "x"})])
+    assert checks(findings) == [CHECK_EMPTY_ROWIDS]
+
+
+def test_stale_rowid_flagged_before_apply_only(auditor):
+    ops = [TupleDelete("child", {999})]
+    assert checks(audit(auditor, ops)) == [CHECK_STALE_ROWID]
+    assert audit(auditor, ops, applied=True) == []
+
+
+# ---------------------------------------------------------------------------
+# parent-before-child INSERT ordering
+# ---------------------------------------------------------------------------
+
+def test_child_before_parent_insert_is_an_error(auditor):
+    ops = [
+        TupleInsert("grand", {"gid": "G9", "cid": "C9", "gname": "x"}),
+        TupleInsert("child", {"cid": "C9", "pid": "P1", "cname": "y", "cnum": 1}),
+    ]
+    findings = audit(auditor, ops)
+    assert checks(findings) == [CHECK_INSERT_ORDER]
+    assert findings[0].severity == SEVERITY_ERROR
+    assert findings[0].relation == "grand"
+    assert findings[0].op_index == 0
+
+
+def test_parent_first_insert_is_clean(auditor):
+    ops = [
+        TupleInsert("child", {"cid": "C9", "pid": "P1", "cname": "y", "cnum": 1}),
+        TupleInsert("grand", {"gid": "G9", "cid": "C9", "gname": "x"}),
+    ]
+    assert audit(auditor, ops) == []
+
+
+def test_existing_parent_needs_no_planned_insert(auditor):
+    ops = [TupleInsert("grand", {"gid": "G9", "cid": "C1", "gname": "x"})]
+    assert audit(auditor, ops) == []
+
+
+def test_unplanned_missing_parent_is_an_error(auditor):
+    ops = [TupleInsert("child", {"cid": "C9", "pid": "P9", "cname": "y", "cnum": 1})]
+    findings = audit(auditor, ops)
+    assert checks(findings) == [CHECK_MISSING_PARENT]
+    assert findings[0].severity == SEVERITY_ERROR
+
+
+def test_internal_policy_downgrades_missing_parent(auditor):
+    ops = [TupleInsert("child", {"cid": "C9", "pid": "P9", "cname": "y", "cnum": 1})]
+    findings = audit(auditor, ops, strategy="internal")
+    assert checks(findings) == [CHECK_MISSING_PARENT]
+    assert findings[0].severity == SEVERITY_WARNING
+
+
+def test_null_fk_references_nothing(auditor):
+    ops = [TupleInsert("child", {"cid": "C9", "pid": None, "cname": "y", "cnum": 1})]
+    assert audit(auditor, ops) == []
+
+
+# ---------------------------------------------------------------------------
+# duplication consistency
+# ---------------------------------------------------------------------------
+
+def test_driving_duplicate_key_is_an_error(auditor):
+    ops = [
+        TupleInsert(
+            "child",
+            {"cid": "C1", "pid": "P1", "cname": "c", "cnum": 1},
+            role="driving",
+        )
+    ]
+    findings = audit(auditor, ops)
+    assert checks(findings) == [CHECK_DUP_CONSISTENCY]
+    assert findings[0].severity == SEVERITY_ERROR
+
+
+def test_supporting_duplicate_must_agree(auditor):
+    disagreeing = TupleInsert(
+        "child",
+        {"cid": "C1", "pid": "P1", "cname": "DIFFERENT", "cnum": 1},
+        role="supporting",
+    )
+    assert checks(audit(auditor, [disagreeing])) == [CHECK_DUP_CONSISTENCY]
+    agreeing = TupleInsert(
+        "child",
+        {"cid": "C1", "pid": "P1", "cname": "c", "cnum": 1},
+        role="supporting",
+    )
+    assert audit(auditor, [agreeing]) == []
+
+
+def test_skip_without_existing_tuple_is_an_error(auditor):
+    ops = [
+        TupleInsert(
+            "child",
+            {"cid": "C9", "pid": "P1", "cname": "y", "cnum": 1},
+            role="skip",
+        )
+    ]
+    assert checks(audit(auditor, ops)) == [CHECK_DUP_CONSISTENCY]
+
+
+def test_duplication_check_skipped_after_apply(auditor):
+    ops = [
+        TupleInsert(
+            "child",
+            {"cid": "C1", "pid": "P1", "cname": "c", "cnum": 1},
+            role="driving",
+        )
+    ]
+    assert audit(auditor, ops, applied=True) == []
+
+
+# ---------------------------------------------------------------------------
+# minimized dirty deletes
+# ---------------------------------------------------------------------------
+
+def test_minimized_delete_of_referenced_tuple_is_an_error(chain_db, auditor):
+    parent_rowid = next(iter(chain_db.find_rowids("parent", {"pid": "P1"})))
+    ops = [TupleDelete("parent", {parent_rowid}, kind="minimized")]
+    findings = audit(auditor, ops)
+    assert checks(findings) == [CHECK_DIRTY_DELETE]
+    assert "child" in findings[0].detail
+
+
+def test_minimized_delete_clean_when_referrers_also_deleted(chain_db, auditor):
+    parent_rowid = next(iter(chain_db.find_rowids("parent", {"pid": "P1"})))
+    child_rowid = next(iter(chain_db.find_rowids("child", {"pid": "P1"})))
+    grand_rowid = next(iter(chain_db.find_rowids("grand", {"cid": "C1"})))
+    ops = [
+        TupleDelete("grand", {grand_rowid}),
+        TupleDelete("child", {child_rowid}),
+        TupleDelete("parent", {parent_rowid}, kind="minimized"),
+    ]
+    assert audit(auditor, ops) == []
+
+
+def test_primary_deletes_are_not_dirty_audited(chain_db, auditor):
+    parent_rowid = next(iter(chain_db.find_rowids("parent", {"pid": "P1"})))
+    ops = [TupleDelete("parent", {parent_rowid}, kind="primary")]
+    assert audit(auditor, ops) == []
+
+
+# ---------------------------------------------------------------------------
+# untouched-relation preservation
+# ---------------------------------------------------------------------------
+
+def test_op_outside_anchor_bindings_is_an_error(chain_ufilter, auditor):
+    update = """
+FOR $p IN document("GenView.xml")/parent,
+    $c IN $p/child
+WHERE $c/cid/text() = "C1"
+UPDATE $p {
+    DELETE $c }
+"""
+    report = chain_ufilter.check(update, execute=False)
+    assert report.outcome.accepted
+    result = report.data
+    result.planned_ops.append(TupleDelete("offview", {1}))
+    findings = auditor.audit(result, report.resolved)
+    scope = [f for f in findings if f.check == CHECK_RELATION_SCOPE]
+    assert len(scope) == 1
+    assert scope[0].relation == "offview"
+    assert scope[0].severity == SEVERITY_ERROR
+
+
+# ---------------------------------------------------------------------------
+# vocabulary plumbing
+# ---------------------------------------------------------------------------
+
+def test_raise_on_error_raises_qaerror_with_findings():
+    finding = QAFinding(CHECK_INSERT_ORDER, SEVERITY_ERROR, "out of order")
+    with pytest.raises(QAError) as excinfo:
+        raise_on_error([finding])
+    assert excinfo.value.findings == [finding]
+    assert "insert-order" in str(excinfo.value)
+
+
+def test_raise_on_error_ignores_warnings():
+    raise_on_error([QAFinding(CHECK_EMPTY_ROWIDS, SEVERITY_WARNING, "no-op")])
+
+
+def test_qa_errors_filters_by_severity():
+    findings = [
+        QAFinding(CHECK_EMPTY_ROWIDS, SEVERITY_WARNING, "w"),
+        QAFinding(CHECK_INSERT_ORDER, SEVERITY_ERROR, "e"),
+    ]
+    assert qa_errors(findings) == [findings[1]]
+
+
+def test_finding_to_dict_roundtrips_fields():
+    finding = QAFinding(CHECK_STALE_ROWID, SEVERITY_WARNING, "gone", "child", 2)
+    assert finding.to_dict() == {
+        "check": CHECK_STALE_ROWID,
+        "severity": SEVERITY_WARNING,
+        "detail": "gone",
+        "relation": "child",
+        "op_index": 2,
+    }
+
+
+# ---------------------------------------------------------------------------
+# integration: qa=True through the pipeline
+# ---------------------------------------------------------------------------
+
+def test_books_corpus_is_qa_clean(book_db, book_view):
+    """Every books update, every strategy: no ERROR-severity findings."""
+    from repro.workloads import books
+
+    ufilter = UFilter(book_db, book_view)
+    for name in books.UPDATE_TEXTS:
+        for strategy in ("internal", "hybrid", "outside"):
+            report = ufilter.check(
+                books.UPDATE_TEXTS[name], strategy=strategy, qa=True
+            )
+            if report.data is not None:
+                assert qa_errors(report.data.qa_findings) == [], (name, strategy)
+
+
+def test_u12_hybrid_flags_empty_rowid_warning(book_db, book_view):
+    """u12 deletes reviews of a review-less book: hybrid still plans the
+    DELETE and the QA pass flags the zero-rowid statement."""
+    from repro.workloads import books
+
+    ufilter = UFilter(book_db, book_view)
+    report = ufilter.check(books.UPDATE_TEXTS["u12"], strategy="hybrid", qa=True)
+    findings = report.data.qa_findings
+    assert checks(findings) == [CHECK_EMPTY_ROWIDS]
+    assert findings[0].severity == SEVERITY_WARNING
+
+
+def test_preapply_qa_error_demotes_to_conflict(chain_ufilter, monkeypatch):
+    """An ERROR audit on an execute=False check turns the result into a
+    data conflict before anything reaches the apply phase."""
+    translator = chain_ufilter.checker.translator
+    original = translator.build_inserts
+
+    def scrambled(op, context_row):
+        return list(reversed(original(op, context_row)))
+
+    monkeypatch.setattr(translator, "build_inserts", scrambled)
+    update = """
+FOR $p IN document("GenView.xml")/parent
+WHERE $p/pid/text() = "P1"
+UPDATE $p {
+INSERT
+    <child>
+        <cid>C9</cid>
+        <cname>x</cname>
+        <cnum>2</cnum>
+        <grand>
+            <gid>G9</gid>
+            <gname>y</gname>
+        </grand>
+    </child>}
+"""
+    report = chain_ufilter.check(update, execute=False, qa=True)
+    assert not report.outcome.accepted
+    assert report.reason.startswith("QA: ")
+    assert CHECK_INSERT_ORDER in report.reason
+
+
+def test_session_qa_counters(chain_db):
+    session = UpdateSession(chain_db, CHAIN_VIEW, qa=True)
+    session.add(
+        """
+FOR $p IN document("GenView.xml")/parent,
+    $c IN $p/child
+WHERE $c/cid/text() = "C1"
+UPDATE $p {
+    DELETE $c }
+"""
+    )
+    result = session.execute()
+    assert result.committed
+    assert result.qa_errors == 0
+    assert result.qa_retries_used == 0
+
+
+def test_session_qa_defaults_off(chain_db):
+    session = UpdateSession(chain_db, CHAIN_VIEW)
+    assert session.qa is False
+
+
+# ---------------------------------------------------------------------------
+# generator-surfaced regressions
+# ---------------------------------------------------------------------------
+
+def test_internal_strategy_rejects_driving_key_duplicate(chain_db):
+    """Scenario seed 307: inserting a <child> whose tuple exactly equals
+    an existing child.  The flat mapping view used to skip the child as
+    a consistent duplicate and insert only the grand — a partial effect
+    hybrid/outside correctly reject as a driving-key conflict."""
+    update = """
+FOR $p IN document("GenView.xml")/parent
+WHERE $p/pid/text() = "P1"
+UPDATE $p {
+INSERT
+    <child>
+        <cid>C1</cid>
+        <cname>c</cname>
+        <cnum>1</cnum>
+        <grand>
+            <gid>G42</gid>
+            <gname>beta</gname>
+        </grand>
+    </child>}
+"""
+    outcomes = {}
+    for strategy in ("internal", "hybrid", "outside"):
+        working = chain_db.clone()
+        report = UFilter(working, CHAIN_VIEW).check(
+            update, strategy=strategy, execute=True
+        )
+        outcomes[strategy] = report.outcome.accepted
+        # no partial effect: the grand tuple must not have appeared
+        assert working.find_rowids("grand", {"gid": "G42"}) == set(), strategy
+    assert outcomes == {"internal": False, "hybrid": False, "outside": False}
+
+
+def test_three_level_chain_inserts_parent_first(chain_db):
+    """3-level FK chain: the planned ops must insert child before grand,
+    and the QA ordering audit agrees."""
+    update = """
+FOR $p IN document("GenView.xml")/parent
+WHERE $p/pid/text() = "P1"
+UPDATE $p {
+INSERT
+    <child>
+        <cid>C9</cid>
+        <cname>new</cname>
+        <cnum>3</cnum>
+        <grand>
+            <gid>G9</gid>
+            <gname>deep</gname>
+        </grand>
+    </child>}
+"""
+    report = UFilter(chain_db, CHAIN_VIEW).check(
+        update, strategy="outside", execute=True, qa=True
+    )
+    assert report.outcome.accepted
+    inserted = [
+        op.relation
+        for op in report.data.planned_ops
+        if isinstance(op, TupleInsert)
+    ]
+    assert inserted == ["child", "grand"]
+    assert qa_errors(report.data.qa_findings) == []

@@ -172,3 +172,47 @@ def test_executed_insert_respects_parent_first_order(book_db, book_view):
     assert report.outcome is Outcome.TRANSLATED, report.reason
     assert book_db.count("publisher") == 4
     assert book_db.count("book") == 4
+
+
+# ---------------------------------------------------------------------------
+# empty rowid sets: valid SQL, executor no-op, QA warning
+# ---------------------------------------------------------------------------
+
+
+def test_empty_delete_renders_valid_noop_sql():
+    """An empty rowid set used to render ``WHERE ROWID IN ()`` — not
+    valid SQL.  It now renders the no-op the executor performs."""
+    from repro.core.translation import TupleDelete, TupleUpdate
+
+    assert TupleDelete("review", set()).sql() == (
+        "DELETE FROM review WHERE 1 = 0"
+    )
+    assert TupleUpdate("book", set(), {"price": 10.0}).sql() == (
+        "UPDATE book SET price = 10.0 WHERE 1 = 0"
+    )
+
+
+def test_empty_delete_sql_parses_and_affects_nothing(book_db):
+    """The rendered no-op must be accepted by the engine verbatim."""
+    from repro.core.translation import TupleDelete
+    from repro.rdb import SQLEngine
+
+    before = book_db.count("review")
+    affected = SQLEngine(book_db).execute(TupleDelete("review", set()).sql())
+    assert affected == 0
+    assert book_db.count("review") == before
+
+
+def test_u12_zero_rowid_delete_executes_as_noop(book_db, book_view):
+    """u12's book has no reviews: hybrid plans a DELETE over zero rowids;
+    executing it touches nothing and the QA audit flags the no-op."""
+    checker = UFilter(book_db, book_view)
+    report = checker.check(
+        books.update("u12"), strategy="hybrid", execute=True, qa=True
+    )
+    assert report.outcome is Outcome.TRANSLATED
+    assert report.data.zero_effect
+    assert report.data.rows_affected == 0
+    assert book_db.count("review") == 2
+    assert [f.check for f in report.data.qa_findings] == ["empty-rowid-set"]
+    assert report.data.qa_findings[0].severity == "WARNING"

@@ -15,7 +15,11 @@ Subcommands:
 * ``qa`` — round-trip seeded random scenarios through every strategy
   and the interpreted oracles, cross-checking outcomes, final states,
   the rectangle rule and the post-translation QA audit
-  (:mod:`repro.core.scenario_gen`).
+  (:mod:`repro.core.scenario_gen`);
+* ``faults`` — crash-at-every-site fault sweep: re-run seeded
+  scenarios with a simulated crash or transient fault injected at each
+  recorded site, recover, and assert atomicity + storage integrity
+  (:mod:`repro.core.faultsweep`).
 
 Schemas/data are supplied as SQL scripts (CREATE TABLE + INSERT
 statements in the dialect of :mod:`repro.rdb.sql`), views and updates
@@ -167,6 +171,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the summary and any divergences as JSON",
     )
 
+    faults = sub.add_parser(
+        "faults",
+        help="crash-at-every-site fault sweep over generated scenarios",
+    )
+    faults.add_argument(
+        "--scenarios",
+        type=int,
+        default=50,
+        help="number of seeded scenarios to sweep (default 50)",
+    )
+    faults.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="first scenario seed; scenarios use seed, seed+1, ...",
+    )
+    faults.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the exhaustive crash enumeration per scenario "
+        "(evenly sampled past N; default: every recorded site)",
+    )
+    faults.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the summary and any findings as JSON",
+    )
+
     return parser
 
 
@@ -297,6 +331,36 @@ def _cmd_qa(args: argparse.Namespace) -> int:
     return 0 if summary.ok else 1
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.faultsweep import sweep_many
+
+    summary = sweep_many(
+        args.scenarios, seed=args.seed, max_points=args.max_points
+    )
+    print(summary.describe())
+    if args.json:
+        payload = {
+            "scenarios": summary.scenarios,
+            "sites": summary.sites,
+            "crash_points": summary.crash_points,
+            "redo_points": summary.redo_points,
+            "transient_points": summary.transient_points,
+            "retries_used": summary.retries_used,
+            "recoveries": summary.recoveries,
+            "findings": [f.to_dict() for f in summary.findings],
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if not summary.ok:
+        print(
+            "replay one finding with: repro faults --scenarios 1 --seed <seed>",
+            file=sys.stderr,
+        )
+    return 0 if summary.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "demo":
@@ -313,6 +377,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_wellnested(args)
     if args.command == "qa":
         return _cmd_qa(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -24,6 +24,7 @@ from .closure import (
     view_closure,
 )
 from .datacheck import STRATEGIES, DataChecker, DataCheckResult
+from .faultsweep import FaultFinding, SweepSummary, sweep_many, sweep_scenario
 from .qa import QAAuditor, QAFinding, qa_errors, raise_on_error
 from .satisfiability import constraints_overlap, is_satisfiable, value_satisfies
 from .star import (
@@ -34,7 +35,14 @@ from .star import (
     mark_view_asg,
     star_check,
 )
-from .session import SessionEntry, SessionResult, UpdateSession, run_per_update
+from .session import (
+    FAILURE_POLICIES,
+    SessionEntry,
+    SessionResult,
+    UpdateSession,
+    run_per_update,
+    serialize_ops,
+)
 from .translation import (
     ProbeCache,
     ProbeResult,
@@ -76,6 +84,8 @@ __all__ = [
     "DataChecker",
     "DataCheckResult",
     "dump_view_asg",
+    "FAILURE_POLICIES",
+    "FaultFinding",
     "Group",
     "load_view_asg",
     "is_satisfiable",
@@ -97,12 +107,16 @@ __all__ = [
     "resolve_update",
     "ResolvedUpdate",
     "run_per_update",
+    "serialize_ops",
     "SessionEntry",
     "SessionResult",
     "shared_store",
     "star_check",
     "StarVerdict",
     "STRATEGIES",
+    "sweep_many",
+    "sweep_scenario",
+    "SweepSummary",
     "Translator",
     "UpdateSession",
     "TupleDelete",

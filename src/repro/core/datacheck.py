@@ -241,6 +241,7 @@ class DataChecker:
             result.statements.append(delete.sql())
             result.planned_ops.append(delete)
             if execute and delete.rowids:
+                self.db.faults.hit("datacheck.delete", delete.relation)
                 result.rows_affected += self.db.delete(
                     delete.relation, delete.rowids
                 )
@@ -251,6 +252,7 @@ class DataChecker:
         result.statements.append(insert.sql())
         result.planned_ops.append(insert)
         if execute:
+            self.db.faults.hit("datacheck.insert", insert.relation)
             self.db.insert(insert.relation, insert.values)
             result.rows_affected += 1
 
@@ -279,6 +281,7 @@ class DataChecker:
             return
         if execute:
             try:
+                self.db.faults.hit("datacheck.replace", update.relation)
                 for rowid in sorted(update.rowids):
                     self.db.update(update.relation, rowid, update.changes)
                     result.rows_affected += 1
@@ -417,6 +420,7 @@ class DataChecker:
                 if rowid in delete.rowids:
                     matched.append(rowid)
             if matched:
+                self.db.faults.hit("datacheck.delete", delete.relation)
                 result.rows_affected += self.db.delete(delete.relation, matched)
 
     def _existing_row(self, insert: TupleInsert) -> Optional[Row]:

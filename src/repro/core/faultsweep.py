@@ -1,0 +1,475 @@
+"""Crash-at-every-site sweep: exhaustive fault-tolerance QA.
+
+The crash-consistency story of :mod:`repro.rdb.wal` is a *universally
+quantified* claim — whatever instant the process dies, recovery lands
+on a consistent state.  Seeded scenarios (:mod:`repro.core.
+scenario_gen`) plus deterministic fault injection (:mod:`repro.rdb.
+faults`) make the claim mechanically checkable:
+
+1. **Record** — run the scenario's update batch through an
+   :class:`~repro.core.session.UpdateSession` over a journaled clone
+   with the injector recording; the trace enumerates every injection
+   site the batch passes through, and the run doubles as the
+   fault-free baseline state.
+2. **Crash everywhere** — for each point *k* in the trace, re-run the
+   batch on a fresh clone with a ``crash`` plan armed at *k*, catch the
+   :class:`~repro.rdb.faults.SimulatedCrash`, drive
+   :meth:`~repro.rdb.database.Database.recover`, and assert
+
+   * **atomicity** — the batch runs as one transaction whose commit
+     point is the journal's commit marker, so the post-recovery state
+     must equal the *pre-batch* state (the marker is the last site; no
+     crash point can land after it).  Anything else is a
+     ``partial-state`` finding;
+   * **integrity** — :meth:`~repro.rdb.database.Database.
+     verify_integrity` reports nothing;
+   * **idempotence** — recovering a second time finds nothing to do.
+
+3. **Redo sample** (staged mode) — at sampled crash points, recover
+   with ``redo=True`` instead: the journaled per-update intents replay,
+   and the state must land on a *prefix* of the baseline's applied
+   updates (never between two updates).
+4. **Transient sample** — at sampled points, inject a retryable
+   ``error`` / ``conflict`` instead of a crash and run the session with
+   a retry budget: the batch must converge to the fault-free baseline
+   state.
+
+Every violated assertion becomes a :class:`FaultFinding` carrying the
+scenario seed, site name and trigger point; ``repro faults --seed N
+--scenarios 1`` replays it deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..errors import ReproError, TransientError
+from ..rdb import Database, FaultPlan, SimulatedCrash
+from .asg_cache import ASGStore
+from .scenario_gen import Scenario, _build_db, generate_scenario
+from .session import UpdateSession
+
+__all__ = [
+    "FaultFinding",
+    "SweepSummary",
+    "sweep_scenario",
+    "sweep_many",
+    "replay",
+]
+
+#: transient-fault actions alternate through this cycle
+_TRANSIENT_ACTIONS = ("error", "conflict")
+
+
+@dataclass(frozen=True)
+class FaultFinding:
+    """One violated fault-tolerance assertion, reproducible from the
+    scenario seed."""
+
+    kind: str                      # partial-state | integrity |
+    #                                double-recover | no-crash |
+    #                                transient-escaped |
+    #                                transient-divergence | exception
+    seed: int
+    mode: str                      # session mode the batch ran under
+    action: str                    # crash | error | conflict | (none)
+    at: int                        # trigger point in the site trace (0 = n/a)
+    site: str                      # site name at the trigger point
+    detail: str
+
+    def describe(self) -> str:
+        where = f" at #{self.at} {self.site}" if self.at else ""
+        return (
+            f"[seed {self.seed}] {self.mode}/{self.action}{where}: "
+            f"{self.kind} — {self.detail}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "mode": self.mode,
+            "action": self.action,
+            "at": self.at,
+            "site": self.site,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class SweepSummary:
+    scenarios: int = 0
+    sites: int = 0                 # recorded injection-site passes
+    crash_points: int = 0          # crash-and-recover runs executed
+    redo_points: int = 0           # crash-and-redo runs executed
+    transient_points: int = 0      # injected-transient runs executed
+    retries_used: int = 0          # retries the sessions reported
+    recoveries: int = 0            # recover() calls that found work
+    findings: list[FaultFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.scenarios} scenario(s), {self.sites} site pass(es): "
+            f"{self.crash_points} crash point(s) "
+            f"(+{self.redo_points} redone), "
+            f"{self.transient_points} transient fault(s) "
+            f"({self.retries_used} retr"
+            f"{'y' if self.retries_used == 1 else 'ies'} used), "
+            f"{self.recoveries} recover(y/ies), "
+            f"{len(self.findings)} finding(s)",
+        ]
+        lines.extend(f"  {f.describe()}" for f in self.findings[:20])
+        extra = len(self.findings) - 20
+        if extra > 0:
+            lines.append(f"  (+{extra} more)")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# plumbing
+# ---------------------------------------------------------------------------
+
+def _base_fingerprint(
+    db: Database, relations: tuple[str, ...]
+) -> dict[str, list[tuple]]:
+    """Content image of the scenario's base relations (temp tables
+    excluded — probe scratch space is not part of the durability
+    contract, and checking can leave it behind on a crash)."""
+    return {
+        name: sorted(
+            tuple(sorted(row.items())) for _, row in db.table(name).scan()
+        )
+        for name in relations
+    }
+
+
+def _journaled_clone(base: Database) -> Database:
+    db = base.clone()
+    db.attach_wal()
+    return db
+
+
+def _run_session(
+    db: Database,
+    scenario: Scenario,
+    mode: str,
+    store: ASGStore,
+    retries: int = 0,
+    updates: Optional[list[tuple[str, str]]] = None,
+):
+    session = UpdateSession(
+        db,
+        scenario.view_text,
+        strategy="outside",
+        asg_store=store,
+        qa=False,
+        retries=retries,
+        sleep=lambda _seconds: None,
+    )
+    for name, text in scenario.updates if updates is None else updates:
+        session.add(text, name=name)
+    return session.execute(mode=mode, atomic=False)
+
+
+def _spread(total: int, count: int) -> list[int]:
+    """Up to *count* trigger points spread evenly over ``1..total``."""
+    if total <= 0 or count <= 0:
+        return []
+    if count >= total:
+        return list(range(1, total + 1))
+    step = total / count
+    points = {int(step * (i + 1)) for i in range(count)}
+    return sorted(max(1, min(total, p)) for p in points)
+
+
+# ---------------------------------------------------------------------------
+# the sweep
+# ---------------------------------------------------------------------------
+
+def sweep_scenario(
+    scenario: Scenario,
+    store: Optional[ASGStore] = None,
+    summary: Optional[SweepSummary] = None,
+    *,
+    max_points: Optional[int] = None,
+    redo_points: int = 3,
+    transient_points: int = 4,
+) -> list[FaultFinding]:
+    """Crash-at-every-site one scenario; returns the findings.
+
+    ``max_points`` bounds the exhaustive crash enumeration (evenly
+    sampled when the trace is longer); ``redo_points`` /
+    ``transient_points`` size the two sampled passes.
+    """
+    store = ASGStore() if store is None else store
+    summary = SweepSummary() if summary is None else summary
+    findings: list[FaultFinding] = []
+    mode = "staged" if scenario.seed % 2 == 0 else "interleaved"
+
+    def bad(kind: str, action: str, at: int, detail: str) -> None:
+        site = trace[at - 1] if 0 < at <= len(trace) else ""
+        findings.append(
+            FaultFinding(
+                kind=kind, seed=scenario.seed, mode=mode, action=action,
+                at=at, site=site, detail=detail,
+            )
+        )
+
+    base = _build_db(scenario)
+    relations = tuple(base.tables)
+    initial = _base_fingerprint(base, relations)
+
+    # 1 — record the site trace; the same run is the fault-free baseline
+    baseline_db = _journaled_clone(base)
+    baseline_db.faults.start_recording()
+    try:
+        _run_session(baseline_db, scenario, mode, store)
+    finally:
+        trace = baseline_db.faults.stop_recording()
+    final = _base_fingerprint(baseline_db, relations)
+    for violation in baseline_db.verify_integrity():
+        bad("integrity", "(none)", 0, f"fault-free baseline: {violation}")
+    summary.sites += len(trace)
+
+    # 2 — crash at every point (evenly sampled past max_points)
+    points = list(range(1, len(trace) + 1))
+    if max_points is not None and len(points) > max_points:
+        points = _spread(len(trace), max_points)
+    for at in points:
+        summary.crash_points += 1
+        _crash_once(
+            base, scenario, mode, store, relations, trace, at, initial,
+            final, summary, bad,
+        )
+
+    # 3 — redo sample: journaled intents replay the interrupted batch
+    # (staged mode only; interleaved fuses check+apply and logs none)
+    if mode == "staged" and trace:
+        prefixes = _prefix_states(
+            base, scenario, mode, store, relations, initial
+        )
+        for at in _spread(len(trace), redo_points):
+            summary.redo_points += 1
+            _redo_once(
+                base, scenario, mode, store, relations, trace, at,
+                prefixes, summary, bad,
+            )
+
+    # 4 — transient sample: the retry budget must absorb the fault
+    for index, at in enumerate(_spread(len(trace), transient_points)):
+        summary.transient_points += 1
+        action = _TRANSIENT_ACTIONS[index % len(_TRANSIENT_ACTIONS)]
+        _transient_once(
+            base, scenario, mode, store, relations, at, action, final,
+            summary, bad,
+        )
+
+    summary.scenarios += 1
+    summary.findings.extend(findings)
+    return findings
+
+
+def _crash_once(
+    base: Database,
+    scenario: Scenario,
+    mode: str,
+    store: ASGStore,
+    relations: tuple[str, ...],
+    trace: list[str],
+    at: int,
+    initial: dict,
+    final: dict,
+    summary: SweepSummary,
+    bad: Callable[[str, str, int, str], None],
+) -> None:
+    db = _journaled_clone(base)
+    db.faults.arm(FaultPlan(at=at, action="crash"))
+    crashed = False
+    try:
+        _run_session(db, scenario, mode, store)
+    except SimulatedCrash:
+        crashed = True
+    except Exception as exc:  # noqa: BLE001 — every escape is a finding
+        bad("exception", "crash", at, f"{type(exc).__name__}: {exc}")
+        return
+    finally:
+        db.faults.disarm()
+    if not crashed:
+        bad(
+            "no-crash", "crash", at,
+            "armed crash point never fired (site enumeration drifted)",
+        )
+        return
+    report = db.recover()
+    if report.recovered:
+        summary.recoveries += 1
+    state = _base_fingerprint(db, relations)
+    if state != initial:
+        # the journal's commit marker is the commit point and the last
+        # site in the trace, so every crash must recover to the
+        # pre-batch state; matching the committed baseline would mean
+        # recovery rolled *forward* without being asked to
+        suffix = " (== committed baseline)" if state == final else ""
+        bad(
+            "partial-state", "crash", at,
+            f"post-recovery state is not the pre-batch state{suffix}",
+        )
+    for violation in db.verify_integrity():
+        bad("integrity", "crash", at, violation)
+    again = db.recover()
+    if again.recovered:
+        bad(
+            "double-recover", "crash", at,
+            f"second recover() replayed {again.undo_applied} undo "
+            f"record(s) over a checkpointed journal",
+        )
+
+
+def _prefix_states(
+    base: Database,
+    scenario: Scenario,
+    mode: str,
+    store: ASGStore,
+    relations: tuple[str, ...],
+    initial: dict,
+) -> list[dict]:
+    """Baseline states after each update prefix — the only states an
+    intent-redo recovery may land on."""
+    prefixes = [initial]
+    for end in range(1, len(scenario.updates) + 1):
+        db = _journaled_clone(base)
+        _run_session(db, scenario, mode, store,
+                     updates=scenario.updates[:end])
+        prefixes.append(_base_fingerprint(db, relations))
+    return prefixes
+
+
+def _redo_once(
+    base: Database,
+    scenario: Scenario,
+    mode: str,
+    store: ASGStore,
+    relations: tuple[str, ...],
+    trace: list[str],
+    at: int,
+    prefixes: list[dict],
+    summary: SweepSummary,
+    bad: Callable[[str, str, int, str], None],
+) -> None:
+    db = _journaled_clone(base)
+    db.faults.arm(FaultPlan(at=at, action="crash"))
+    try:
+        _run_session(db, scenario, mode, store)
+    except SimulatedCrash:
+        pass
+    except Exception as exc:  # noqa: BLE001
+        bad("exception", "crash", at, f"redo run: {type(exc).__name__}: {exc}")
+        return
+    else:
+        return  # no-crash already reported by the exhaustive pass
+    finally:
+        db.faults.disarm()
+    report = db.recover(redo=True)
+    if report.recovered:
+        summary.recoveries += 1
+    for violation in db.verify_integrity():
+        bad("integrity", "crash", at, f"after intent redo: {violation}")
+    if report.redo_failed:
+        # a replayed intent can legitimately fail (e.g. a supporting
+        # insert whose duplicate tolerance lived in the session); the
+        # failed intent rolled back, so only integrity is asserted
+        return
+    if _base_fingerprint(db, relations) not in prefixes:
+        bad(
+            "partial-state", "crash", at,
+            f"state after redoing {len(report.redone)} intent(s) matches "
+            f"no update-prefix of the baseline",
+        )
+
+
+def _transient_once(
+    base: Database,
+    scenario: Scenario,
+    mode: str,
+    store: ASGStore,
+    relations: tuple[str, ...],
+    at: int,
+    action: str,
+    final: dict,
+    summary: SweepSummary,
+    bad: Callable[[str, str, int, str], None],
+) -> None:
+    db = _journaled_clone(base)
+    db.faults.arm(FaultPlan(at=at, action=action))
+    try:
+        result = _run_session(db, scenario, mode, store, retries=2)
+    except TransientError as exc:
+        bad(
+            "transient-escaped", action, at,
+            f"{type(exc).__name__} escaped a session with retries=2: {exc}",
+        )
+        return
+    except Exception as exc:  # noqa: BLE001
+        bad("exception", action, at, f"{type(exc).__name__}: {exc}")
+        return
+    finally:
+        db.faults.disarm()
+    summary.retries_used += result.retries_used
+    if _base_fingerprint(db, relations) != final:
+        bad(
+            "transient-divergence", action, at,
+            "final state differs from the fault-free baseline",
+        )
+    for violation in db.verify_integrity():
+        bad("integrity", action, at, violation)
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+def sweep_many(
+    count: int,
+    seed: int = 0,
+    on_progress: Optional[Callable[[int, SweepSummary], None]] = None,
+    *,
+    max_points: Optional[int] = None,
+    redo_points: int = 3,
+    transient_points: int = 4,
+) -> SweepSummary:
+    """Sweep *count* scenarios drawn from ``seed, seed+1, ...``."""
+    summary = SweepSummary()
+    store = ASGStore()
+    for offset in range(count):
+        scenario = generate_scenario(seed + offset)
+        try:
+            sweep_scenario(
+                scenario, store, summary,
+                max_points=max_points,
+                redo_points=redo_points,
+                transient_points=transient_points,
+            )
+        except ReproError as exc:
+            summary.scenarios += 1
+            summary.findings.append(
+                FaultFinding(
+                    kind="exception", seed=scenario.seed, mode="(setup)",
+                    action="(none)", at=0, site="",
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+            )
+        if on_progress is not None:
+            on_progress(offset + 1, summary)
+    return summary
+
+
+def replay(seed: int, **kwargs: Any) -> SweepSummary:
+    """Re-sweep exactly one scenario (for reproducing a finding)."""
+    summary = SweepSummary()
+    sweep_scenario(generate_scenario(seed), ASGStore(), summary, **kwargs)
+    return summary

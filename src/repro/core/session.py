@@ -33,14 +33,34 @@ Two execution modes:
   is invalidated per mutated relation.  A savepoint per update lets
   non-atomic sessions undo just a failing update and continue; atomic
   sessions roll the entire batch back.
+
+Sessions are also the *retry boundary* of the fault-tolerance layer:
+transient failures (:class:`repro.errors.TransientError` — another
+committer's :class:`~repro.errors.ConflictError`, an injected engine
+fault) are absorbed by bounded retry with exponential backoff, each
+update gets an optional wall-clock budget (blown budgets roll the
+update back via its savepoint), and a *graceful-degradation policy*
+decides what a stuck failure costs: ``abort-batch`` (all-or-nothing),
+``skip-update`` (lose just the failing update) or ``commit-prefix``
+(keep everything applied before the failure, skip the rest).  When the
+database carries a write-ahead journal, each staged update's planned
+operations are journaled as a durable intent before the first statement
+runs, and a bumped ``recovery_epoch`` (crash repair happened) drops the
+probe cache before the next batch trusts it.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence, Union
+from typing import Any, Callable, Optional, Sequence, Union
 
-from ..errors import ConstraintViolation, UFilterError
+from ..errors import (
+    ConstraintViolation,
+    TransientError,
+    UFilterError,
+    UpdateTimeoutError,
+)
 from ..rdb.database import Database
 from ..xquery.ast import ViewQuery
 from ..xquery.parser import parse_view_query
@@ -50,12 +70,52 @@ from .datacheck import DataCheckResult
 from .translation import ProbeCache, TupleDelete, TupleInsert, TupleUpdate
 from .ufilter import CheckReport, Outcome, UFilter
 
-__all__ = ["SessionEntry", "SessionResult", "UpdateSession", "run_per_update"]
+__all__ = [
+    "FAILURE_POLICIES",
+    "SessionEntry",
+    "SessionResult",
+    "UpdateSession",
+    "run_per_update",
+    "serialize_ops",
+]
+
+
+def serialize_ops(ops: Sequence[Any]) -> list[dict[str, Any]]:
+    """Planned tuple operations as JSON-able intent payloads.
+
+    The inverse lives in :meth:`repro.rdb.database.Database._redo_op`:
+    a recovered intent re-executes through ordinary DML.
+    """
+    from ..rdb.wal import encode_row
+
+    serialized: list[dict[str, Any]] = []
+    for op in ops:
+        if isinstance(op, TupleDelete):
+            serialized.append({
+                "op": "delete", "rel": op.relation,
+                "rowids": sorted(op.rowids),
+            })
+        elif isinstance(op, TupleUpdate):
+            serialized.append({
+                "op": "update", "rel": op.relation,
+                "rowids": sorted(op.rowids),
+                "changes": encode_row(op.changes),
+            })
+        elif isinstance(op, TupleInsert) and op.role != "skip":
+            serialized.append({
+                "op": "insert", "rel": op.relation,
+                "values": encode_row(op.values),
+            })
+    return serialized
 
 MODES = ("staged", "interleaved")
 
 #: strategies whose structured plans a staged session can defer-apply
 STAGEABLE_STRATEGIES = ("outside", "hybrid")
+
+#: graceful-degradation policies for updates that stay failed after the
+#: retry budget (default: derived from the ``atomic`` flag)
+FAILURE_POLICIES = ("abort-batch", "skip-update", "commit-prefix")
 
 
 @dataclass
@@ -120,6 +180,13 @@ class SessionResult:
     qa_errors: int = 0
     #: re-checks triggered by QA (cache cleared + update re-checked)
     qa_retries_used: int = 0
+    #: transient-failure retries consumed across the batch (apply
+    #: re-attempts after ConflictError / injected faults)
+    retries_used: int = 0
+    #: updates rolled back for blowing their per-update time budget
+    timeouts: int = 0
+    #: the graceful-degradation policy this batch ran under
+    policy: str = ""
 
     @property
     def applied(self) -> list[SessionEntry]:
@@ -149,6 +216,13 @@ class SessionResult:
             f"{self.replans_avoided} replan(s) avoided, "
             f"{self.bushy_plans} bushy plan(s)",
         ]
+        if self.retries_used or self.timeouts:
+            lines.append(
+                f"  fault handling ({self.policy}): "
+                f"{self.retries_used} retr"
+                f"{'y' if self.retries_used == 1 else 'ies'} used, "
+                f"{self.timeouts} timeout(s)"
+            )
         lines.extend(f"  {entry.describe()}" for entry in self.entries)
         return "\n".join(lines)
 
@@ -183,6 +257,29 @@ class UpdateSession:
         reported stale probe rowids) is re-checked after clearing the
         probe cache before the failure sticks.  Bounded, like any
         auto-retry on a QA gate.
+    retries:
+        Per-update budget of re-attempts after a *transient* failure
+        (:class:`~repro.errors.TransientError`: conflicts, injected
+        faults).  Each re-attempt first rolls the update back to its
+        savepoint.  Default 0: transient failures stick immediately.
+    backoff:
+        Base delay (seconds) before retry *n*, growing exponentially
+        (``backoff * 2**(n-1)``).  Default 0: retry immediately.
+    update_timeout:
+        Wall-clock budget (seconds) per update.  A blown budget rolls
+        the update back via its savepoint and counts as a *fatal*
+        failure (:class:`~repro.errors.UpdateTimeoutError` — retrying
+        work that blew its budget would blow it again).
+    on_failure:
+        Graceful-degradation policy for updates still failed after the
+        retry budget: ``abort-batch`` / ``skip-update`` /
+        ``commit-prefix``.  Default ``None`` derives it from each
+        execute's ``atomic`` flag (True → abort-batch, False →
+        skip-update), preserving the pre-policy behaviour.
+    sleep / clock:
+        Injectable timing functions (``time.sleep`` /
+        ``time.monotonic``), so retry/timeout tests run deterministic
+        and instant.
     """
 
     def __init__(
@@ -195,12 +292,30 @@ class UpdateSession:
         cache: Optional[ProbeCache] = None,
         qa: bool = False,
         qa_retries: int = 1,
+        retries: int = 0,
+        backoff: float = 0.0,
+        update_timeout: Optional[float] = None,
+        on_failure: Optional[str] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.db = db
         self.strategy = strategy
         self.index_temp_tables = index_temp_tables
         self.qa = qa
         self.qa_retries = max(0, qa_retries)
+        self.retries = max(0, retries)
+        self.backoff = max(0.0, backoff)
+        self.update_timeout = update_timeout
+        if on_failure is not None and on_failure not in FAILURE_POLICIES:
+            raise UFilterError(
+                f"unknown failure policy {on_failure!r}; "
+                f"pick one of {FAILURE_POLICIES}"
+            )
+        self.on_failure = on_failure
+        self._sleep = sleep if sleep is not None else time.sleep
+        self._clock = clock if clock is not None else time.monotonic
+        self._recovery_epoch = db.recovery_epoch
         store = shared_store if asg_store is None else asg_store
         parsed_view = parse_view_query(view) if isinstance(view, str) else view
         self.ufilter = UFilter(
@@ -248,7 +363,15 @@ class UpdateSession:
             SessionEntry(index=i, name=update.name or f"#{i + 1}", update=update)
             for i, update in enumerate(batch)
         ]
-        result = SessionResult(mode=mode, atomic=atomic, entries=entries)
+        result = SessionResult(
+            mode=mode, atomic=atomic, entries=entries,
+            policy=self._policy(atomic),
+        )
+        if self.db.recovery_epoch != self._recovery_epoch:
+            # crash recovery repaired state since we last probed it:
+            # every cached probe result is suspect
+            self.cache.clear()
+            self._recovery_epoch = self.db.recovery_epoch
         stats_before = dict(self.db.stats)
         hits_before, misses_before = self.cache.hits, self.cache.misses
         invalidations_before = self.cache.invalidations
@@ -304,14 +427,12 @@ class UpdateSession:
             [entry for entry in entries if entry.status == "planned"]
         )
 
-        # Phase 3 — one transactional apply.
-        if atomic and any(
-            entry.status in ("rejected", "conflict") for entry in entries
-        ):
-            bad = next(
-                entry for entry in entries
-                if entry.status in ("rejected", "conflict")
-            )
+        # Phase 3 — one transactional apply, under the failure policy.
+        policy = result.policy
+        bad = next(
+            (e for e in entries if e.status in ("rejected", "conflict")), None
+        )
+        if bad is not None and policy == "abort-batch":
             for entry in entries:
                 if entry.status == "planned":
                     entry.status = "skipped"
@@ -320,38 +441,95 @@ class UpdateSession:
                     )
             return
         planned = [entry for entry in entries if entry.status == "planned"]
+        if bad is not None and policy == "commit-prefix":
+            # prefix semantics: nothing queued after the first check
+            # failure runs, but everything before it still commits
+            for entry in planned:
+                if entry.index > bad.index:
+                    entry.status = "skipped"
+                    entry.reason = f"commit-prefix: {bad.name} was {bad.status}"
+            planned = [e for e in planned if e.status == "planned"]
         self.db.begin()
-        for entry in planned:
-            assert entry.report is not None and entry.report.data is not None
-            mark = self.db.savepoint()
-            try:
-                result.rows_affected += self._apply_planned(
-                    entry.report.data.planned_ops
-                )
-                entry.status = "applied"
-            except ConstraintViolation as exc:
-                entry.status = "failed"
-                entry.reason = f"engine error at apply time: {exc}"
-                undone = self.db.rollback_to(mark)
-                if atomic:
-                    result.rolled_back = undone + self.db.rollback()
-                    for other in planned:
-                        if other is entry:
-                            continue
-                        if other.status == "applied":
-                            other.status = "rolled-back"
-                        else:
-                            other.status = "skipped"
-                        other.reason = f"batch aborted by {entry.name}"
-                    return
-        self.db.commit()
+        for position, entry in enumerate(planned):
+            verdict, undone = self._apply_with_retry(entry, result)
+            if verdict == "applied":
+                continue
+            if policy == "abort-batch":
+                result.rolled_back = undone + self._rollback_all_with_retry()
+                for other in planned:
+                    if other is entry:
+                        continue
+                    if other.status == "applied":
+                        other.status = "rolled-back"
+                    else:
+                        other.status = "skipped"
+                    other.reason = f"batch aborted by {entry.name}"
+                return
+            if policy == "commit-prefix":
+                for later in planned[position + 1:]:
+                    if later.status == "planned":
+                        later.status = "skipped"
+                        later.reason = f"commit-prefix: stopped at {entry.name}"
+                break
+            # skip-update: the savepoint already undid it; carry on
+        self._commit_with_retry(result)
         result.committed = True
         mutated: set[str] = set()
         for entry in planned:
+            if entry.status != "applied":
+                continue  # failed/skipped effects were rolled back
             assert entry.report is not None and entry.report.data is not None
             mutated |= entry.report.data.mutated_relations()
         if mutated:
             self.cache.invalidate(self._cascade_closure(mutated))
+
+    def _apply_with_retry(
+        self, entry: SessionEntry, result: SessionResult
+    ) -> tuple[str, int]:
+        """Apply one planned entry inside its savepoint, retrying
+        transient failures within the budget.  Returns the verdict
+        (``applied``/``failed``) and the undo records its last rollback
+        replayed."""
+        assert entry.report is not None and entry.report.data is not None
+        ops = entry.report.data.planned_ops
+        started = self._clock()
+        attempt = 0
+        while True:
+            mark = self.db.savepoint()
+            try:
+                self.db.faults.hit("session.apply")
+                if self.db.wal is not None:
+                    # the plan is durable before its first statement runs
+                    self.db.log_intent(entry.name, serialize_ops(ops))
+                affected = self._apply_planned(ops)
+                self._enforce_budget(entry.name, started)
+            except UpdateTimeoutError as exc:
+                undone = self._rollback_to_with_retry(mark)
+                result.timeouts += 1
+                entry.status = "failed"
+                entry.reason = str(exc)
+                return "failed", undone
+            except TransientError as exc:
+                undone = self._rollback_to_with_retry(mark)
+                if attempt >= self.retries or self._budget_blown(started):
+                    entry.status = "failed"
+                    entry.reason = (
+                        f"transient failure stuck after {attempt} "
+                        f"retr{'y' if attempt == 1 else 'ies'}: {exc}"
+                    )
+                    return "failed", undone
+                attempt += 1
+                result.retries_used += 1
+                self._backoff_sleep(attempt)
+            except ConstraintViolation as exc:
+                undone = self._rollback_to_with_retry(mark)
+                entry.status = "failed"
+                entry.reason = f"engine error at apply time: {exc}"
+                return "failed", undone
+            else:
+                result.rows_affected += affected
+                entry.status = "applied"
+                return "applied", 0
 
     def _checked_report(
         self, update: ViewUpdate, result: SessionResult
@@ -361,14 +539,10 @@ class UpdateSession:
         A failed audit is most often a stale probe cache (the
         ``stale-rowid`` signature): the cache is cleared and the update
         re-checked up to ``qa_retries`` times before the failure sticks.
+        Transient faults during the (side-effect-free) check are retried
+        within the session's retry budget.
         """
-        report = self.ufilter.check(
-            update,
-            strategy=self.strategy,
-            execute=False,
-            index_temp_tables=self.index_temp_tables,
-            qa=self.qa,
-        )
+        report = self._check_only(update, result)
         if not self.qa:
             return report
         retries = 0
@@ -376,15 +550,34 @@ class UpdateSession:
             self.cache.clear()
             retries += 1
             result.qa_retries_used += 1
-            report = self.ufilter.check(
-                update,
-                strategy=self.strategy,
-                execute=False,
-                index_temp_tables=self.index_temp_tables,
-                qa=self.qa,
-            )
+            report = self._check_only(update, result)
         self._tally_qa(report, result)
         return report
+
+    def _check_only(
+        self, update: ViewUpdate, result: SessionResult
+    ) -> CheckReport:
+        """One ``execute=False`` check, retrying transient faults.
+
+        Checking never mutates base relations, so a transient failure
+        mid-probe needs no rollback — just another attempt.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self.ufilter.check(
+                    update,
+                    strategy=self.strategy,
+                    execute=False,
+                    index_temp_tables=self.index_temp_tables,
+                    qa=self.qa,
+                )
+            except TransientError:
+                if attempt >= self.retries:
+                    raise
+                attempt += 1
+                result.retries_used += 1
+                self._backoff_sleep(attempt)
 
     @staticmethod
     def _qa_retryable(report: CheckReport) -> bool:
@@ -577,8 +770,41 @@ class UpdateSession:
     def _run_interleaved(
         self, entries: list[SessionEntry], atomic: bool, result: SessionResult
     ) -> None:
+        policy = result.policy
         self.db.begin()
         for position, entry in enumerate(entries):
+            verdict = self._interleaved_one(entry, result)
+            if verdict == "applied":
+                continue
+            if policy == "abort-batch":
+                result.rolled_back = self._rollback_all_with_retry()
+                self.cache.clear()
+                for earlier in entries[:position]:
+                    if earlier.status == "applied":
+                        earlier.status = "rolled-back"
+                        earlier.reason = f"batch aborted by {entry.name}"
+                for later in entries[position + 1:]:
+                    later.status = "skipped"
+                    later.reason = f"atomic batch aborted by {entry.name}"
+                return
+            if policy == "commit-prefix":
+                for later in entries[position + 1:]:
+                    later.status = "skipped"
+                    later.reason = f"commit-prefix: stopped at {entry.name}"
+                break
+            # skip-update: the savepoint already undid it; carry on
+        self._commit_with_retry(result)
+        result.committed = True
+
+    def _interleaved_one(
+        self, entry: SessionEntry, result: SessionResult
+    ) -> str:
+        """Check + apply one update inside its savepoint, retrying
+        transient failures within the budget.  Returns the entry's
+        final status."""
+        started = self._clock()
+        attempt = 0
+        while True:
             mark = self.db.savepoint()
             reason = ""
             engine_error = False
@@ -600,6 +826,30 @@ class UpdateSession:
                 failed = not report.outcome.accepted
                 if failed:
                     reason = report.reason or report.outcome.value
+                else:
+                    self._enforce_budget(entry.name, started)
+            except UpdateTimeoutError as exc:
+                if self._rollback_to_with_retry(mark):
+                    self.cache.clear()
+                result.timeouts += 1
+                entry.status = "failed"
+                entry.reason = str(exc)
+                return "failed"
+            except TransientError as exc:
+                if self._rollback_to_with_retry(mark):
+                    # partial effects existed; anything probed since is suspect
+                    self.cache.clear()
+                if attempt >= self.retries or self._budget_blown(started):
+                    entry.status = "failed"
+                    entry.reason = (
+                        f"transient failure stuck after {attempt} "
+                        f"retr{'y' if attempt == 1 else 'ies'}: {exc}"
+                    )
+                    return "failed"
+                attempt += 1
+                result.retries_used += 1
+                self._backoff_sleep(attempt)
+                continue
             except ConstraintViolation as exc:
                 failed = True
                 engine_error = True
@@ -612,30 +862,90 @@ class UpdateSession:
                     mutated = data.mutated_relations()
                     if mutated:
                         self.cache.invalidate(self._cascade_closure(mutated))
-                continue
+                return "applied"
             entry.status = "failed" if engine_error else "rejected"
             entry.reason = reason
-            undone = self.db.rollback_to(mark)
-            if undone:
+            if self._rollback_to_with_retry(mark):
                 # partial effects existed; anything probed meanwhile is suspect
                 self.cache.clear()
-            if atomic:
-                result.rolled_back = self.db.rollback()
-                self.cache.clear()
-                for earlier in entries[:position]:
-                    if earlier.status == "applied":
-                        earlier.status = "rolled-back"
-                        earlier.reason = f"batch aborted by {entry.name}"
-                for later in entries[position + 1:]:
-                    later.status = "skipped"
-                    later.reason = f"atomic batch aborted by {entry.name}"
-                return
-        self.db.commit()
-        result.committed = True
+            return entry.status
 
     # ------------------------------------------------------------------
     # shared helpers
     # ------------------------------------------------------------------
+
+    def _policy(self, atomic: bool) -> str:
+        """The degradation policy for this execute (explicit, or
+        derived from ``atomic`` for backward compatibility)."""
+        if self.on_failure is not None:
+            return self.on_failure
+        return "abort-batch" if atomic else "skip-update"
+
+    def _backoff_sleep(self, attempt: int) -> None:
+        delay = self.backoff * (2 ** (attempt - 1))
+        if delay > 0:
+            self._sleep(delay)
+
+    def _budget_blown(self, started: float) -> bool:
+        return (
+            self.update_timeout is not None
+            and self._clock() - started > self.update_timeout
+        )
+
+    def _enforce_budget(self, name: str, started: float) -> None:
+        if self._budget_blown(started):
+            raise UpdateTimeoutError(
+                f"update {name} exceeded its {self.update_timeout:g}s budget"
+            )
+
+    def _commit_with_retry(self, result: SessionResult) -> None:
+        """Commit the batch, absorbing transient faults writing the
+        journal's commit marker (the transaction stays open until the
+        marker lands, so another attempt is always safe)."""
+        attempt = 0
+        while True:
+            try:
+                self.db.commit()
+                return
+            except TransientError:
+                if attempt >= self.retries:
+                    raise
+                attempt += 1
+                result.retries_used += 1
+                self._backoff_sleep(attempt)
+
+    def _rollback_to_with_retry(self, mark: int) -> int:
+        """Roll back to a savepoint, absorbing transient faults in the
+        replay itself.
+
+        The undo machinery is resumable (conditional application +
+        staged pending tail), so simply calling ``rollback_to`` again
+        finishes an interrupted replay.  Even zero-retry sessions get
+        one repair attempt: an unfinished rollback would wedge the
+        whole transaction.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self.db.rollback_to(mark)
+            except TransientError:
+                attempt += 1
+                if attempt > max(self.retries, 1):
+                    raise
+                self._backoff_sleep(attempt)
+
+    def _rollback_all_with_retry(self) -> int:
+        """Roll the whole batch back, absorbing transient replay faults
+        (``rollback`` resumes the staged pending tail when re-called)."""
+        attempt = 0
+        while True:
+            try:
+                return self.db.rollback()
+            except TransientError:
+                attempt += 1
+                if attempt > max(self.retries, 1):
+                    raise
+                self._backoff_sleep(attempt)
 
     def _cascade_closure(self, relations: set[str]) -> set[str]:
         """*relations* plus everything reachable through incoming FKs —

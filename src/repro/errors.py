@@ -12,13 +12,69 @@ The hierarchy mirrors the layers of the system:
   language substrates on malformed input.
 * :class:`UFilterError` — raised by the checker itself for internal
   misuse (e.g. checking an update against the wrong view).
+
+Orthogonally to the layer hierarchy, every error is classified as
+*transient* or *fatal* (:attr:`ReproError.transient`): transient errors
+describe conditions a bounded retry can clear (another session's
+conflicting commit, an injected fault, a stale probe cache), fatal
+errors describe conditions a retry would only reproduce (constraint
+violations, malformed input).  The session retry policy of
+:class:`repro.core.session.UpdateSession` dispatches on this flag —
+see :class:`TransientError` / :class:`FatalError`.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this package."""
+    """Base class for all errors raised by this package.
+
+    :attr:`transient` is the retry-policy classification: ``True`` means
+    a bounded retry may succeed (the failure came from interference or
+    injected faults rather than from the data itself).  Errors default
+    to non-transient — retrying a constraint violation or a syntax
+    error only reproduces it.
+    """
+
+    #: retry-policy classification; see :class:`TransientError`
+    transient = False
+
+
+class TransientError(ReproError):
+    """A failure a bounded retry can clear.
+
+    Raised for conditions caused by *interference* rather than by the
+    update itself: another committer won the race
+    (:class:`ConflictError`), a deterministic fault was injected
+    (:class:`repro.rdb.faults.FaultInjectedError`), a cached probe
+    result went stale.  :class:`repro.core.session.UpdateSession`
+    retries these with exponential backoff up to its ``retries``
+    budget before the failure sticks.
+    """
+
+    transient = True
+
+
+class FatalError(ReproError):
+    """A failure retrying cannot clear (explicit non-retryable base).
+
+    The complement of :class:`TransientError` for errors that want to
+    state their classification explicitly rather than inherit the
+    default.
+    """
+
+    transient = False
+
+
+class ConflictError(TransientError):
+    """Another actor's changes conflict with this update.
+
+    The first-committer-wins signal: the tuples this update checked
+    against were mutated (or will be) by a concurrent session between
+    check and apply.  Transient by definition — re-checking against the
+    new state may well succeed, which is exactly what the session retry
+    loop does.
+    """
 
 
 # ---------------------------------------------------------------------------
@@ -120,6 +176,12 @@ class QAError(UFilterError):
     plan fails a semantic audit (duplication consistency, insert
     ordering, minimized-delete safety, relation scope); carries the
     structured findings on :attr:`findings`.
+
+    Transiency is *accurate*, not blanket: the error is transient iff
+    every finding is a ``stale-rowid`` signature — a plan built from a
+    stale probe cache, which clearing the cache and re-checking fixes.
+    Any other ERROR finding describes the plan itself and retrying the
+    same translation would only reproduce it.
     """
 
     def __init__(self, findings) -> None:
@@ -129,3 +191,22 @@ class QAError(UFilterError):
         if extra > 0:
             lines += f" (+{extra} more)"
         super().__init__(f"QA audit failed: {lines}")
+
+    @property
+    def transient(self) -> bool:  # type: ignore[override]
+        # keep the string in sync with repro.core.qa.CHECK_STALE_ROWID
+        # (imported lazily to avoid an errors -> core cycle)
+        return bool(self.findings) and all(
+            getattr(finding, "check", None) == "stale-rowid"
+            for finding in self.findings
+        )
+
+
+class UpdateTimeoutError(FatalError):
+    """A session update exceeded its per-update time budget.
+
+    Fatal, not transient: retrying work that already blew its budget
+    would blow it again.  The session's graceful-degradation policy
+    (abort-batch / skip-update / commit-prefix) decides what happens to
+    the rest of the batch.
+    """

@@ -11,6 +11,9 @@ Public surface:
   and the compiled-predicate executor (:mod:`repro.rdb.compiled`)
 * :class:`SQLEngine` and the parser — textual SQL subset
 * the expression algebra of :mod:`repro.rdb.expr`
+* the fault-tolerance layer — :class:`WriteAheadLog` journaling with
+  :meth:`Database.recover` / :meth:`Database.verify_integrity`, and the
+  deterministic fault injection of :mod:`repro.rdb.faults`
 """
 
 from .constraints import (
@@ -22,7 +25,7 @@ from .constraints import (
     PrimaryKey,
     Unique,
 )
-from .database import Database
+from .database import Database, RecoveryReport
 from .expr import (
     And,
     ColumnRef,
@@ -38,6 +41,7 @@ from .expr import (
     lit,
 )
 from .compiled import CompiledPlan, PlanCache, RowidPlanCache
+from .faults import FaultInjectedError, FaultInjector, FaultPlan, SimulatedCrash
 from .index import HashIndex
 from .optimizer import enumerate_joins, order_from_items
 from .plan import (
@@ -55,6 +59,7 @@ from .sql import SQLEngine, parse_script, parse_statement
 from .sql.parser import parse_expression
 from .table import Table
 from .types import Date, Double, Integer, SQLType, VarChar, sql_literal, type_from_name
+from .wal import WriteAheadLog
 
 __all__ = [
     "Attribute",
@@ -74,6 +79,9 @@ __all__ = [
     "execute_select",
     "explain_select",
     "Expr",
+    "FaultInjectedError",
+    "FaultInjector",
+    "FaultPlan",
     "LogicalPlan",
     "PlanNode",
     "ForeignKey",
@@ -94,9 +102,11 @@ __all__ = [
     "parse_script",
     "parse_statement",
     "PrimaryKey",
+    "RecoveryReport",
     "Relation",
     "RowidPlanCache",
     "Schema",
+    "SimulatedCrash",
     "SelectPlan",
     "SQLEngine",
     "sql_literal",
@@ -107,4 +117,5 @@ __all__ = [
     "type_from_name",
     "Unique",
     "VarChar",
+    "WriteAheadLog",
 ]

@@ -18,6 +18,8 @@ relational engine.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence
 
 from ..errors import (
@@ -26,6 +28,7 @@ from ..errors import (
     ForeignKeyViolation,
     NotNullViolation,
     PrimaryKeyViolation,
+    ReproError,
     SchemaError,
     UniqueViolation,
 )
@@ -38,15 +41,39 @@ from .compiled import (
 )
 from .constraints import DeletePolicy, ForeignKey, PrimaryKey, Unique
 from .expr import ColumnRef, Comparison, Expr, Literal
+from .faults import FaultInjector
 from .index import HashIndex
 from .schema import Attribute, Relation, Schema
 from .statistics import StatisticsManager
 from .table import Table
 from .transactions import TransactionManager, UndoAction, UndoKind
+from .wal import WriteAheadLog, decode_row
 
-__all__ = ["Database"]
+__all__ = ["Database", "RecoveryReport"]
 
 Row = dict[str, Any]
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`Database.recover` found and did."""
+
+    #: journal transaction ids that were incomplete (crashed mid-apply)
+    transactions: list[int] = field(default_factory=list)
+    #: undo records conditionally applied during rollback
+    undo_applied: int = 0
+    #: intent records of crashed transactions (durably planned updates
+    #: whose apply never finished) — the caller may re-submit these
+    pending_intents: list[dict[str, Any]] = field(default_factory=list)
+    #: names of intents re-applied when ``recover(redo=True)``
+    redone: list[str] = field(default_factory=list)
+    #: names of intents whose redo failed (constraints re-raised)
+    redo_failed: list[str] = field(default_factory=list)
+
+    @property
+    def recovered(self) -> bool:
+        """True iff there was crash damage to repair."""
+        return bool(self.transactions)
 
 
 class Database:
@@ -92,7 +119,23 @@ class Database:
             #: build side is itself a join) — the DP enumerator found a
             #: tree no left-deep order could express
             "bushy_plans": 0,
+            #: crash recoveries performed (incomplete journal txns repaired)
+            "recoveries": 0,
         }
+        #: deterministic fault-injection registry shared with every
+        #: table and index of this database (disarmed: near-zero cost)
+        self.faults = FaultInjector()
+        #: write-ahead journal; ``None`` until :meth:`attach_wal` —
+        #: journaling is opt-in so the pure in-memory paths stay free
+        self.wal: Optional[WriteAheadLog] = None
+        #: open journal transaction id (volatile bookkeeping)
+        self._wal_txn: Optional[int] = None
+        #: set while an undo log replays — replay mutations must not
+        #: journal undo-of-undo records
+        self._replaying = False
+        #: bumped by every :meth:`recover` that repaired damage, so
+        #: sessions can notice and drop volatile caches (probe results)
+        self.recovery_epoch = 0
         #: compiled SELECT plans keyed on structural signature
         self.plan_cache = PlanCache()
         #: compiled single-relation rowid paths (find_rowids access
@@ -125,10 +168,17 @@ class Database:
         #: the cardinalities that justified it
         self.data_versions: dict[str, int] = {}
         for relation in schema:
-            self.tables[relation.name] = Table(
-                relation.name, relation.attribute_names
+            self.tables[relation.name] = self._adopt(
+                Table(relation.name, relation.attribute_names)
             )
-            self.indexes[relation.name] = list(self._build_indexes(relation))
+            self.indexes[relation.name] = [
+                self._adopt(index) for index in self._build_indexes(relation)
+            ]
+
+    def _adopt(self, storage):
+        """Share this database's fault injector with a table/index."""
+        storage.faults = self.faults
+        return storage
 
     @staticmethod
     def _build_indexes(relation: Relation) -> Iterator[HashIndex]:
@@ -165,8 +215,12 @@ class Database:
         """CREATE TABLE: register a new relation with its indexes."""
         self.schema.add_relation(relation)
         self.schema._validate_foreign_keys()
-        self.tables[relation.name] = Table(relation.name, relation.attribute_names)
-        self.indexes[relation.name] = list(self._build_indexes(relation))
+        self.tables[relation.name] = self._adopt(
+            Table(relation.name, relation.attribute_names)
+        )
+        self.indexes[relation.name] = [
+            self._adopt(index) for index in self._build_indexes(relation)
+        ]
         self._bump_schema_version(relation.name)
 
     def create_temp_table(
@@ -191,7 +245,7 @@ class Database:
             self.drop_table(name)
         relation = Relation(name, [Attribute(c, VarChar(4000)) for c in columns])
         self.schema.add_relation(relation)
-        self.tables[name] = Table(name, relation.attribute_names)
+        self.tables[name] = self._adopt(Table(name, relation.attribute_names))
         self.indexes[name] = []
         table = self.tables[name]
         self._bump_schema_version(name)
@@ -222,12 +276,12 @@ class Database:
                 f"cannot index unknown column(s) {sorted(unknown)} "
                 f"of {relation_name!r}"
             )
-        index = HashIndex(
+        index = self._adopt(HashIndex(
             name=name or f"adhoc_{relation_name}_{len(self.indexes[relation_name]) + 1}",
             relation_name=relation_name,
             columns=tuple(columns),
             unique=unique,
-        )
+        ))
         for rowid, row in table.scan():
             index.add(rowid, row)
         self.indexes[relation_name].append(index)
@@ -502,29 +556,59 @@ class Database:
             self.data_versions.get(relation_name, 0) + 1
         )
 
+    def _journal_undo(
+        self,
+        kind: str,
+        relation_name: str,
+        rowid: int,
+        old_values: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Write one undo image to the journal *before* the mutation.
+
+        Undo-of-undo is never journaled: rollback replays are repaired
+        after a crash by re-running the journal's original records
+        (conditional application makes that idempotent).
+        """
+        if self.wal is None or self._wal_txn is None or self._replaying:
+            return
+        self.faults.hit("wal.record", relation_name)
+        self.wal.log_undo(self._wal_txn, kind, relation_name, rowid, old_values)
+
     def _physical_insert(
         self, relation_name: str, row: Row, rowid: Optional[int] = None
     ) -> int:
         self._bump_data_version(relation_name)
         table = self.table(relation_name)
+        self._journal_undo(
+            "insert",
+            relation_name,
+            rowid if rowid is not None else table.next_rowid(),
+        )
+        # table + statistics form the primitive's atomic core (no
+        # injection site between them); index maintenance comes last so
+        # a transient fault mid-loop leaves a tear the conditional undo
+        # fully repairs — re-adding a present entry and removing an
+        # absent one are both no-ops
         if rowid is None:
             rowid = table.insert_row(row)
         else:
             table.restore_row(rowid, row)
         stored = table.get(rowid)
+        self.statistics.on_insert(relation_name, stored)
         for index in self.indexes[relation_name]:
             index.add(rowid, stored)
-        self.statistics.on_insert(relation_name, stored)
         return rowid
 
     def _physical_delete(self, relation_name: str, rowid: int) -> Row:
         self._bump_data_version(relation_name)
         table = self.table(relation_name)
-        row = table.get(rowid)
-        for index in self.indexes[relation_name]:
-            index.remove(rowid, row)
+        self._journal_undo(
+            "delete", relation_name, rowid, dict(table.get(rowid))
+        )
         removed = table.delete_row(rowid)
         self.statistics.on_delete(relation_name, removed)
+        for index in self.indexes[relation_name]:
+            index.remove(rowid, removed)
         return removed
 
     def _physical_update(
@@ -533,17 +617,51 @@ class Database:
         self._bump_data_version(relation_name)
         table = self.table(relation_name)
         row = table.get(rowid)
-        for index in self.indexes[relation_name]:
-            index.remove(rowid, row)
+        self._journal_undo(
+            "update",
+            relation_name,
+            rowid,
+            {column: row.get(column) for column in changes},
+        )
         old = table.update_row(rowid, changes)
-        for index in self.indexes[relation_name]:
-            index.add(rowid, table.get(rowid))
         self.statistics.on_update(relation_name, old, changes)
+        current = table.get(rowid)
+        for index in self.indexes[relation_name]:
+            index.remove(rowid, old)
+            index.add(rowid, current)
         return old
 
     # ------------------------------------------------------------------
     # DML
     # ------------------------------------------------------------------
+
+    @contextmanager
+    def _autocommit_journal(self) -> Iterator[None]:
+        """Give a statement outside any transaction its own journal txn.
+
+        An auto-commit statement can still be multi-mutation (cascaded
+        deletes, SET NULL fixups): a crash in the middle must be as
+        recoverable as one inside an explicit transaction.  An ordinary
+        exception means the engine kept control — the journal txn is
+        marked resolved and statement semantics stay exactly what they
+        were; only a :class:`~repro.rdb.faults.SimulatedCrash`
+        (``BaseException``) leaves the txn endless for recovery.
+        """
+        if self.wal is None or self.txn.active or self._wal_txn is not None \
+                or self._replaying:
+            yield
+            return
+        self._wal_txn = self.wal.begin_txn()
+        try:
+            yield
+        except Exception:
+            self.wal.end_txn(self._wal_txn, "abort")
+            raise
+        else:
+            self.wal.end_txn(self._wal_txn, "commit")
+            self.wal.checkpoint()
+        finally:
+            self._wal_txn = None
 
     def insert(self, relation_name: str, values: Mapping[str, Any]) -> int:
         """INSERT a tuple, enforcing every constraint.  Returns the rowid."""
@@ -553,8 +671,14 @@ class Database:
         self._check_checks(relation, row)
         self._check_unique(relation, row)
         self._check_foreign_keys(relation, row)
-        rowid = self._physical_insert(relation_name, row)
-        self.txn.record(UndoAction(UndoKind.INSERT, relation_name, rowid))
+        with self._autocommit_journal():
+            # undo is recorded *before* the mutation (the rowid the
+            # table will allocate is deterministic): a fault inside the
+            # physical insert leaves a row the rollback can still find
+            rowid = self.table(relation_name).next_rowid()
+            self.txn.record(UndoAction(UndoKind.INSERT, relation_name, rowid))
+            allocated = self._physical_insert(relation_name, row)
+            assert allocated == rowid
         self.stats["inserts"] += 1
         return rowid
 
@@ -564,9 +688,10 @@ class Database:
         Returns the total number of rows removed (cascades included).
         """
         removed = 0
-        for rowid in list(rowids):
-            if rowid in self.table(relation_name):
-                removed += self._delete_one(relation_name, rowid)
+        with self._autocommit_journal():
+            for rowid in list(rowids):
+                if rowid in self.table(relation_name):
+                    removed += self._delete_one(relation_name, rowid)
         return removed
 
     def delete_where(self, relation_name: str, predicate: Optional[Expr]) -> int:
@@ -603,10 +728,9 @@ class Database:
                         self.update(referrer, child, nulls)
         if rowid not in table:  # a cascade cycle already removed it
             return removed
-        old = self._physical_delete(relation_name, rowid)
-        self.txn.record(
-            UndoAction(UndoKind.DELETE, relation_name, rowid, dict(old))
-        )
+        image = dict(table.get(rowid))
+        self.txn.record(UndoAction(UndoKind.DELETE, relation_name, rowid, image))
+        self._physical_delete(relation_name, rowid)
         self.stats["deletes"] += 1
         return removed + 1
 
@@ -628,11 +752,12 @@ class Database:
         self._check_unique(relation, new_row, ignore=rowid)
         self._check_foreign_keys(relation, new_row)
         self._forbid_orphaning_update(relation, current, coerced_changes)
-        old = self._physical_update(relation_name, rowid, coerced_changes)
-        old_changed = {column: old[column] for column in coerced_changes}
-        self.txn.record(
-            UndoAction(UndoKind.UPDATE, relation_name, rowid, old_changed)
-        )
+        old_changed = {column: current.get(column) for column in coerced_changes}
+        with self._autocommit_journal():
+            self.txn.record(
+                UndoAction(UndoKind.UPDATE, relation_name, rowid, old_changed)
+            )
+            self._physical_update(relation_name, rowid, coerced_changes)
         self.stats["updates"] += 1
 
     def _forbid_orphaning_update(
@@ -663,8 +788,9 @@ class Database:
         self, relation_name: str, predicate: Optional[Expr], changes: Mapping[str, Any]
     ) -> int:
         rowids = self.select_rowids(relation_name, predicate)
-        for rowid in rowids:
-            self.update(relation_name, rowid, changes)
+        with self._autocommit_journal():
+            for rowid in rowids:
+                self.update(relation_name, rowid, changes)
         return len(rowids)
 
     # ------------------------------------------------------------------
@@ -673,19 +799,46 @@ class Database:
 
     def begin(self) -> None:
         self.txn.begin()
+        if self.wal is not None:
+            self._wal_txn = self.wal.begin_txn()
 
     def commit(self) -> None:
+        # the fault site fires before the in-memory commit: a transient
+        # failure writing the commit marker leaves the transaction
+        # active (still rollbackable), and a crash here is recovered by
+        # rolling back — the durable marker *is* the commit point
+        if self.wal is not None and self._wal_txn is not None:
+            self.faults.hit("wal.commit")
         self.txn.commit()
+        if self.wal is not None and self._wal_txn is not None:
+            wal_txn, self._wal_txn = self._wal_txn, None
+            self.wal.end_txn(wal_txn, "commit")
+            self.wal.checkpoint()
+
+    def log_intent(self, name: str, ops: Sequence[Mapping[str, Any]]) -> None:
+        """Journal a checked update's planned operations durably,
+        before any of them executes (no-op without a journal txn)."""
+        if self.wal is None or self._wal_txn is None:
+            return
+        self.faults.hit("wal.intent")
+        self.wal.log_intent(self._wal_txn, name, ops)
 
     def rollback(self) -> int:
         """Undo every change of the active transaction.
 
         Returns the number of undo records replayed (the cost Fig. 14
-        charges the no-checking baseline with).
+        charges the no-checking baseline with).  An exception
+        mid-replay leaves the unconsumed tail staged; calling
+        :meth:`rollback` again resumes it (conditional application
+        skips whatever already succeeded).
         """
         log = self.txn.take_rollback_log()
-        self._replay_undo(log)
+        self._replay_undo(log, site="undo.rollback")
         self.stats["rollbacks"] += 1
+        if self.wal is not None and self._wal_txn is not None:
+            wal_txn, self._wal_txn = self._wal_txn, None
+            self.wal.end_txn(wal_txn, "abort")
+            self.wal.checkpoint()
         return len(log)
 
     def savepoint(self) -> int:
@@ -694,14 +847,22 @@ class Database:
 
     def rollback_to(self, mark: int) -> int:
         """Undo changes made after :meth:`savepoint`'s *mark*; the
-        transaction stays open.  Returns the records replayed."""
-        log = self.txn.take_rollback_to(mark)
-        self._replay_undo(log)
+        transaction stays open.  Returns the records replayed.
+
+        Replays the staged pending tail, not just the fresh one — so
+        calling :meth:`rollback_to` again after a failure mid-replay
+        resumes the interrupted undo instead of abandoning it.
+        """
+        self.txn.take_rollback_to(mark)
+        log = self.txn.take_pending()
+        self._replay_undo(log, site="undo.savepoint")
         if log:
             self.stats["rollbacks"] += 1
         return len(log)
 
-    def _replay_undo(self, log: Sequence[UndoAction]) -> None:
+    def _replay_undo(
+        self, log: Sequence[UndoAction], site: str = "undo.rollback"
+    ) -> None:
         """Replay undo actions with coalesced version bumps.
 
         A rolled-back batch update can undo thousands of rows; bumping
@@ -712,6 +873,12 @@ class Database:
         undone rows, so the re-planning threshold still sees the true
         drift magnitude (a 10k-row rollback must not masquerade as one
         statement of drift).
+
+        Each action is applied *conditionally* (delete-if-present /
+        restore-if-absent / set-old-values) and confirmed back to the
+        transaction manager as it succeeds, which makes replay both
+        idempotent and resumable: a failure mid-replay abandons nothing
+        — the staged tail replays on the next rollback call.
         """
         touched: dict[str, int] = {}
         for action in log:
@@ -719,27 +886,261 @@ class Database:
                 touched.get(action.relation_name, 0) + 1
             )
         self._coalesce_versions = True
+        self._replaying = True
         try:
             for action in log:
-                if action.kind is UndoKind.INSERT:
-                    self._physical_delete(action.relation_name, action.rowid)
-                elif action.kind is UndoKind.DELETE:
-                    self._physical_insert(
-                        action.relation_name, action.old_values, action.rowid
-                    )
-                else:
-                    self._physical_update(
-                        action.relation_name, action.rowid, action.old_values
-                    )
+                self.faults.hit(site, action.relation_name)
+                self._undo_apply(action)
+                self.txn.confirm_undone(action)
         finally:
             # bump even when a replay step raises: the prefix already
             # mutated these relations, and cached plans must see it
             self._coalesce_versions = False
+            self._replaying = False
             for relation_name in sorted(touched):
                 self.data_versions[relation_name] = (
                     self.data_versions.get(relation_name, 0)
                     + touched[relation_name]
                 )
+
+    def _undo_apply(self, action: UndoAction) -> None:
+        """Apply one undo action conditionally (idempotent)."""
+        table = self.table(action.relation_name)
+        if action.kind is UndoKind.INSERT:
+            if action.rowid in table:
+                self._physical_delete(action.relation_name, action.rowid)
+        elif action.kind is UndoKind.DELETE:
+            if action.rowid not in table:
+                self._physical_insert(
+                    action.relation_name, action.old_values, action.rowid
+                )
+        else:
+            if action.rowid in table:
+                self._physical_update(
+                    action.relation_name, action.rowid, action.old_values
+                )
+
+    # ------------------------------------------------------------------
+    # durability: journal attachment, crash recovery, integrity audit
+    # ------------------------------------------------------------------
+
+    def attach_wal(self, wal: Optional[WriteAheadLog] = None) -> WriteAheadLog:
+        """Attach a write-ahead journal (a fresh in-memory one by
+        default).  From here on, every mutation inside a transaction —
+        explicit or auto-commit — journals its undo image first, and
+        :meth:`recover` can repair a crash mid-apply."""
+        self.wal = wal if wal is not None else WriteAheadLog()
+        return self.wal
+
+    def recover(self, redo: bool = False) -> RecoveryReport:
+        """Repair crash damage from the journal (idempotent).
+
+        The volatile transaction state died with the process, so it is
+        discarded outright; the journal's valid prefix is the only
+        witness.  Every transaction without an end marker is rolled
+        back by applying its undo records newest-first — conditionally,
+        so recovering twice (or crashing *during* recovery and
+        recovering again) is safe.  Derived state is then rebuilt
+        wholesale rather than trusted: every index is recomputed from
+        its table, statistics are dropped, and compiled plans are
+        invalidated via a schema-version bump.
+
+        ``redo=True`` additionally re-submits the durable intents of
+        crashed transactions (the "replay" half of replay-or-rollback):
+        each pending intent re-executes in its own transaction, rolled
+        back individually if its constraints no longer hold.
+        """
+        report = RecoveryReport()
+        if self.wal is None:
+            return report
+        with self.faults.suspended():
+            # RAM is gone: the in-memory undo log, the open journal txn
+            # and any half-finished replay state did not survive
+            self.txn.hard_reset()
+            self._wal_txn = None
+            self._replaying = False
+            self._coalesce_versions = False
+            incomplete = self.wal.incomplete_txns()
+            report.pending_intents = self.wal.pending_intents()
+            if incomplete:
+                report.transactions = sorted(incomplete)
+                for txn_id in report.transactions:
+                    undo_records = [
+                        r for r in incomplete[txn_id] if r.get("t") == "undo"
+                    ]
+                    for record in reversed(undo_records):
+                        self._recover_undo(record)
+                        report.undo_applied += 1
+                for relation_name, table in self.tables.items():
+                    for index in self.indexes.get(relation_name, ()):
+                        index.rebuild(table)
+                    self.statistics.forget(relation_name)
+                    self._bump_schema_version(relation_name)
+                    self._bump_data_version(relation_name)
+                for txn_id in report.transactions:
+                    self.wal.end_txn(txn_id, "abort")
+                self.recovery_epoch += 1
+                self.stats["recoveries"] += 1
+            self.wal.checkpoint()
+        if redo:
+            self._redo_intents(report)
+        return report
+
+    def _recover_undo(self, record: Mapping[str, Any]) -> None:
+        """Apply one journaled undo image straight to tuple storage.
+
+        Indexes and statistics are not maintained here — they are
+        rebuilt from scratch once every undo image has landed.
+        """
+        table = self.tables.get(record["rel"])
+        if table is None:
+            return  # the relation (a temp table, typically) is gone
+        rowid = record["rid"]
+        kind = record["k"]
+        if kind == "insert":
+            if rowid in table:
+                table.delete_row(rowid)
+        elif kind == "delete":
+            if rowid not in table:
+                table.restore_row(rowid, decode_row(record.get("old") or {}))
+        else:
+            if rowid in table:
+                table.update_row(rowid, decode_row(record.get("old") or {}))
+
+    def _redo_intents(self, report: RecoveryReport) -> None:
+        """Re-submit recovered intents, one transaction each."""
+        for intent in report.pending_intents:
+            name = intent.get("name", "?")
+            self.begin()
+            try:
+                for op in intent.get("ops", ()):
+                    self._redo_op(op)
+            except ReproError:
+                self.rollback()
+                report.redo_failed.append(name)
+            else:
+                self.commit()
+                report.redone.append(name)
+
+    def _redo_op(self, op: Mapping[str, Any]) -> None:
+        kind = op.get("op")
+        relation_name = op["rel"]
+        if kind == "insert":
+            self.insert(relation_name, decode_row(op.get("values") or {}))
+        elif kind == "delete":
+            self.delete(relation_name, op.get("rowids") or ())
+        elif kind == "update":
+            changes = decode_row(op.get("changes") or {})
+            for rowid in op.get("rowids") or ():
+                if rowid in self.table(relation_name):
+                    self.update(relation_name, rowid, changes)
+        else:
+            raise DatabaseError(f"unknown journaled op kind {kind!r}")
+
+    def verify_integrity(self) -> list[str]:
+        """Audit every cross-structure invariant; returns violations.
+
+        The single-source-of-truth is tuple storage; everything derived
+        from it is recomputed and compared:
+
+        * every index's buckets against a from-scratch recomputation,
+          and its incremental size counter against its bucket contents;
+        * uniqueness within unique-index buckets;
+        * NOT NULL columns, scanning rows directly;
+        * foreign-key closure, resolving parents by direct scan (an
+          index lying about parents must not hide a dangling child);
+        * the exact statistics counters (``row_count``/``null_counts``)
+          of every relation that has built statistics;
+        * rowid allocation monotonicity (no stored rowid at or past the
+          allocator's next value).
+        """
+        violations: list[str] = []
+        for relation_name, table in self.tables.items():
+            rows = {rowid: row for rowid, row in table.scan()}
+            if rows and max(rows) >= table.next_rowid():
+                violations.append(
+                    f"{relation_name}: stored rowid {max(rows)} >= next "
+                    f"allocation {table.next_rowid()}"
+                )
+            for index in self.indexes.get(relation_name, ()):
+                expected: dict[tuple, set[int]] = {}
+                for rowid, row in rows.items():
+                    key = index.key_of(row)
+                    if key is not None:
+                        expected.setdefault(key, set()).add(rowid)
+                actual = index.entries()
+                if actual != expected:
+                    missing = sum(
+                        len(b - actual.get(k, set())) for k, b in expected.items()
+                    )
+                    phantom = sum(
+                        len(b - expected.get(k, set())) for k, b in actual.items()
+                    )
+                    violations.append(
+                        f"index {index.name}: diverges from {relation_name} "
+                        f"({missing} missing, {phantom} phantom entries)"
+                    )
+                if len(index) != index.counted_size():
+                    violations.append(
+                        f"index {index.name}: size counter {len(index)} != "
+                        f"{index.counted_size()} bucket entries"
+                    )
+                if index.unique:
+                    for key, bucket in actual.items():
+                        if len(bucket) > 1:
+                            violations.append(
+                                f"unique index {index.name}: key {key!r} "
+                                f"held by {len(bucket)} rows"
+                            )
+            relation = self.schema.relations.get(relation_name)
+            if relation is None:
+                violations.append(f"{relation_name}: table without a relation")
+                continue
+            for column in relation.not_null_columns():
+                for rowid, row in rows.items():
+                    if row.get(column) is None:
+                        violations.append(
+                            f"{relation_name} rowid {rowid}: NULL in NOT NULL "
+                            f"column {column}"
+                        )
+            for fk in relation.foreign_keys:
+                parent = self.tables.get(fk.ref_relation)
+                if parent is None:
+                    violations.append(
+                        f"{relation_name}: FK parent {fk.ref_relation} missing"
+                    )
+                    continue
+                parent_keys = {
+                    tuple(prow.get(c) for c in fk.ref_columns)
+                    for _, prow in parent.scan()
+                }
+                for rowid, row in rows.items():
+                    key = tuple(row.get(c) for c in fk.columns)
+                    if any(component is None for component in key):
+                        continue
+                    if key not in parent_keys:
+                        violations.append(
+                            f"{relation_name} rowid {rowid}: "
+                            f"({', '.join(fk.columns)}) = {key!r} dangles "
+                            f"(no parent in {fk.ref_relation})"
+                        )
+            cached = self.statistics.peek(relation_name)
+            if cached is not None:
+                if cached.row_count != len(rows):
+                    violations.append(
+                        f"{relation_name}: statistics row_count "
+                        f"{cached.row_count} != {len(rows)} stored rows"
+                    )
+                for column, claimed in cached.null_counts.items():
+                    real = sum(
+                        1 for row in rows.values() if row.get(column) is None
+                    )
+                    if claimed != real:
+                        violations.append(
+                            f"{relation_name}.{column}: statistics null count "
+                            f"{claimed} != {real} NULLs stored"
+                        )
+        return violations
 
     # ------------------------------------------------------------------
     # bulk loading / cloning

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Mapping, Optional
 
 from ..errors import DatabaseError
+from .faults import NULL_INJECTOR, FaultInjector
 
 __all__ = ["HashIndex"]
 
@@ -25,6 +26,10 @@ Key = tuple[Any, ...]
 
 class HashIndex:
     """A (possibly unique) hash index over one or more columns."""
+
+    #: fault-injection registry; the owning Database replaces this with
+    #: its own armed instance (standalone indexes keep the shared no-op)
+    faults: FaultInjector = NULL_INJECTOR
 
     def __init__(
         self,
@@ -60,6 +65,7 @@ class HashIndex:
     # -- maintenance ---------------------------------------------------------
 
     def add(self, rowid: int, row: Mapping[str, Any]) -> None:
+        self.faults.hit("index.add", self.relation_name)
         key = self.key_of(row)
         if key is None:
             return
@@ -69,6 +75,7 @@ class HashIndex:
             self._size += 1
 
     def remove(self, rowid: int, row: Mapping[str, Any]) -> None:
+        self.faults.hit("index.remove", self.relation_name)
         key = self.key_of(row)
         if key is None:
             return
@@ -78,6 +85,27 @@ class HashIndex:
             self._size -= 1
             if not bucket:
                 del self._entries[key]
+
+    def entries(self) -> dict[Key, set[int]]:
+        """A snapshot of every bucket (for integrity audits)."""
+        return {key: set(bucket) for key, bucket in self._entries.items()}
+
+    def counted_size(self) -> int:
+        """Entry count recomputed from the buckets (audits the
+        incremental ``_size`` counter)."""
+        return sum(len(bucket) for bucket in self._entries.values())
+
+    def rebuild(self, table) -> None:
+        """Discard every bucket and re-add the table's current rows.
+
+        Crash recovery calls this instead of trusting possibly-torn
+        incremental maintenance: after undo replay, the table is the
+        single source of truth and the index is derived state.
+        """
+        self._entries.clear()
+        self._size = 0
+        for rowid, row in table.scan():
+            self.add(rowid, row)
 
     def would_conflict(self, row: Mapping[str, Any], ignore: Optional[int] = None) -> bool:
         """True iff inserting *row* would violate a unique index."""

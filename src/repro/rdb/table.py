@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Iterator, Mapping
 
 from ..errors import DatabaseError
+from .faults import NULL_INJECTOR, FaultInjector
 
 __all__ = ["Table"]
 
@@ -21,6 +22,10 @@ Row = dict[str, Any]
 class Table:
     """Physical storage for one relation."""
 
+    #: fault-injection registry; the owning Database replaces this with
+    #: its own armed instance (standalone tables keep the shared no-op)
+    faults: FaultInjector = NULL_INJECTOR
+
     def __init__(self, relation_name: str, columns: tuple[str, ...]) -> None:
         self.relation_name = relation_name
         self.columns = columns
@@ -29,8 +34,18 @@ class Table:
 
     # -- mutation ------------------------------------------------------------
 
+    def next_rowid(self) -> int:
+        """The rowid the next :meth:`insert_row` will allocate.
+
+        Allocation is deterministic (a bare increment), so callers that
+        must journal an insert's undo image *before* the insert happens
+        can pre-read the rowid it will get.
+        """
+        return self._next_rowid
+
     def insert_row(self, values: Mapping[str, Any]) -> int:
         """Store a fully-formed row; returns its rowid."""
+        self.faults.hit("table.insert", self.relation_name)
         row = {column: values.get(column) for column in self.columns}
         rowid = self._next_rowid
         self._next_rowid += 1
@@ -39,6 +54,7 @@ class Table:
 
     def restore_row(self, rowid: int, values: Mapping[str, Any]) -> None:
         """Re-insert a previously deleted row under its old rowid (undo)."""
+        self.faults.hit("table.restore", self.relation_name)
         if rowid in self._rows:
             raise DatabaseError(
                 f"rowid {rowid} already present in {self.relation_name}"
@@ -48,6 +64,7 @@ class Table:
 
     def delete_row(self, rowid: int) -> Row:
         """Remove and return the row stored under *rowid*."""
+        self.faults.hit("table.delete", self.relation_name)
         try:
             return self._rows.pop(rowid)
         except KeyError:
@@ -57,6 +74,7 @@ class Table:
 
     def update_row(self, rowid: int, changes: Mapping[str, Any]) -> Row:
         """Apply *changes* in place; returns the previous image of the row."""
+        self.faults.hit("table.update", self.relation_name)
         row = self.get(rowid)
         old = dict(row)
         for column, value in changes.items():

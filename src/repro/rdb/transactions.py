@@ -50,6 +50,10 @@ class TransactionManager:
     def __init__(self) -> None:
         self._log: list[UndoAction] = []
         self._active = False
+        #: undo actions handed out for replay but not yet confirmed
+        #: undone — an exception mid-replay leaves its tail here, and a
+        #: later rollback resumes from it instead of abandoning it
+        self._pending: list[UndoAction] = []
         #: statistics for benchmarks: undo records written / replayed
         self.records_written = 0
         self.records_replayed = 0
@@ -62,9 +66,19 @@ class TransactionManager:
     def log_length(self) -> int:
         return len(self._log)
 
+    @property
+    def pending(self) -> int:
+        """Undo actions staged for replay but not yet confirmed undone."""
+        return len(self._pending)
+
     def begin(self) -> None:
         if self._active:
             raise TransactionError("transaction already active")
+        if self._pending:
+            raise TransactionError(
+                f"{len(self._pending)} undo action(s) from an interrupted "
+                f"rollback are still pending; finish the rollback first"
+            )
         self._active = True
         self._log.clear()
 
@@ -76,18 +90,55 @@ class TransactionManager:
     def commit(self) -> None:
         if not self._active:
             raise TransactionError("no active transaction to commit")
+        if self._pending:
+            raise TransactionError(
+                f"cannot commit: {len(self._pending)} undo action(s) from an "
+                f"interrupted savepoint rollback are still pending"
+            )
         self._active = False
         self._log.clear()
 
     def take_rollback_log(self) -> list[UndoAction]:
-        """Close the transaction and hand the undo log (newest first)."""
+        """Close the transaction and hand the undo log (newest first).
+
+        The handed-out actions are *also* staged on the pending list:
+        the replayer confirms each one via :meth:`confirm_undone` as it
+        succeeds, so an exception mid-replay leaves exactly the
+        unconsumed tail staged for :meth:`take_pending` to resume.
+        """
         if not self._active:
+            if self._pending:
+                # resuming an interrupted rollback: hand the leftover
+                # tail again without re-counting it as replayed
+                return list(self._pending)
             raise TransactionError("no active transaction to roll back")
         self._active = False
-        log = list(reversed(self._log))
+        log = list(reversed(self._log)) + self._pending
         self._log.clear()
+        self._pending = list(log)
         self.records_replayed += len(log)
         return log
+
+    def take_pending(self) -> list[UndoAction]:
+        """The staged-but-unconfirmed undo tail of an interrupted replay."""
+        return list(self._pending)
+
+    def confirm_undone(self, action: UndoAction) -> None:
+        """Mark the oldest staged action as successfully replayed."""
+        if self._pending and self._pending[0] is action:
+            self._pending.pop(0)
+
+    def hard_reset(self) -> None:
+        """Forget all volatile transaction state (simulated crash).
+
+        The in-memory undo log and pending tail die with the process;
+        after a crash only the write-ahead journal knows what to undo.
+        :meth:`repro.rdb.database.Database.recover` calls this before
+        replaying the journal.
+        """
+        self._active = False
+        self._log.clear()
+        self._pending.clear()
 
     # -- savepoints ----------------------------------------------------------
 
@@ -111,5 +162,6 @@ class TransactionManager:
             raise TransactionError(f"invalid savepoint {mark!r}")
         tail = list(reversed(self._log[mark:]))
         del self._log[mark:]
+        self._pending = tail + self._pending
         self.records_replayed += len(tail)
         return tail

@@ -24,10 +24,26 @@ from repro.workloads import psd as psd_workload
 from repro.workloads import tpch as tpch_workload
 
 
+def _integrity_checked(db):
+    """Yield *db*, then audit its storage invariants post-test.
+
+    Every mutable database fixture runs through this: a test that
+    leaves an index diverged from its table, a statistics counter
+    skewed, or an FK dangling fails here even if its own assertions
+    passed.
+    """
+    yield db
+    violations = db.verify_integrity()
+    assert not violations, (
+        "post-test storage integrity violations:\n  "
+        + "\n  ".join(violations)
+    )
+
+
 @pytest.fixture()
 def book_db():
     """Fig. 1's database, freshly loaded per test."""
-    return books.build_book_database()
+    yield from _integrity_checked(books.build_book_database())
 
 
 @pytest.fixture()
@@ -54,9 +70,11 @@ def tpch_tiny_db():
 @pytest.fixture()
 def tpch_db():
     """A small private TPC-H database (mutating tests)."""
-    return tpch_workload.build_tpch_database(tpch_workload.scale_rows(0.5))
+    yield from _integrity_checked(
+        tpch_workload.build_tpch_database(tpch_workload.scale_rows(0.5))
+    )
 
 
 @pytest.fixture()
 def psd_db():
-    return psd_workload.build_psd_database(entries=10)
+    yield from _integrity_checked(psd_workload.build_psd_database(entries=10))

@@ -1,0 +1,125 @@
+"""The crash-at-every-site sweep harness itself.
+
+These run the real sweep over a handful of generated scenarios — the CI
+job covers 50; here we prove the harness's mechanics (point selection,
+counters, findings plumbing, replay) on a small sample.
+"""
+
+from repro.core import FaultFinding, SweepSummary, sweep_many, sweep_scenario
+from repro.core.faultsweep import _spread, replay
+from repro.core.scenario_gen import generate_scenario
+
+
+def _sweep(seed, **kwargs):
+    summary = SweepSummary()
+    findings = sweep_scenario(generate_scenario(seed), summary=summary, **kwargs)
+    assert findings == summary.findings
+    return summary
+
+
+class TestSpread:
+    def test_degenerate_inputs_give_nothing(self):
+        assert _spread(0, 3) == []
+        assert _spread(5, 0) == []
+        assert _spread(-1, 2) == []
+
+    def test_small_totals_enumerate_exhaustively(self):
+        assert _spread(3, 10) == [1, 2, 3]
+        assert _spread(4, 4) == [1, 2, 3, 4]
+
+    def test_points_are_sorted_unique_and_in_range(self):
+        for total in (7, 20, 101):
+            for count in (1, 3, 9):
+                points = _spread(total, count)
+                assert points == sorted(set(points))
+                assert len(points) <= count
+                assert all(1 <= p <= total for p in points)
+
+    def test_coverage_spans_the_range(self):
+        points = _spread(100, 4)
+        assert points[0] <= 30 and points[-1] >= 90
+
+
+class TestSweepScenario:
+    def test_clean_engine_yields_no_findings(self):
+        for seed in (0, 1):
+            summary = _sweep(seed)
+            assert summary.findings == []
+            assert summary.scenarios == 1
+            # one crash run per recorded injection site
+            assert summary.crash_points == summary.sites
+            assert summary.crash_points > 0
+            # most crash runs abandon a txn for recovery to find (crashes
+            # landing before the batch txn opens have nothing to repair)
+            assert 0 < summary.recoveries <= summary.crash_points
+            assert summary.transient_points > 0
+
+    def test_max_points_bounds_the_crash_runs(self):
+        full = _sweep(0)
+        capped = _sweep(0, max_points=5)
+        assert capped.crash_points == 5
+        assert full.crash_points > capped.crash_points
+        assert capped.findings == []
+
+    def test_transient_runs_report_their_retries(self):
+        summary = _sweep(2)
+        # each injected transient is one-shot against a retry budget of
+        # two, so the session must have burned at least one retry per run
+        assert summary.retries_used >= summary.transient_points
+
+
+class TestSweepMany:
+    def test_accumulates_across_scenarios(self):
+        seen = []
+        summary = sweep_many(
+            3, seed=10,
+            on_progress=lambda done, s: seen.append((done, s)),
+            max_points=3, redo_points=1, transient_points=1,
+        )
+        assert summary.scenarios == 3
+        assert [done for done, _ in seen] == [1, 2, 3]
+        # progress reports the running summary after each scenario
+        assert all(s is summary for _, s in seen)
+        assert summary.findings == []
+        assert summary.ok
+
+    def test_replay_is_a_single_scenario_sweep(self):
+        summary = replay(11, max_points=2, redo_points=1, transient_points=1)
+        assert summary.scenarios == 1
+        assert summary.ok
+
+    def test_describe_mentions_the_headline_counters(self):
+        summary = sweep_many(1, seed=12, max_points=2, redo_points=1,
+                             transient_points=1)
+        text = summary.describe()
+        assert "1 scenario(s)" in text
+        assert "crash point(s)" in text
+        assert "0 finding(s)" in text
+
+
+class TestFaultFinding:
+    def test_describe_locates_the_trigger(self):
+        finding = FaultFinding(
+            kind="partial-state", seed=7, mode="staged", action="crash",
+            at=3, site="index.add", detail="book diverged",
+        )
+        assert finding.describe() == (
+            "[seed 7] staged/crash at #3 index.add: "
+            "partial-state — book diverged"
+        )
+        assert finding.to_dict()["kind"] == "partial-state"
+
+    def test_describe_omits_location_when_not_applicable(self):
+        finding = FaultFinding(
+            kind="exception", seed=7, mode="staged", action="(none)",
+            at=0, site="", detail="boom",
+        )
+        assert " at #" not in finding.describe()
+
+    def test_findings_flip_summary_ok(self):
+        summary = _sweep(0, max_points=1)
+        assert summary.ok
+        summary.findings.append(
+            FaultFinding("integrity", 0, "staged", "crash", 1, "x", "d")
+        )
+        assert not summary.ok

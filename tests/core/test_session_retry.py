@@ -1,0 +1,289 @@
+"""Session fault handling: retries, backoff, timeouts, policies.
+
+Transient faults injected at named sites must be absorbed within the
+session's retry budget (and reported via ``retries_used``); fatal
+failures degrade according to the configured policy; crash recovery
+invalidates the probe cache through the database's recovery epoch.
+"""
+
+import datetime
+
+import pytest
+
+from repro.core import UpdateSession, serialize_ops
+from repro.core.translation import TupleDelete, TupleInsert, TupleUpdate
+from repro.errors import UFilterError
+from repro.rdb import FaultPlan
+from repro.workloads import books
+
+INSERT_REVIEW = """
+    FOR $book IN document("BookView.xml")/book
+    WHERE $book/title/text() = "Data on the Web"
+    UPDATE $book {{
+    INSERT
+        <review>
+            <reviewid>{rid}</reviewid>
+            <comment>batch note</comment>
+        </review>}}
+"""
+
+
+def insert_review(rid):
+    return INSERT_REVIEW.format(rid=rid)
+
+
+def _session(db, **kwargs):
+    kwargs.setdefault("sleep", lambda _s: None)
+    return UpdateSession(db, books.BOOK_VIEW_QUERY, **kwargs)
+
+
+def _review_ids(db):
+    # reviewid is a string column; normalize for int-literal comparisons
+    return {str(row["reviewid"]) for _, row in db.table("review").scan()}
+
+
+# ---------------------------------------------------------------------------
+# transient retries
+# ---------------------------------------------------------------------------
+
+
+class TestTransientRetry:
+    def test_apply_fault_absorbed_within_budget(self, book_db):
+        book_db.attach_wal()
+        session = _session(book_db, retries=2)
+        book_db.faults.arm(
+            FaultPlan(at=1, site="session.apply", action="error")
+        )
+        result = session.execute([insert_review(101)], atomic=False)
+        book_db.faults.disarm()
+        assert result.committed
+        assert [e.status for e in result.entries] == ["applied"]
+        assert result.retries_used == 1
+        assert "101" in _review_ids(book_db)
+
+    def test_conflict_fault_is_transient_too(self, book_db):
+        session = _session(book_db, retries=1)
+        book_db.faults.arm(
+            FaultPlan(at=1, site="session.apply", action="conflict")
+        )
+        result = session.execute([insert_review(101)], atomic=False)
+        book_db.faults.disarm()
+        assert result.committed
+        assert result.retries_used == 1
+        assert "101" in _review_ids(book_db)
+
+    def test_zero_retries_failure_sticks(self, book_db):
+        session = _session(book_db)  # retries=0
+        book_db.faults.arm(
+            FaultPlan(at=1, site="session.apply", action="error")
+        )
+        result = session.execute([insert_review(101)], atomic=False)
+        book_db.faults.disarm()
+        assert result.committed  # skip-update: the batch itself commits
+        entry = result.entries[0]
+        assert entry.status == "failed"
+        assert "transient failure stuck" in entry.reason
+        assert result.retries_used == 0
+        assert "101" not in _review_ids(book_db)
+
+    def test_backoff_doubles_per_attempt(self, book_db):
+        sleeps = []
+        session = UpdateSession(
+            book_db, books.BOOK_VIEW_QUERY,
+            retries=3, backoff=0.5, sleep=sleeps.append,
+        )
+        book_db.faults.arm(
+            FaultPlan(at=1, site="session.apply", action="error", times=2)
+        )
+        result = session.execute([insert_review(101)], atomic=False)
+        book_db.faults.disarm()
+        assert result.committed
+        assert result.retries_used == 2
+        assert sleeps == [0.5, 1.0]
+
+    def test_interleaved_mode_retries_the_whole_update(self, book_db):
+        session = _session(book_db, retries=1)
+        book_db.faults.arm(
+            FaultPlan(at=1, site="datacheck.", action="error")
+        )
+        result = session.execute(
+            [insert_review(101)], mode="interleaved", atomic=False
+        )
+        book_db.faults.disarm()
+        assert result.committed
+        assert [e.status for e in result.entries] == ["applied"]
+        assert result.retries_used == 1
+        assert "101" in _review_ids(book_db)
+
+    def test_check_phase_fault_absorbed(self, book_db):
+        # phase-1 checks mutate nothing, so a transient mid-probe just
+        # re-checks; the fault fires at the very first storage site the
+        # session touches (a temp-table fill)
+        session = _session(book_db, retries=1)
+        book_db.faults.arm(FaultPlan(at=1, action="error"))
+        result = session.execute([insert_review(101)], atomic=False)
+        book_db.faults.disarm()
+        assert result.committed
+        assert [e.status for e in result.entries] == ["applied"]
+        assert result.retries_used >= 1
+
+    def test_summary_reports_fault_handling(self, book_db):
+        session = _session(book_db, retries=1)
+        book_db.faults.arm(
+            FaultPlan(at=1, site="session.apply", action="error")
+        )
+        result = session.execute([insert_review(101)], atomic=False)
+        book_db.faults.disarm()
+        assert "fault handling (skip-update): 1 retry used" in result.summary()
+
+
+# ---------------------------------------------------------------------------
+# timeouts
+# ---------------------------------------------------------------------------
+
+
+class TestUpdateTimeout:
+    def test_blown_budget_fails_without_retry(self, book_db):
+        ticks = iter(range(0, 10_000, 100))  # every clock call +100s
+        session = _session(
+            book_db, retries=5, update_timeout=10.0,
+            clock=lambda: float(next(ticks)),
+        )
+        result = session.execute([insert_review(101)], atomic=False)
+        assert result.committed
+        entry = result.entries[0]
+        assert entry.status == "failed"
+        assert "budget" in entry.reason
+        assert result.timeouts == 1
+        assert result.retries_used == 0  # fatal: retrying would blow it again
+        assert "101" not in _review_ids(book_db)
+
+    def test_generous_budget_is_silent(self, book_db):
+        session = _session(book_db, update_timeout=3600.0)
+        result = session.execute([insert_review(101)], atomic=False)
+        assert result.committed
+        assert result.timeouts == 0
+        assert [e.status for e in result.entries] == ["applied"]
+
+
+# ---------------------------------------------------------------------------
+# degradation policies
+# ---------------------------------------------------------------------------
+
+
+def _three_reviews(db, **kwargs):
+    session = _session(db, **kwargs)
+    # the second update's apply faults persistently (retries=0 default)
+    db.faults.arm(FaultPlan(at=2, site="session.apply", action="error"))
+    result = session.execute(
+        [insert_review(101), insert_review(102), insert_review(103)],
+        atomic=False,
+    )
+    db.faults.disarm()
+    return result
+
+
+class TestFailurePolicies:
+    def test_unknown_policy_rejected(self, book_db):
+        with pytest.raises(UFilterError):
+            _session(book_db, on_failure="yolo")
+
+    def test_skip_update_carries_on(self, book_db):
+        result = _three_reviews(book_db)
+        assert result.policy == "skip-update"
+        assert [e.status for e in result.entries] == [
+            "applied", "failed", "applied",
+        ]
+        assert result.committed
+        assert _review_ids(book_db) >= {"101", "103"}
+        assert "102" not in _review_ids(book_db)
+
+    def test_commit_prefix_stops_at_the_failure(self, book_db):
+        result = _three_reviews(book_db, on_failure="commit-prefix")
+        assert result.policy == "commit-prefix"
+        assert [e.status for e in result.entries] == [
+            "applied", "failed", "skipped",
+        ]
+        assert result.committed
+        assert "101" in _review_ids(book_db)
+        assert _review_ids(book_db).isdisjoint({"102", "103"})
+
+    def test_abort_batch_undoes_everything(self, book_db):
+        result = _three_reviews(book_db, on_failure="abort-batch")
+        assert result.policy == "abort-batch"
+        assert [e.status for e in result.entries] == [
+            "rolled-back", "failed", "skipped",
+        ]
+        assert not result.committed
+        assert result.rolled_back > 0
+        assert _review_ids(book_db).isdisjoint({"101", "102", "103"})
+
+    def test_atomic_flag_still_derives_the_policy(self, book_db):
+        session = _session(book_db)
+        assert session._policy(atomic=True) == "abort-batch"
+        assert session._policy(atomic=False) == "skip-update"
+        assert _session(book_db, on_failure="commit-prefix")._policy(
+            atomic=True
+        ) == "commit-prefix"
+
+
+# ---------------------------------------------------------------------------
+# crash recovery integration
+# ---------------------------------------------------------------------------
+
+
+class TestRecoveryEpoch:
+    def test_recovery_clears_the_probe_cache(self, book_db):
+        book_db.attach_wal()
+        session = _session(book_db)
+        session.execute([insert_review(101)], atomic=False)
+        # a crash mid-transaction, repaired behind the session's back
+        book_db.begin()
+        book_db.insert("publisher", {"pubid": "Z01", "pubname": "Zed"})
+        report = book_db.recover()
+        assert report.recovered
+        cleared = []
+        original = session.cache.clear
+        session.cache.clear = lambda: (cleared.append(True), original())[1]
+        result = session.execute([insert_review(102)], atomic=False)
+        assert cleared  # stale probe results were dropped before checking
+        assert session._recovery_epoch == book_db.recovery_epoch
+        assert result.committed
+
+    def test_intents_journal_only_when_wal_attached(self, book_db):
+        book_db.attach_wal()
+        session = _session(book_db)
+        barriers_before = book_db.wal.barriers
+        session.execute([insert_review(101)], atomic=False)
+        assert book_db.wal.barriers > barriers_before
+        assert len(book_db.wal) == 0  # committed and checkpointed
+
+
+# ---------------------------------------------------------------------------
+# intent serialization
+# ---------------------------------------------------------------------------
+
+
+class TestSerializeOps:
+    def test_all_op_kinds_serialize(self):
+        ops = [
+            TupleDelete("book", {3, 1}),
+            TupleUpdate("book", {2}, {"price": 9.5}),
+            TupleInsert("review", {"reviewid": 7, "comment": "x"}),
+        ]
+        assert serialize_ops(ops) == [
+            {"op": "delete", "rel": "book", "rowids": [1, 3]},
+            {"op": "update", "rel": "book", "rowids": [2],
+             "changes": {"price": 9.5}},
+            {"op": "insert", "rel": "review",
+             "values": {"reviewid": 7, "comment": "x"}},
+        ]
+
+    def test_skip_role_inserts_are_dropped(self):
+        ops = [TupleInsert("review", {"reviewid": 7}, role="skip")]
+        assert serialize_ops(ops) == []
+
+    def test_dates_are_journal_safe(self):
+        ops = [TupleUpdate("book", {1}, {"pub_date": datetime.date(2006, 4, 3)})]
+        [serialized] = serialize_ops(ops)
+        assert serialized["changes"] == {"pub_date": {"__date__": "2006-04-03"}}

@@ -1,0 +1,239 @@
+"""Deterministic fault injection and the resumable-rollback machinery.
+
+The injector semantics (plans, site filters, recording, suspension) and
+the transaction manager's interrupted-rollback protocol: a failure
+mid-replay leaves the unconsumed undo tail staged, ``begin``/``commit``
+refuse until it drains, and re-rolling-back resumes exactly where the
+failure struck.
+"""
+
+import pytest
+
+from repro.errors import ConflictError, TransactionError
+from repro.rdb import FaultInjectedError, FaultInjector, FaultPlan, SimulatedCrash
+from repro.rdb.faults import NULL_INJECTOR
+from repro.workloads import books
+
+
+def _db():
+    return books.build_book_database()
+
+
+def _state(db):
+    return {
+        relation: sorted(
+            tuple(sorted(row.items())) for _, row in db.table(relation).scan()
+        )
+        for relation in db.tables
+    }
+
+
+# ---------------------------------------------------------------------------
+# plans and the injector
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_trigger_point_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultPlan(at=0)
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(at=1, action="shrug")
+
+    def test_fires_at_exactly_the_nth_hit(self):
+        injector = FaultInjector()
+        injector.arm(FaultPlan(at=3, action="error"))
+        injector.hit("table.insert")
+        injector.hit("table.insert")
+        with pytest.raises(FaultInjectedError) as exc:
+            injector.hit("table.insert")
+        assert exc.value.site == "table.insert"
+        assert exc.value.hit == 3
+
+    def test_site_prefix_filter(self):
+        injector = FaultInjector()
+        injector.arm(FaultPlan(at=1, site="index.", action="error"))
+        injector.hit("table.insert")   # filtered out
+        injector.hit("wal.record")     # filtered out
+        with pytest.raises(FaultInjectedError):
+            injector.hit("index.add")
+
+    def test_one_shot_plan_disarms_after_firing(self):
+        injector = FaultInjector()
+        injector.arm(FaultPlan(at=1, action="error"))
+        with pytest.raises(FaultInjectedError):
+            injector.hit("table.insert")
+        injector.hit("table.insert")  # the retry sails through
+
+    def test_multi_shot_plan_rearms_its_counter(self):
+        injector = FaultInjector()
+        injector.arm(FaultPlan(at=2, action="error", times=2))
+        injector.hit("x")
+        with pytest.raises(FaultInjectedError):
+            injector.hit("x")
+        injector.hit("x")
+        with pytest.raises(FaultInjectedError):
+            injector.hit("x")
+        injector.hit("x")
+        injector.hit("x")  # both shots spent
+
+    def test_crash_is_not_an_ordinary_exception(self):
+        injector = FaultInjector()
+        injector.arm(FaultPlan(at=1, action="crash"))
+        with pytest.raises(SimulatedCrash) as exc:
+            injector.hit("table.delete")
+        assert not isinstance(exc.value, Exception)
+        assert isinstance(exc.value, BaseException)
+
+    def test_conflict_action_is_transient(self):
+        injector = FaultInjector()
+        injector.arm(FaultPlan(at=1, action="conflict"))
+        with pytest.raises(ConflictError) as exc:
+            injector.hit("session.apply")
+        assert exc.value.transient
+
+    def test_seeded_plans_are_deterministic(self):
+        a = FaultPlan.seeded(42, total_sites=30)
+        b = FaultPlan.seeded(42, total_sites=30)
+        assert (a.at, a.action) == (b.at, b.action)
+        assert 1 <= a.at <= 30
+
+
+class TestFaultInjector:
+    def test_disarmed_injector_counts_nothing(self):
+        injector = FaultInjector()
+        injector.hit("table.insert")
+        assert injector.hits == 0
+        assert not injector.armed
+
+    def test_recording_collects_annotated_trace(self):
+        injector = FaultInjector()
+        injector.start_recording()
+        injector.hit("table.insert", "book")
+        injector.hit("wal.commit")
+        trace = injector.stop_recording()
+        assert trace == ["table.insert(book)", "wal.commit"]
+        assert not injector.armed
+
+    def test_suspended_sites_do_not_fire(self):
+        injector = FaultInjector()
+        injector.arm(FaultPlan(at=1, action="error"))
+        with injector.suspended():
+            injector.hit("table.insert")
+        with pytest.raises(FaultInjectedError):
+            injector.hit("table.insert")
+
+    def test_null_injector_is_shared_and_silent(self):
+        NULL_INJECTOR.hit("table.insert", "anything")
+        assert NULL_INJECTOR.hits == 0
+
+    def test_database_threads_injector_into_tables_and_indexes(self):
+        db = _db()
+        assert db.table("book").faults is db.faults
+        assert all(
+            index.faults is db.faults for index in db.indexes["book"]
+        )
+        # relations created later are adopted too
+        db.create_temp_table("TAB_x", ["a"])
+        assert db.table("TAB_x").faults is db.faults
+
+
+# ---------------------------------------------------------------------------
+# resumable rollback (regression: failure mid-rollback must not strand
+# the undo tail)
+# ---------------------------------------------------------------------------
+
+
+class TestResumableRollback:
+    def test_transient_fault_mid_rollback_resumes(self):
+        db = _db()
+        before = _state(db)
+        db.begin()
+        db.insert("publisher", {"pubid": "Z01", "pubname": "Zed"})
+        db.insert("publisher", {"pubid": "Z02", "pubname": "Zed 2"})
+        db.update("book", 1, {"price": 9.99})
+        db.faults.arm(
+            FaultPlan(at=2, site="undo.rollback", action="error")
+        )
+        with pytest.raises(FaultInjectedError):
+            db.rollback()
+        assert db.txn.pending == 2  # the unconsumed tail stayed staged
+        # a wedged transaction refuses to move on until the tail drains
+        with pytest.raises(TransactionError):
+            db.begin()
+        undone = db.rollback()  # plan is one-shot: the resume succeeds
+        assert undone == 2
+        assert db.txn.pending == 0
+        assert _state(db) == before
+        assert db.verify_integrity() == []
+
+    def test_commit_refuses_pending_undo_tail(self):
+        db = _db()
+        db.begin()
+        mark = db.savepoint()
+        db.insert("publisher", {"pubid": "Z01", "pubname": "Zed"})
+        db.insert("publisher", {"pubid": "Z02", "pubname": "Zed 2"})
+        db.faults.arm(
+            FaultPlan(at=1, site="undo.savepoint", action="error")
+        )
+        with pytest.raises(FaultInjectedError):
+            db.rollback_to(mark)
+        assert db.txn.pending > 0
+        with pytest.raises(TransactionError):
+            db.commit()
+        db.rollback_to(mark)  # resume drains the tail
+        db.commit()
+
+    def test_savepoint_rollback_resumes_interrupted_replay(self):
+        db = _db()
+        before = _state(db)
+        db.begin()
+        mark = db.savepoint()
+        db.insert("publisher", {"pubid": "Z01", "pubname": "Zed"})
+        db.insert("publisher", {"pubid": "Z02", "pubname": "Zed 2"})
+        db.insert("publisher", {"pubid": "Z03", "pubname": "Zed 3"})
+        db.faults.arm(
+            FaultPlan(at=2, site="undo.savepoint", action="error")
+        )
+        with pytest.raises(FaultInjectedError):
+            db.rollback_to(mark)
+        remaining = db.txn.pending
+        assert remaining == 2
+        undone = db.rollback_to(mark)  # replays only the leftovers
+        assert undone == remaining
+        db.commit()
+        assert _state(db) == before
+        assert db.verify_integrity() == []
+
+    def test_conditional_undo_skips_already_undone_work(self):
+        db = _db()
+        before = _state(db)
+        db.begin()
+        rowid = db.insert("publisher", {"pubid": "Z01", "pubname": "Zed"})
+        db.update("book", 1, {"price": 9.99})
+        # fail *after* the update was already undone (newest-first, the
+        # update replays first, then the insert-undo faults)
+        db.faults.arm(
+            FaultPlan(at=2, site="undo.rollback", action="error")
+        )
+        with pytest.raises(FaultInjectedError):
+            db.rollback()
+        # hand-undo the insert, as a concurrent repair might
+        db.txn  # (tail still staged)
+        assert rowid in db.table("publisher")
+        db.rollback()  # resume replays conditionally, no double-undo
+        assert rowid not in db.table("publisher")
+        assert _state(db) == before
+        assert db.verify_integrity() == []
+
+    def test_hard_reset_clears_volatile_state(self):
+        db = _db()
+        db.begin()
+        db.insert("publisher", {"pubid": "Z01", "pubname": "Zed"})
+        db.txn.hard_reset()
+        assert not db.txn.active
+        assert db.txn.pending == 0
+        db.begin()  # a fresh transaction is allowed after the "crash"
+        db.rollback()

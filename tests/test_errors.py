@@ -56,6 +56,41 @@ def test_update_syntax_is_xquery_error():
     assert issubclass(errors.UpdateSyntaxError, errors.XQueryError)
 
 
+def test_transient_classification():
+    from repro.rdb import FaultInjectedError
+
+    # the default is non-transient: retrying reproduces the failure
+    assert errors.ReproError("x").transient is False
+    assert errors.DatabaseError("x").transient is False
+    assert errors.UniqueViolation("x").transient is False
+    assert errors.UFilterError("x").transient is False
+    # interference-class failures a bounded retry can clear
+    assert errors.TransientError("x").transient is True
+    assert errors.ConflictError("x").transient is True
+    assert FaultInjectedError("table.insert", 1).transient is True
+    assert issubclass(errors.ConflictError, errors.TransientError)
+    assert issubclass(FaultInjectedError, errors.TransientError)
+    # explicitly fatal
+    assert errors.FatalError("x").transient is False
+    assert errors.UpdateTimeoutError("x").transient is False
+    assert issubclass(errors.UpdateTimeoutError, errors.FatalError)
+
+
+def test_qa_error_transiency_is_accurate():
+    from repro.core.qa import QAFinding
+
+    stale = QAFinding("stale-rowid", "ERROR", "rowid 9 vanished", "book")
+    scope = QAFinding("relation-scope", "ERROR", "outside closure", "book")
+    # all-stale: a cache clear and re-check fixes it
+    assert errors.QAError([stale]).transient is True
+    assert errors.QAError([stale, stale]).transient is True
+    # any plan-level finding makes a retry pointless
+    assert errors.QAError([stale, scope]).transient is False
+    assert errors.QAError([scope]).transient is False
+    # no findings at all classifies as non-transient too
+    assert errors.QAError([]).transient is False
+
+
 def test_catching_repro_error_catches_everything():
     for exc_type in (
         errors.SchemaError,

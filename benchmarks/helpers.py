@@ -13,9 +13,8 @@ import time
 from collections import defaultdict
 from typing import Callable
 
-from repro.core import Category, UFilter, mark_view_asg, star_check
+from repro.core import Category, UFilter
 from repro.core.update_binding import resolve_update
-from repro.core.validation import validate_update
 from repro.workloads import tpch
 
 __all__ = [

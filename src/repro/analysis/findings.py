@@ -1,0 +1,38 @@
+"""Typed findings for the static-analysis layers.
+
+The severity vocabulary is shared with the post-translation QA audit
+(:mod:`repro.core.qa`): an ``ERROR`` is a broken invariant the build
+must not ship, a ``WARNING`` is reported but does not fail the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.qa import SEVERITY_ERROR, SEVERITY_WARNING
+
+__all__ = ["LintFinding", "SEVERITY_ERROR", "SEVERITY_WARNING"]
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One invariant violation found in a source module."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    detail: str
+
+    def describe(self) -> str:
+        return f"{self.path}:{self.line}: {self.severity} {self.rule}: {self.detail}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "detail": self.detail,
+        }

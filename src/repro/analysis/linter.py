@@ -1,0 +1,201 @@
+"""The rule framework behind ``repro lint``.
+
+Rules are AST visitors registered in :data:`repro.analysis.rules.RULES`.
+Each rule examines one parsed module at a time (:meth:`Rule.check`) and
+may run a whole-run pass over every module at the end
+(:meth:`Rule.finalize` — cross-module checks such as fault-site
+uniqueness).  The runner applies suppressions centrally: a finding is
+dropped when its line — or the line directly above it — carries a
+``# repro: allow[RULE]`` tag naming the rule (comma-separated ids tag
+several rules at once).  Suppressed findings are counted, not silently
+discarded, so the JSON report still shows where the escape hatches are.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+from .findings import SEVERITY_ERROR, LintFinding
+
+__all__ = [
+    "LintReport",
+    "ModuleSource",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+]
+
+#: ``# repro: allow[REP003]`` / ``# repro: allow[REP003, REP004]``
+_ALLOW_TAG = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass
+class ModuleSource:
+    """One parsed module: path, raw lines and the AST, parsed once."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    lines: list[str]
+
+    @classmethod
+    def parse(cls, path: str, text: Optional[str] = None) -> "ModuleSource":
+        if text is None:
+            text = Path(path).read_text()
+        return cls(
+            path=path,
+            text=text,
+            tree=ast.parse(text, filename=path),
+            lines=text.splitlines(),
+        )
+
+    @property
+    def stem(self) -> str:
+        return Path(self.path).stem
+
+    def allow_tags(self, line: int) -> set[str]:
+        """Rule ids allowed at *line* (tags on the line or the line above)."""
+        tags: set[str] = set()
+        for lineno in (line, line - 1):
+            if 1 <= lineno <= len(self.lines):
+                match = _ALLOW_TAG.search(self.lines[lineno - 1])
+                if match:
+                    tags.update(
+                        part.strip() for part in match.group(1).split(",")
+                    )
+        return tags
+
+
+class Rule:
+    """Base class for invariant rules.
+
+    Subclasses set :attr:`rule_id` / :attr:`title` and implement
+    :meth:`check`; cross-module rules additionally implement
+    :meth:`finalize`, which runs once after every module was checked.
+    """
+
+    rule_id: str = "REP000"
+    title: str = ""
+    severity: str = SEVERITY_ERROR
+
+    def check(self, module: ModuleSource) -> Iterator[LintFinding]:
+        raise NotImplementedError
+
+    def finalize(self, modules: Sequence[ModuleSource]) -> Iterator[LintFinding]:
+        return iter(())
+
+    def finding(self, module: ModuleSource, line: int, detail: str) -> LintFinding:
+        return LintFinding(
+            rule=self.rule_id,
+            severity=self.severity,
+            path=module.path,
+            line=line,
+            detail=detail,
+        )
+
+
+@dataclass
+class LintReport:
+    """The outcome of one linter run."""
+
+    findings: list[LintFinding] = field(default_factory=list)
+    suppressed: list[LintFinding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> list[LintFinding]:
+        return [f for f in self.findings if f.severity == SEVERITY_ERROR]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def describe(self) -> str:
+        lines = [finding.describe() for finding in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding(s) "
+            f"({len(self.errors)} error(s)), "
+            f"{len(self.suppressed)} suppressed, "
+            f"{self.files_checked} file(s) checked"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "files_checked": self.files_checked,
+            "ok": self.ok,
+        }
+
+    def write_json(self, path: str) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+
+def _select_rules(rule_ids: Optional[Iterable[str]]) -> list[Rule]:
+    from .rules import RULES
+
+    if rule_ids is None:
+        return list(RULES.values())
+    unknown = set(rule_ids) - set(RULES)
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
+    return [RULES[rule_id] for rule_id in rule_ids]
+
+
+def _run(modules: Sequence[ModuleSource], rules: Sequence[Rule]) -> LintReport:
+    report = LintReport(files_checked=len(modules))
+    raw: list[LintFinding] = []
+    per_module: dict[str, ModuleSource] = {m.path: m for m in modules}
+    for rule in rules:
+        for module in modules:
+            raw.extend(rule.check(module))
+        raw.extend(rule.finalize(modules))
+    raw.sort(key=lambda f: (f.path, f.line, f.rule))
+    for finding in raw:
+        module = per_module.get(finding.path)
+        if module is not None and finding.rule in module.allow_tags(finding.line):
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+    return report
+
+
+def iter_python_files(paths: Iterable[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[str] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.update(str(p) for p in path.rglob("*.py"))
+        else:
+            out.add(str(path))
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Iterable[str], rule_ids: Optional[Iterable[str]] = None
+) -> LintReport:
+    """Lint every ``.py`` file under *paths* (files or directories)."""
+    modules = [
+        ModuleSource.parse(file) for file in iter_python_files(paths)
+    ]
+    return _run(modules, _select_rules(rule_ids))
+
+
+def lint_source(
+    text: str,
+    path: str = "<memory>",
+    rule_ids: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint one in-memory module (test helper)."""
+    return _run([ModuleSource.parse(path, text)], _select_rules(rule_ids))

@@ -19,7 +19,10 @@ Subcommands:
 * ``faults`` — crash-at-every-site fault sweep: re-run seeded
   scenarios with a simulated crash or transient fault injected at each
   recorded site, recover, and assert atomicity + storage integrity
-  (:mod:`repro.core.faultsweep`).
+  (:mod:`repro.core.faultsweep`);
+* ``lint`` — run the repo invariant linter (rules REP001–REP005 of
+  :mod:`repro.analysis`) over the source tree, and with ``--plans``
+  additionally sweep the plan-IR verifier across generated scenarios.
 
 Schemas/data are supplied as SQL scripts (CREATE TABLE + INSERT
 statements in the dialect of :mod:`repro.rdb.sql`), views and updates
@@ -201,6 +204,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the summary and any findings as JSON",
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo invariant linter (REP001-REP005)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed "
+        "repro package source)",
+    )
+    lint.add_argument(
+        "--rules",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--plans",
+        action="store_true",
+        help="also sweep the plan-IR verifier over generated scenarios "
+        "(REPRO_PLAN_VERIFY armed for every lowering)",
+    )
+    lint.add_argument(
+        "--scenarios",
+        type=int,
+        default=200,
+        help="scenarios for the --plans sweep (default 200)",
+    )
+    lint.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="first scenario seed for the --plans sweep",
+    )
+    lint.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write findings (and the plan-sweep report) as JSON",
+    )
+
     return parser
 
 
@@ -361,6 +403,36 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if summary.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis import lint_paths
+    from .analysis.planlint import sweep_plans
+
+    paths = args.paths or [str(Path(__file__).resolve().parent)]
+    rule_ids = None
+    if args.rules:
+        rule_ids = [part.strip() for part in args.rules.split(",") if part.strip()]
+    try:
+        report = lint_paths(paths, rule_ids=rule_ids)
+    except ValueError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    print(report.describe())
+    exit_code = report.exit_code
+    payload = report.to_dict()
+    if args.plans:
+        sweep = sweep_plans(args.scenarios, seed=args.seed)
+        print(sweep.describe())
+        payload["plan_sweep"] = sweep.to_dict()
+        if not sweep.ok:
+            exit_code = 1
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return exit_code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "demo":
@@ -379,6 +451,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_qa(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

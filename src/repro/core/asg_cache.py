@@ -17,7 +17,7 @@ from __future__ import annotations
 import datetime
 import json
 import weakref
-from typing import Any, Optional
+from typing import Any
 
 from ..errors import UFilterError
 from ..rdb.schema import Schema

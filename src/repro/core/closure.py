@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
-from .asg import BaseASG, Cardinality, JoinCondition, ViewASG, ViewNode
+from .asg import BaseASG, JoinCondition, ViewASG, ViewNode
 
 __all__ = [
     "Closure",

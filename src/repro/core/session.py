@@ -66,7 +66,6 @@ from ..xquery.ast import ViewQuery
 from ..xquery.parser import parse_view_query
 from ..xquery.update_ast import ViewUpdate
 from .asg_cache import ASGStore, shared_store
-from .datacheck import DataCheckResult
 from .translation import ProbeCache, TupleDelete, TupleInsert, TupleUpdate
 from .ufilter import CheckReport, Outcome, UFilter
 

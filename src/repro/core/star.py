@@ -32,12 +32,11 @@ consistency* for dirty inserts) or unconditionally translatable.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from .asg import (
     BaseASG,
-    Cardinality,
     JoinCondition,
     NodeKind,
     ViewASG,

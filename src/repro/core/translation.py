@@ -18,7 +18,7 @@ Given an update that survived Steps 1–2, this module:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from ..errors import TypeMismatchError, UFilterError
@@ -27,7 +27,7 @@ from ..rdb.expr import ColumnRef, Comparison, Expr, Literal, conjoin
 from ..rdb.plan import FromItem, OutputColumn, SelectPlan, execute_select
 from ..rdb.types import sql_literal
 from ..xml.nodes import XMLElement
-from .asg import JoinCondition, NodeKind, ValueConstraint, ViewASG, ViewNode
+from .asg import NodeKind, ValueConstraint, ViewASG, ViewNode
 from .update_binding import OpResolution, ResolvedUpdate
 
 __all__ = [
@@ -106,7 +106,8 @@ class ProbeCache:
         across types — wrongly shared them.
         """
         if canon is None:
-            canon = lambda relation, attribute, literal: sql_literal(literal)
+            def canon(relation: str, attribute: str, literal: Any) -> str:
+                return sql_literal(literal)
         signature: list[tuple] = []
         if resolved is not None:
             for resolution in resolved.predicates:

@@ -33,7 +33,7 @@ from ..xquery.ast import ViewQuery
 from ..xquery.parser import parse_view_query
 from ..xquery.update_ast import ViewUpdate
 from ..xquery.update_parser import parse_view_update
-from .asg import BaseASG, ViewASG
+from .asg import BaseASG
 from .asg_builder import build_base_asg, build_view_asg
 from .datacheck import DataChecker, DataCheckResult
 from .star import Category, StarVerdict, mark_view_asg, star_check

@@ -17,7 +17,7 @@ Resolution failures are recorded, not raised — Step 1 turns them into
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Optional
 
 from ..xml.nodes import XMLElement
 from ..xquery.ast import Binding, DocSource, Predicate, VarPath

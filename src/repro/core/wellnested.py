@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .asg import Cardinality, NodeKind, ViewASG, ViewNode
+from .asg import NodeKind, ViewASG, ViewNode
 
 __all__ = ["WellNestedReport", "analyze_well_nestedness"]
 

@@ -25,6 +25,8 @@ see :class:`TransientError` / :class:`FatalError`.
 
 from __future__ import annotations
 
+from typing import Any, Iterable
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this package.
@@ -184,7 +186,7 @@ class QAError(UFilterError):
     same translation would only reproduce it.
     """
 
-    def __init__(self, findings) -> None:
+    def __init__(self, findings: Iterable[Any]) -> None:
         self.findings = list(findings)
         lines = "; ".join(f.describe() for f in self.findings[:3])
         extra = len(self.findings) - 3
@@ -200,6 +202,31 @@ class QAError(UFilterError):
             getattr(finding, "check", None) == "stale-rowid"
             for finding in self.findings
         )
+
+
+class PlanVerificationError(FatalError):
+    """The plan-IR verifier rejected a lowered physical tree.
+
+    Raised by :func:`repro.analysis.planlint.verify_or_raise` when the
+    ``REPRO_PLAN_VERIFY=1`` debug hook is armed and a lowered operator
+    tree violates a structural invariant (unbound column, double-used
+    leaf, join-key type mismatch, estimate above its input bound, ...).
+
+    Fatal, never transient: the tree is a deterministic function of
+    the logical plan and the schema, so re-lowering reproduces the
+    same violation.  Carries the finding descriptions on
+    :attr:`findings` and the offending tree's ``explain()`` text on
+    :attr:`plan_text`.
+    """
+
+    def __init__(self, findings: Iterable[str], plan_text: str = "") -> None:
+        self.findings = list(findings)
+        self.plan_text = plan_text
+        lines = "; ".join(self.findings[:3])
+        extra = len(self.findings) - 3
+        if extra > 0:
+            lines += f" (+{extra} more)"
+        super().__init__(f"plan verification failed: {lines}")
 
 
 class UpdateTimeoutError(FatalError):

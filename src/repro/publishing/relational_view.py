@@ -13,7 +13,7 @@ mechanism so the benchmark can measure ours.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Optional
+from typing import Any, Mapping
 
 from ..errors import UFilterError, UniqueViolation
 from ..rdb.database import Database

@@ -48,7 +48,14 @@ from .expr import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (plan -> compiled)
     from .database import Database
-    from .plan import PlanNode
+    from .plan import (
+        Filter,
+        HashJoin,
+        IndexProbe,
+        PlanNode,
+        Project,
+        Scan,
+    )
 
 __all__ = ["CompiledPlan", "PlanCache", "RowidPlanCache", "Uncompilable",
            "compile_tree", "dedup_rows", "extract_where_params",
@@ -227,7 +234,9 @@ class _ExprCompiler:
         return lambda env, params: ref.eval(env)
 
 
-def _make_comparison(left: EvalFn, right: EvalFn, op) -> EvalFn:
+def _make_comparison(
+    left: EvalFn, right: EvalFn, op: Callable[[Any, Any], bool]
+) -> EvalFn:
     def comparison(env: Env, params: Params) -> Optional[bool]:
         lhs = left(env, params)
         rhs = right(env, params)
@@ -241,7 +250,13 @@ def _make_comparison(left: EvalFn, right: EvalFn, op) -> EvalFn:
 class _Conjunct:
     __slots__ = ("expr", "fn", "left_fn", "right_fn")
 
-    def __init__(self, expr, fn, left_fn=None, right_fn=None) -> None:
+    def __init__(
+        self,
+        expr: Expr,
+        fn: EvalFn,
+        left_fn: Optional[EvalFn] = None,
+        right_fn: Optional[EvalFn] = None,
+    ) -> None:
         self.expr = expr
         self.fn = fn
         self.left_fn = left_fn
@@ -279,7 +294,13 @@ class _Ctx:
     __slots__ = ("stats", "env", "rowids", "params", "tables", "hashes",
                  "results")
 
-    def __init__(self, stats, params, tables, hash_count) -> None:
+    def __init__(
+        self,
+        stats: dict[str, int],
+        params: Params,
+        tables: list,
+        hash_count: int,
+    ) -> None:
         self.stats = stats
         self.env: Env = {}
         self.rowids: dict[str, int] = {}
@@ -313,7 +334,7 @@ class CompiledPlan:
         distinct: bool,
         reordered: bool,
         bushy: bool,
-        explain_root,
+        explain_root: "PlanNode",
         index_only: Optional[tuple] = None,
     ) -> None:
         self.root_run = root_run
@@ -387,7 +408,7 @@ class CompiledPlan:
         return set(self._execute(db, params))
 
 
-def _sort_key(pair):
+def _sort_key(pair: tuple) -> tuple:
     return pair[0]
 
 
@@ -436,7 +457,13 @@ def _leaf_nodes(node: "PlanNode") -> list:
 
 class _TreeCompiler:
     def __init__(
-        self, db, root, conjuncts, count_index_joins, reordered, bushy
+        self,
+        db: "Database",
+        root: "PlanNode",
+        conjuncts: list[Expr],
+        count_index_joins: bool,
+        reordered: bool,
+        bushy: bool,
     ) -> None:
         self.db = db
         self.root = root
@@ -463,7 +490,7 @@ class _TreeCompiler:
         compiled = self.conjunct_map[id(conjunct)]
         return compiled.left_fn if side is conjunct.left else compiled.right_fn
 
-    def _predicate_fns(self, predicates) -> tuple[EvalFn, ...]:
+    def _predicate_fns(self, predicates: tuple[Expr, ...]) -> tuple[EvalFn, ...]:
         return tuple(self.conjunct_map[id(p)].fn for p in predicates)
 
     # -- node compilation (continuation-passing) -----------------------------
@@ -527,7 +554,7 @@ class _TreeCompiler:
             explain_root=self.root,
         )
 
-    def _index_only(self, mode: str, join_root) -> Optional[tuple]:
+    def _index_only(self, mode: str, join_root: "PlanNode") -> Optional[tuple]:
         """``rowid_list`` plans that are one covering index lookup with
         literal keys and no residual predicates skip execution entirely:
         the bucket *is* the answer."""
@@ -542,7 +569,7 @@ class _TreeCompiler:
         )
         return (join_root.index, key_fns)
 
-    def _compile_node(self, node, emit: RunFn) -> RunFn:
+    def _compile_node(self, node: "PlanNode", emit: RunFn) -> RunFn:
         kind = node.kind
         if kind == "scan":
             return self._compile_scan(node, emit)
@@ -557,7 +584,7 @@ class _TreeCompiler:
             return self._compile_hash_join(node, emit)
         raise Uncompilable(f"unknown plan node {kind}")
 
-    def _compile_scan(self, node, emit: RunFn) -> RunFn:
+    def _compile_scan(self, node: "Scan", emit: RunFn) -> RunFn:
         slot = self.leaf_slots[id(node)]
         name = node.name
 
@@ -575,7 +602,7 @@ class _TreeCompiler:
 
         return run
 
-    def _compile_index_probe(self, node, emit: RunFn) -> RunFn:
+    def _compile_index_probe(self, node: "IndexProbe", emit: RunFn) -> RunFn:
         slot = self.leaf_slots[id(node)]
         name = node.name
         index = node.index
@@ -609,7 +636,7 @@ class _TreeCompiler:
 
         return run
 
-    def _compile_filter(self, node, emit: RunFn) -> RunFn:
+    def _compile_filter(self, node: "Filter", emit: RunFn) -> RunFn:
         fns = self._predicate_fns(node.predicates)
 
         def check(ctx: _Ctx) -> None:
@@ -622,7 +649,7 @@ class _TreeCompiler:
 
         return self._compile_node(node.child, check)
 
-    def _compile_hash_join(self, node, emit: RunFn) -> RunFn:
+    def _compile_hash_join(self, node: "HashJoin", emit: RunFn) -> RunFn:
         inner_names = tuple(
             sorted(leaf.name for leaf in _leaf_nodes(node.inner))
         )
@@ -678,7 +705,7 @@ class _TreeCompiler:
     # -- projection ----------------------------------------------------------
 
     def _compile_projection(
-        self, node
+        self, node: "Project"
     ) -> Callable[[Env, dict[str, int], Params], Row]:
         names = tuple(item.name for item in node.from_items)
         if node.mode == "rowids":

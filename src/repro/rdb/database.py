@@ -175,7 +175,7 @@ class Database:
                 self._adopt(index) for index in self._build_indexes(relation)
             ]
 
-    def _adopt(self, storage):
+    def _adopt(self, storage: Any) -> Any:
         """Share this database's fault injector with a table/index."""
         storage.faults = self.faults
         return storage
@@ -244,6 +244,7 @@ class Database:
         if name in self.tables:
             self.drop_table(name)
         relation = Relation(name, [Attribute(c, VarChar(4000)) for c in columns])
+        relation.temp = True
         self.schema.add_relation(relation)
         self.tables[name] = self._adopt(Table(name, relation.attribute_names))
         self.indexes[name] = []
@@ -378,7 +379,9 @@ class Database:
         params = tuple(equalities[column] for column in sorted(columns))
         return plan.run_rowid_set(self, params)
 
-    def _compile_rowid_equalities(self, relation_name: str, columns: frozenset):
+    def _compile_rowid_equalities(
+        self, relation_name: str, columns: frozenset
+    ) -> Optional[Any]:
         from .plan import lower_rowid_plan
 
         conjuncts: list[Expr] = [
@@ -654,6 +657,10 @@ class Database:
         self._wal_txn = self.wal.begin_txn()
         try:
             yield
+        # repro: allow[REP003] — deliberately blind to SimulatedCrash:
+        # only an *engine-controlled* failure may mark the journal txn
+        # aborted; a crash (BaseException) must leave it endless so
+        # recovery sees it.  Re-raises, never swallows.
         except Exception:
             self.wal.end_txn(self._wal_txn, "abort")
             raise
@@ -986,6 +993,10 @@ class Database:
             self._redo_intents(report)
         return report
 
+    # Raw undo application: recover() bumps both versions wholesale (and
+    # rebuilds indexes/statistics) after every undo image has landed, so
+    # a per-image bump here would be redundant.
+    # repro: allow[REP004]
     def _recover_undo(self, record: Mapping[str, Any]) -> None:
         """Apply one journaled undo image straight to tuple storage.
 

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import random
 from contextlib import contextmanager
-from typing import Any, Iterator, Optional
+from typing import Iterator, Optional
 
 from ..errors import ConflictError, TransientError
 

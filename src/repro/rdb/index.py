@@ -14,10 +14,13 @@ entries containing NULL.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Optional
 
 from ..errors import DatabaseError
 from .faults import NULL_INJECTOR, FaultInjector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (table -> index)
+    from .table import Table
 
 __all__ = ["HashIndex"]
 
@@ -95,7 +98,7 @@ class HashIndex:
         incremental ``_size`` counter)."""
         return sum(len(bucket) for bucket in self._entries.values())
 
-    def rebuild(self, table) -> None:
+    def rebuild(self, table: "Table") -> None:
         """Discard every bucket and re-add the table's current rows.
 
         Crash recovery calls this instead of trusting possibly-torn

@@ -310,7 +310,7 @@ class JoinTree:
     def __init__(
         self,
         method: str,
-        item=None,
+        item: Optional["FromItem"] = None,
         position: Optional[int] = None,
         outer: Optional["JoinTree"] = None,
         inner: Optional["JoinTree"] = None,

@@ -36,6 +36,7 @@ tests and benchmarks.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Optional, Sequence
 
@@ -53,6 +54,7 @@ from .optimizer import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (database -> plan)
     from .database import Database
+    from .index import HashIndex
 
 __all__ = [
     "Distinct",
@@ -173,7 +175,9 @@ class LogicalPlan:
 
     __slots__ = ("plan", "conjuncts", "signature")
 
-    def __init__(self, plan: SelectPlan, conjuncts: list[Expr], signature: tuple):
+    def __init__(
+        self, plan: SelectPlan, conjuncts: list[Expr], signature: tuple
+    ) -> None:
         self.plan = plan
         self.conjuncts = conjuncts
         self.signature = signature
@@ -304,7 +308,7 @@ class IndexProbe(PlanNode):
         self,
         name: str,
         relation_name: str,
-        index,
+        index: "HashIndex",
         keys: tuple,
     ) -> None:
         self.name = name
@@ -666,6 +670,7 @@ def lower_select(db: Database, logical: LogicalPlan) -> tuple[PlanNode, JoinTree
     )
     if plan.distinct:
         node = Distinct(node)
+    _verify_lowered(db, node, tuple(item.name for item in plan.from_items))
     return node, tree
 
 
@@ -687,7 +692,22 @@ def lower_rowid_plan(
     if residual:
         node = Filter(node, tuple(residual))
     node = Sort(node, (relation_name,))
-    return Project(node, "rowid_list", [item])
+    root = Project(node, "rowid_list", [item])
+    _verify_lowered(db, root, (relation_name,))
+    return root
+
+
+def _verify_lowered(
+    db: Database, root: PlanNode, expected_names: Sequence[str]
+) -> None:
+    """Debug hook: statically verify the lowered tree when the
+    ``REPRO_PLAN_VERIFY`` environment variable arms it (lazy import —
+    the verifier lives above the engine, in :mod:`repro.analysis`)."""
+    if os.environ.get("REPRO_PLAN_VERIFY", "") in ("", "0"):
+        return
+    from ..analysis.planlint import verify_or_raise
+
+    verify_or_raise(db, root, expected_names)
 
 
 #: executor counters the planning path mutates — EXPLAIN must not

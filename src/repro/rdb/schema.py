@@ -12,7 +12,7 @@ queries the U-Filter core needs:
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from ..errors import SchemaError
 from .constraints import (
@@ -53,6 +53,10 @@ class Relation:
         constraints: Iterable[Constraint] = (),
     ) -> None:
         self.name = name
+        #: True for session-materialized temp tables, whose declared
+        #: VARCHAR columns hold raw untyped values (type-dependent
+        #: static checks must skip them)
+        self.temp = False
         self.attributes: dict[str, Attribute] = {}
         for attribute in attributes:
             if attribute.name in self.attributes:

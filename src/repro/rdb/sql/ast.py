@@ -52,14 +52,14 @@ class InSelect(Expr):
         self.operand = operand
         self.subquery = subquery
 
-    def eval(self, env):  # pragma: no cover - engine always resolves first
+    def eval(self, env: Any) -> Any:  # pragma: no cover - engine resolves first
         raise NotImplementedError("InSelect must be resolved by the engine")
 
     def to_sql(self) -> str:
         sub = _select_to_sql(self.subquery)
         return f"{self.operand.to_sql()} IN ({sub})"
 
-    def _collect_columns(self, out) -> None:
+    def _collect_columns(self, out: set) -> None:
         self.operand._collect_columns(out)
 
 

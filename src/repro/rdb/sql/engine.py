@@ -20,7 +20,7 @@ from ..constraints import (
     Unique,
 )
 from ..database import Database
-from ..expr import And, Comparison, Expr, InSubquery, IsNull, Literal, Not, Or
+from ..expr import And, Expr, InSubquery, Not, Or
 from ..plan import SelectPlan, execute_select, explain_select
 from ..schema import Attribute, Relation
 from .ast import (

@@ -9,7 +9,6 @@ views of the paper never produce them.
 from __future__ import annotations
 
 import re
-from typing import Optional
 
 from ..errors import XMLError
 from .nodes import XMLElement, XMLText

@@ -22,7 +22,7 @@ but the evaluator guards anyway.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Mapping, Union
+from typing import Any, Iterator, Mapping
 
 from ..errors import UnsupportedFeatureError, XQueryError
 from ..rdb.database import Database

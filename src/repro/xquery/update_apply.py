@@ -10,7 +10,7 @@ accepted translations are side-effect free.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Union
+from typing import Iterator
 
 from ..errors import UpdateSyntaxError, XQueryError
 from ..xml.nodes import XMLElement, XMLText

@@ -15,7 +15,7 @@ deletion followed by an insertion (paper footnote 4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
 from ..xml.nodes import XMLElement

@@ -1,0 +1,21 @@
+"""Clean fixture: storage primitives that satisfy every rule."""
+
+
+class Table:
+    def insert_row(self, row):
+        self.faults.hit("fixture.table.insert", self.relation_name)
+        self.rows.append(row)
+        return len(self.rows) - 1
+
+    def delete_row(self, rowid):
+        self.faults.hit("fixture.table.delete", self.relation_name)
+        self.rows.pop(rowid)
+
+
+class Storage:
+    def _physical_insert(self, table, row):
+        self._journal_undo("insert", row)
+        return table.insert_row(row)
+
+    def _journal_undo(self, kind, row):
+        pass

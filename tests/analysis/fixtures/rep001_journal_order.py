@@ -1,0 +1,10 @@
+"""REP001 fixture: a physical primitive that mutates before journaling."""
+
+
+class Storage:
+    def _physical_update(self, table, rowid, row):
+        table.update_row(rowid, row)       # mutation first: the violation
+        self._journal_undo("update", rowid, row)
+
+    def _journal_undo(self, kind, rowid, row):
+        pass

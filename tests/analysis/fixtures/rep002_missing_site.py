@@ -1,0 +1,7 @@
+"""REP002 fixture: a Table DML primitive with no opening fault site."""
+
+
+class Table:
+    def insert_row(self, row):
+        self.rows.append(row)              # no faults.hit(...) first
+        return len(self.rows) - 1

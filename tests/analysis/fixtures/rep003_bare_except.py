@@ -1,0 +1,8 @@
+"""REP003 fixture: a bare except that would swallow SimulatedCrash."""
+
+
+def apply_or_ignore(operation):
+    try:
+        operation()
+    except:                                # the violation
+        return None

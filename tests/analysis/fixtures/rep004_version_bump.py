@@ -1,0 +1,8 @@
+"""REP004 fixture: a Database method mutating rows with no version bump."""
+
+
+class Database:
+    def truncate(self, relation_name):
+        table = self.tables[relation_name]
+        for rowid in list(table.rowids()):
+            table.delete_row(rowid)        # no _bump_data_version anywhere

@@ -1,0 +1,15 @@
+"""REP005 fixture: a retry handler absorbing a fatal error type."""
+
+
+class Runner:
+    def run_with_retries(self, check, result):
+        for attempt in range(3):
+            try:
+                return check()
+            except UpdateTimeoutError:     # fatal: retrying reproduces it
+                result.retries_used += 1
+                self._backoff_sleep(attempt)
+
+
+class UpdateTimeoutError(Exception):
+    pass

@@ -1,0 +1,11 @@
+"""REP003 apply-path fixture: this module's stem ("session") places it
+on the apply/recovery/WAL paths, where even ``except Exception`` must
+re-raise or carry an explicit allow tag."""
+
+
+def apply_batch(operations):
+    for operation in operations:
+        try:
+            operation()
+        except Exception:                  # swallows: the violation
+            continue

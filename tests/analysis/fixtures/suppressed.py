@@ -1,0 +1,10 @@
+"""Suppression fixture: the same bare-except violation as
+``rep003_bare_except``, but carrying an allow tag."""
+
+
+def apply_or_ignore(operation):
+    try:
+        operation()
+    # repro: allow[REP003]
+    except:
+        return None

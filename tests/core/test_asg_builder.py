@@ -9,7 +9,6 @@ from repro.core import (
     build_view_asg,
 )
 from repro.errors import UnsupportedFeatureError
-from repro.workloads import books
 from repro.xquery import parse_view_query
 
 

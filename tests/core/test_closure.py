@@ -13,7 +13,7 @@ from repro.core import (
     mapping_closure,
     view_closure,
 )
-from repro.workloads import books, psd
+from repro.workloads import psd
 
 
 @pytest.fixture()

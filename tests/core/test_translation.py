@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Translator, UFilter, build_base_asg, build_view_asg, mark_view_asg, resolve_update
+from repro.core import Translator, build_base_asg, build_view_asg, mark_view_asg, resolve_update
 from repro.workloads import books
 
 

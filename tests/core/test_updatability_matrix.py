@@ -1,6 +1,5 @@
 """The view-definition-time updatability matrix."""
 
-import pytest
 
 from repro.core import UFilter
 from repro.workloads import books, tpch

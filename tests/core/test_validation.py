@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import UFilter, build_base_asg, build_view_asg, resolve_update, validate_update
+from repro.core import build_view_asg, resolve_update, validate_update
 from repro.workloads import books
 from repro.xquery import parse_view_update
 

@@ -1,6 +1,5 @@
 """The rectangle-rule verifier itself."""
 
-import pytest
 
 from repro.core import Outcome, check_rectangle
 from repro.workloads import books
@@ -42,7 +41,6 @@ def test_text_input_accepted(book_db):
 def test_detects_violation_of_handcrafted_bad_translation(book_db, book_view):
     """Sanity: the verifier can actually FAIL — a no-op update whose
     'translation' modifies the base violates criterion (ii)."""
-    from repro.core.verify import RectangleReport
     from repro.core.ufilter import UFilter
     from repro.xquery import apply_view_update, evaluate_view
 

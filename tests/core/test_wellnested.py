@@ -6,7 +6,6 @@ analyzer agrees with our own STAR marking: well-nested ⟹ every
 internal node is (clean | safe-delete ∧ safe-insert).
 """
 
-import pytest
 
 from repro.core import build_base_asg, build_view_asg, mark_view_asg
 from repro.core.wellnested import analyze_well_nestedness

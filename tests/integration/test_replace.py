@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import Outcome, UFilter, check_rectangle
-from repro.workloads import books
 from repro.xml import evaluate_path
 from repro.xquery import evaluate_view, parse_view_update
 

@@ -13,7 +13,6 @@ the accepted updates against the rectangle rule.
 import pytest
 
 from repro.core import Outcome, UFilter, check_rectangle
-from repro.workloads import books
 from repro.xquery import parse_view_update
 
 ROUNDTRIP_VIEW = """

@@ -10,7 +10,7 @@ side effects; whatever it rejects must leave the base untouched.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import Outcome, check_rectangle
+from repro.core import check_rectangle
 from repro.workloads import books
 from repro.xquery import parse_view_update
 

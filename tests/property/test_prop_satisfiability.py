@@ -5,7 +5,7 @@ the solver must call the conjunction satisfiable (it may over-approximate
 but never under-approximate — U-Filter must not reject good updates).
 """
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import ValueConstraint, is_satisfiable, value_satisfies

@@ -3,7 +3,7 @@
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.xml import XMLElement, element, parse_xml, serialize
+from repro.xml import element, parse_xml, serialize
 
 tag_names = st.from_regex(r"[A-Za-z_][A-Za-z0-9_\-]{0,8}", fullmatch=True)
 text_values = st.text(

@@ -5,7 +5,6 @@ import pytest
 from repro.core import build_base_asg, build_view_asg, mark_view_asg
 from repro.errors import UniqueViolation
 from repro.publishing import MappingRelationalView, default_xml_view
-from repro.workloads import books
 from repro.xml import evaluate_path
 
 

@@ -21,7 +21,7 @@ from repro.rdb import (
     Schema,
     parse_expression,
 )
-from repro.rdb.constraints import Check, NotNull
+from repro.rdb.constraints import NotNull
 from repro.workloads import books
 
 

@@ -9,7 +9,6 @@ from repro.rdb import (
     DeletePolicy,
     ForeignKey,
     NotNull,
-    PrimaryKey,
     Relation,
     Schema,
     Unique,

@@ -17,7 +17,6 @@ from repro.rdb import (
     SelectPlan,
     col,
     execute_select,
-    lit,
 )
 from repro.workloads import books
 

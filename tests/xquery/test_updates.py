@@ -7,7 +7,6 @@ from repro.workloads import books
 from repro.xml import evaluate_path
 from repro.xquery import (
     DeleteOp,
-    InsertOp,
     ReplaceOp,
     apply_view_update,
     evaluate_view,

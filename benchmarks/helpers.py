@@ -9,9 +9,11 @@ output can be compared against the figures directly.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import defaultdict
-from typing import Callable
+from contextlib import contextmanager
+from typing import Callable, Iterable, Optional
 
 from repro.core import Category, UFilter
 from repro.core.update_binding import resolve_update
@@ -20,7 +22,9 @@ from repro.workloads import tpch
 __all__ = [
     "Series",
     "blind_translate_and_execute",
+    "byte_rows",
     "checked_translate_and_execute",
+    "forced_executor",
     "fresh_tpch",
     "timed",
 ]
@@ -74,6 +78,38 @@ def timed(fn: Callable[[], object]) -> float:
     start = time.perf_counter()
     fn()
     return time.perf_counter() - start
+
+
+@contextmanager
+def forced_executor(mode: Optional[str]):
+    """Pin the plan executor for the duration of the block.
+
+    ``"1"`` forces the vectorized batch executor, ``"0"`` forces the
+    row-at-a-time compiled executor, ``None`` restores the
+    estimate-driven default.  Restores the previous ``REPRO_VECTORIZE``
+    on exit, so measurement blocks can be nested or reordered freely.
+    """
+    previous = os.environ.get("REPRO_VECTORIZE")
+    if mode is None:
+        os.environ.pop("REPRO_VECTORIZE", None)
+    else:
+        os.environ["REPRO_VECTORIZE"] = mode
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_VECTORIZE", None)
+        else:
+            os.environ["REPRO_VECTORIZE"] = previous
+
+
+def byte_rows(rows: Iterable[dict]) -> list:
+    """Key-order-sensitive image of a result set.
+
+    ``dict.__eq__`` ignores key order, so "byte-identical" comparisons
+    between executors must compare item lists, not the dicts.
+    """
+    return [list(row.items()) for row in rows]
 
 
 def fresh_tpch(megabytes: float, seed: int = 7):

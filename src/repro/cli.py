@@ -22,7 +22,11 @@ Subcommands:
   (:mod:`repro.core.faultsweep`);
 * ``lint`` — run the repo invariant linter (rules REP001–REP005 of
   :mod:`repro.analysis`) over the source tree, and with ``--plans``
-  additionally sweep the plan-IR verifier across generated scenarios.
+  additionally sweep the plan-IR verifier across generated scenarios;
+* ``bench`` — run the engine executor benchmark (the Fig. 15/16 probe
+  workloads under the interpreted, row-compiled and vectorized
+  executors) at a chosen scale, writing the timing JSON and optionally
+  gating against a committed ``BENCH_engine.json``.
 
 Schemas/data are supplied as SQL scripts (CREATE TABLE + INSERT
 statements in the dialect of :mod:`repro.rdb.sql`), views and updates
@@ -243,6 +247,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write findings (and the plan-sweep report) as JSON",
     )
 
+    bench = sub.add_parser(
+        "bench",
+        help="run the engine executor benchmark (Fig. 15/16 workloads)",
+    )
+    bench.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="nominal database size in MB (default: the benchmark's "
+        "full-run scale)",
+    )
+    bench.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="best-of timing rounds per executor",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="0.5 MB scale, one timing round (CI smoke mode)",
+    )
+    bench.add_argument(
+        "--out",
+        metavar="PATH",
+        help="output JSON path (default: the committed BENCH_engine.json)",
+    )
+    bench.add_argument(
+        "--check-against",
+        metavar="COMMITTED",
+        help="fail if rows_scanned regresses versus this committed "
+        "BENCH_engine.json (run at the committed scale)",
+    )
+
     return parser
 
 
@@ -433,6 +472,46 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # the benchmark harness lives in the repository's benchmarks/
+    # package, next to src/ — importable from a checkout, not from an
+    # installed wheel
+    try:
+        from benchmarks import bench_engine_opt
+    except ImportError:
+        sys.path.insert(0, str(Path.cwd()))
+        try:
+            from benchmarks import bench_engine_opt
+        except ImportError:
+            print(
+                "bench: the benchmarks/ package is not importable — run "
+                "from the repository root",
+                file=sys.stderr,
+            )
+            return 2
+    argv: list[str] = []
+    if args.quick:
+        argv.append("--quick")
+    if args.scale is not None:
+        argv += ["--scale", str(args.scale)]
+    if args.rounds is not None:
+        argv += ["--rounds", str(args.rounds)]
+    if args.out:
+        argv += ["--out", args.out]
+    if args.check_against:
+        argv += ["--check-against", args.check_against]
+    try:
+        bench_engine_opt.main(argv)
+    except SystemExit as exc:
+        if exc.code in (0, None):
+            return 0
+        if isinstance(exc.code, str):
+            print(f"bench: {exc.code}", file=sys.stderr)
+            return 1
+        return int(exc.code)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "demo":
@@ -453,6 +532,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_faults(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -1,0 +1,309 @@
+"""Columnar mirrors of relations + the batch carrier of the vectorized
+executor.
+
+Row storage stays the single source of truth (``Table._rows`` dicts);
+this module maintains derived, column-major *mirrors* of it:
+
+* :class:`ColumnStore` — one relation's rows pivoted into parallel
+  arrays: a rowid array, a row-reference array (the live ``Table`` row
+  dicts, zero-copy) and per-column value arrays materialized lazily on
+  first access.  A store is pinned to the (schema_version, data_version)
+  generation pair it was built against.
+* :class:`ColumnStoreManager` — the per-database registry.  DML hooks
+  refresh a store **incrementally** when the generation delta is the
+  single bump the current mutation made; anything else (rollback
+  replay's coalesced bumps, recovery, DDL) drops the store and the next
+  access rebuilds from the table — the same trust model index
+  ``rebuild()`` uses after crash recovery.
+* :class:`ColumnBatch` — the unit of work between vectorized operators:
+  one or more FROM items' parallel arrays plus an optional *selection
+  vector* (``sel``) of surviving positions.  Filters narrow ``sel``
+  without copying data; joins gather new compacted batches.
+
+Deletes swap-with-last, so a store's row order drifts from the table's
+insertion order after churn.  That is fine by construction: every
+consumer either aggregates (statistics builds) or re-sorts on rowids
+(the vectorized executor's finalize step), so store order is never
+observable in results.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .database import Database
+    from .table import Table
+
+__all__ = ["ColumnBatch", "ColumnStore", "ColumnStoreManager"]
+
+Row = dict[str, Any]
+
+
+class ColumnStore:
+    """Column-major mirror of one relation at one generation."""
+
+    __slots__ = ("relation_name", "schema_version", "data_version",
+                 "rowids", "rows", "columns", "_positions")
+
+    def __init__(
+        self,
+        relation_name: str,
+        schema_version: int,
+        data_version: int,
+    ) -> None:
+        self.relation_name = relation_name
+        self.schema_version = schema_version
+        self.data_version = data_version
+        self.rowids: list[int] = []
+        #: live references to the Table's row dicts — UPDATE mutates them
+        #: in place, so only materialized column arrays need patching
+        self.rows: list[Row] = []
+        #: lazily materialized per-column value arrays
+        self.columns: dict[str, list] = {}
+        self._positions: dict[int, int] = {}
+
+    @classmethod
+    def build(
+        cls,
+        relation_name: str,
+        table: "Table",
+        schema_version: int,
+        data_version: int,
+    ) -> "ColumnStore":
+        store = cls(relation_name, schema_version, data_version)
+        rowids = store.rowids
+        rows = store.rows
+        positions = store._positions
+        for rowid, row in table.scan():
+            positions[rowid] = len(rowids)
+            rowids.append(rowid)
+            rows.append(row)
+        return store
+
+    def column(self, name: str) -> list:
+        """The materialized value array of one column (cached)."""
+        arr = self.columns.get(name)
+        if arr is None:
+            arr = self.columns[name] = [row[name] for row in self.rows]
+        return arr
+
+    def __len__(self) -> int:
+        return len(self.rowids)
+
+    # -- incremental maintenance (manager-driven) ----------------------------
+
+    def apply_insert(self, rowid: int, row: Row) -> None:
+        self._positions[rowid] = len(self.rowids)
+        self.rowids.append(rowid)
+        self.rows.append(row)
+        for name, arr in self.columns.items():
+            arr.append(row[name])
+
+    def apply_delete(self, rowid: int) -> None:
+        position = self._positions.pop(rowid, None)
+        if position is None:
+            return
+        last = len(self.rowids) - 1
+        if position != last:
+            moved = self.rowids[last]
+            self.rowids[position] = moved
+            self.rows[position] = self.rows[last]
+            self._positions[moved] = position
+            for arr in self.columns.values():
+                arr[position] = arr[last]
+        self.rowids.pop()
+        self.rows.pop()
+        for arr in self.columns.values():
+            arr.pop()
+
+    def apply_update(self, rowid: int, changes: Row) -> None:
+        # the Table mutated the shared row dict in place already; only
+        # the materialized arrays of the changed columns need patching
+        position = self._positions.get(rowid)
+        if position is None:
+            return
+        row = self.rows[position]
+        columns = self.columns
+        for name in changes:
+            arr = columns.get(name)
+            if arr is not None:
+                arr[position] = row[name]
+
+
+class ColumnStoreManager:
+    """Per-database registry of column stores, with DML delta tracking."""
+
+    def __init__(self, db: "Database") -> None:
+        self.db = db
+        self._stores: dict[str, ColumnStore] = {}
+        #: full pivots from the table (lazy first access or staleness)
+        self.builds = 0
+        #: DML mutations absorbed without dropping a store
+        self.incremental_ops = 0
+
+    # -- access --------------------------------------------------------------
+
+    def store(self, relation_name: str) -> ColumnStore:
+        """The fresh store for *relation_name*, building if needed."""
+        store = self.peek(relation_name)
+        if store is not None:
+            return store
+        db = self.db
+        store = ColumnStore.build(
+            relation_name,
+            db.table(relation_name),
+            db.schema_versions.get(relation_name, 0),
+            db.data_versions.get(relation_name, 0),
+        )
+        self._stores[relation_name] = store
+        self.builds += 1
+        return store
+
+    def peek(self, relation_name: str) -> Optional[ColumnStore]:
+        """The cached store iff it is at the current generation."""
+        store = self._stores.get(relation_name)
+        if store is None or not self._fresh(store):
+            return None
+        return store
+
+    def _fresh(self, store: ColumnStore) -> bool:
+        db = self.db
+        name = store.relation_name
+        return (
+            store.schema_version == db.schema_versions.get(name, 0)
+            and store.data_version == db.data_versions.get(name, 0)
+        )
+
+    def forget(self, relation_name: str) -> None:
+        self._stores.pop(relation_name, None)
+
+    def clear(self) -> None:
+        self._stores.clear()
+
+    def cached_relations(self) -> tuple[str, ...]:
+        return tuple(self._stores)
+
+    # -- DML hooks (called by the Database physical primitives) --------------
+    #
+    # Each hook fires *after* `_bump_data_version`, so a normal mutation
+    # arrives with the db exactly one generation ahead of the store.
+    # Rollback replay coalesces its bumps (`_coalesce_versions`), so the
+    # per-operation accounting breaks there — the store is dropped and
+    # rebuilt on next access instead of patched.
+
+    def _trackable(self, relation_name: str) -> Optional[ColumnStore]:
+        store = self._stores.get(relation_name)
+        if store is None:
+            return None
+        db = self.db
+        if db._coalesce_versions:
+            self.forget(relation_name)
+            return None
+        if store.schema_version != db.schema_versions.get(relation_name, 0):
+            self.forget(relation_name)
+            return None
+        delta = db.data_versions.get(relation_name, 0) - store.data_version
+        if delta not in (0, 1):
+            self.forget(relation_name)
+            return None
+        return store
+
+    def on_insert(self, relation_name: str, rowid: int, row: Row) -> None:
+        store = self._trackable(relation_name)
+        if store is None:
+            return
+        store.apply_insert(rowid, row)
+        store.data_version = self.db.data_versions.get(relation_name, 0)
+        self.incremental_ops += 1
+
+    def on_delete(self, relation_name: str, rowid: int) -> None:
+        store = self._trackable(relation_name)
+        if store is None:
+            return
+        store.apply_delete(rowid)
+        store.data_version = self.db.data_versions.get(relation_name, 0)
+        self.incremental_ops += 1
+
+    def on_update(self, relation_name: str, rowid: int, changes: Row) -> None:
+        store = self._trackable(relation_name)
+        if store is None:
+            return
+        store.apply_update(rowid, changes)
+        store.data_version = self.db.data_versions.get(relation_name, 0)
+        self.incremental_ops += 1
+
+
+Positions = Union[range, list[int]]
+
+
+class ColumnBatch:
+    """A batch of joined rows flowing between vectorized operators.
+
+    ``names`` are the FROM-item names the batch binds; ``rowids[name]``
+    / ``rows[name]`` are parallel arrays of length ``length``.  ``sel``
+    is the selection vector: ``None`` means every position survives,
+    otherwise it lists the surviving positions in ascending batch
+    order.  Column value arrays are materialized lazily per
+    ``(name, column)`` and, for scan batches backed by a
+    :class:`ColumnStore`, delegate to the store so the materialization
+    outlives the query.
+    """
+
+    __slots__ = ("names", "length", "rowids", "rows", "sel",
+                 "_columns", "_stores")
+
+    def __init__(
+        self,
+        names: tuple[str, ...],
+        length: int,
+        rowids: dict[str, Sequence[int]],
+        rows: dict[str, Sequence[Row]],
+        stores: Optional[dict[str, ColumnStore]] = None,
+    ) -> None:
+        self.names = names
+        self.length = length
+        self.rowids = rowids
+        self.rows = rows
+        self.sel: Optional[list[int]] = None
+        self._columns: dict[tuple[str, str], list] = {}
+        self._stores = stores
+
+    def column(self, name: str, column: str) -> list:
+        key = (name, column)
+        arr = self._columns.get(key)
+        if arr is None:
+            store = self._stores.get(name) if self._stores else None
+            if store is not None:
+                arr = store.column(column)
+            else:
+                arr = [row[column] for row in self.rows[name]]
+            self._columns[key] = arr
+        return arr
+
+    def gather(self, name: str, column: str, order: Positions) -> list:
+        """Values of one column along the *order* positions.
+
+        Store-backed and already-materialized columns gather from the
+        cached array; otherwise read the row dicts directly — for a
+        single consumer, materializing the full column first would do
+        the indexing work twice.
+        """
+        store = self._stores.get(name) if self._stores else None
+        if store is not None:
+            array = store.column(column)
+            return [array[i] for i in order]
+        cached = self._columns.get((name, column))
+        if cached is not None:
+            return [cached[i] for i in order]
+        rows = self.rows[name]
+        return [rows[i][column] for i in order]
+
+    def positions(self) -> Positions:
+        """The surviving positions (the selection vector, or all)."""
+        sel = self.sel
+        return range(self.length) if sel is None else sel
+
+    def selected_count(self) -> int:
+        sel = self.sel
+        return self.length if sel is None else len(sel)

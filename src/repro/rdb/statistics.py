@@ -14,6 +14,14 @@ engine's ``ANALYZE`` does:
   selectivities (the "bushy-friendly" part: a relation with a selective
   ``<``/``>`` filter can win a join-order slot even without an index).
 
+Above ``StatisticsManager.sample_rows`` values per column, distinct
+counts and histograms are built from a systematic sample (every step-th
+value) instead of the full value list — only the estimates sample; row
+counts and null counts stay exact (``verify_integrity`` audits them).
+When a fresh :class:`~repro.rdb.columnar.ColumnStore` mirrors the
+relation, builds read its cached column arrays instead of pivoting row
+dicts.
+
 Statistics are built lazily on first planner access and rebuilt lazily
 once the number of modifications since the last build exceeds a
 configurable **staleness threshold** (a fraction of the rows seen at
@@ -48,6 +56,8 @@ Row = Mapping[str, Any]
 DEFAULT_STALENESS = 0.25
 #: default number of histogram buckets
 DEFAULT_BUCKETS = 16
+#: values fed to distinct/histogram builds before sampling kicks in
+DEFAULT_SAMPLE_ROWS = 10_000
 #: selectivity assumed for predicates nothing can estimate
 DEFAULT_SELECTIVITY = 1.0
 
@@ -149,10 +159,28 @@ class ColumnStatistics:
 
     @classmethod
     def build(
-        cls, column: str, values: Iterable[Any], buckets: int
+        cls,
+        column: str,
+        values: Iterable[Any],
+        buckets: int,
+        sample_rows: int = 0,
     ) -> "ColumnStatistics":
         non_null = [value for value in values if value is not None]
+        total = len(non_null)
+        sampled = False
+        if sample_rows and total > sample_rows:
+            # systematic sample: every step-th value in scan order (store
+            # order is already effectively arbitrary after delete churn)
+            step = -(-total // sample_rows)
+            non_null = non_null[::step]
+            sampled = True
         distinct = len(set(non_null))
+        if sampled and distinct * 2 >= len(non_null):
+            # high cardinality: most sampled values were unique, so the
+            # sample undercounts — scale linearly, capped at the row count.
+            # Low-cardinality columns skip this: the sample already saw
+            # (nearly) every value, so the raw count is the better answer.
+            distinct = min(total, distinct * step)
         histogram: Optional[EquiDepthHistogram] = None
         try:
             non_null.sort()
@@ -274,11 +302,17 @@ class StatisticsManager:
         db: "Database",
         staleness: float = DEFAULT_STALENESS,
         histogram_buckets: int = DEFAULT_BUCKETS,
+        sample_rows: int = DEFAULT_SAMPLE_ROWS,
     ) -> None:
         self.db = db
         #: fraction of rows that may change before a lazy rebuild
         self.staleness = staleness
         self.histogram_buckets = histogram_buckets
+        #: per-column value cap before distinct/histogram builds sample
+        #: (0 disables sampling); row counts and null counts stay exact
+        self.sample_rows = sample_rows
+        #: builds that crossed the cap and sampled at least one column
+        self.sampled_builds = 0
         self._tables: dict[str, TableStatistics] = {}
 
     # -- access --------------------------------------------------------------
@@ -312,20 +346,36 @@ class StatisticsManager:
     def _build(self, relation_name: str) -> TableStatistics:
         table = self.db.table(relation_name)
         stats = TableStatistics(relation_name, table.columns)
-        values_by_column: dict[str, list] = {
-            column: [] for column in table.columns
-        }
-        for _, row in table.scan():
-            stats.row_count += 1
-            for column, bucket in values_by_column.items():
-                value = row.get(column)
-                if value is None:
-                    stats.null_counts[column] += 1
-                else:
-                    bucket.append(value)
+        store = self.db.columns.peek(relation_name)
+        values_by_column: dict[str, list]
+        if store is not None:
+            # columnar fast path: reuse the store's cached value arrays
+            # instead of pivoting row dicts (and the materialization
+            # persists on the store for the next build).  Null counts
+            # come from a full array pass, so they stay exact;
+            # ColumnStatistics.build filters the Nones itself.
+            stats.row_count = len(store)
+            values_by_column = {}
+            for column in table.columns:
+                array = store.column(column)
+                stats.null_counts[column] = array.count(None)
+                values_by_column[column] = array
+        else:
+            values_by_column = {column: [] for column in table.columns}
+            for _, row in table.scan():
+                stats.row_count += 1
+                for column, bucket in values_by_column.items():
+                    value = row.get(column)
+                    if value is None:
+                        stats.null_counts[column] += 1
+                    else:
+                        bucket.append(value)
+        if self.sample_rows and stats.row_count > self.sample_rows:
+            self.sampled_builds += 1
         for column, values in values_by_column.items():
             stats.columns[column] = ColumnStatistics.build(
-                column, values, self.histogram_buckets
+                column, values, self.histogram_buckets,
+                sample_rows=self.sample_rows,
             )
         stats.rows_at_build = stats.row_count
         stats.mods_since_build = 0

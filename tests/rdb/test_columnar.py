@@ -1,0 +1,305 @@
+"""Columnar mirrors + the vectorized executor's policy and counters.
+
+Covers the :mod:`repro.rdb.columnar` generation contract (lazy builds,
+incremental DML maintenance, invalidation on rollback/recovery/DDL),
+the ``verify_integrity`` audit of store mirrors, and the executor
+choice policy of ``_plan`` (estimate threshold, ``REPRO_VECTORIZE``
+forcing, cache behaviour on forced flips, counter parity).
+"""
+
+import os
+from contextlib import contextmanager
+
+from repro.rdb import (
+    Attribute,
+    Comparison,
+    Database,
+    FromItem,
+    Integer,
+    Relation,
+    Schema,
+    SelectPlan,
+    col,
+    conjoin,
+    execute_select,
+    lit,
+)
+from repro.workloads import books
+
+
+@contextmanager
+def forced(mode):
+    previous = os.environ.get("REPRO_VECTORIZE")
+    if mode is None:
+        os.environ.pop("REPRO_VECTORIZE", None)
+    else:
+        os.environ["REPRO_VECTORIZE"] = mode
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_VECTORIZE", None)
+        else:
+            os.environ["REPRO_VECTORIZE"] = previous
+
+
+def _small_db(rows: int = 40) -> Database:
+    schema = Schema()
+    schema.add_relation(
+        Relation("t", [Attribute("a", Integer()), Attribute("b", Integer())])
+    )
+    schema.add_relation(
+        Relation("u", [Attribute("a", Integer()), Attribute("c", Integer())])
+    )
+    db = Database(schema)
+    for i in range(rows):
+        db.insert("t", {"a": i, "b": i % 5})
+    for i in range(rows // 2):
+        db.insert("u", {"a": i * 2, "c": i % 3})
+    return db
+
+
+def _byte(rows):
+    # dict equality ignores key order; byte-identical comparisons must not
+    return [list(row.items()) for row in rows]
+
+
+def _join_plan(include_rowids: bool = True) -> SelectPlan:
+    return SelectPlan(
+        from_items=[FromItem("t"), FromItem("u")],
+        where=conjoin(
+            [
+                Comparison("=", col("t.a"), col("u.a")),
+                Comparison("<", col("t.b"), lit(4)),
+            ]
+        ),
+        include_rowids=include_rowids,
+    )
+
+
+# ---------------------------------------------------------------------------
+# store lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestColumnStoreLifecycle:
+    def test_lazy_build_and_reuse(self):
+        db = _small_db()
+        assert db.columns.peek("t") is None
+        store = db.columns.store("t")
+        assert db.columns.builds == 1
+        assert len(store) == db.count("t")
+        # fresh: the same store comes back without another build
+        assert db.columns.store("t") is store
+        assert db.columns.builds == 1
+        assert db.columns.cached_relations() == ("t",)
+
+    def test_column_arrays_materialize_lazily(self):
+        db = _small_db()
+        store = db.columns.store("t")
+        assert store.columns == {}
+        array = store.column("a")
+        assert array == [row["a"] for row in store.rows]
+        assert store.column("a") is array
+
+    def test_insert_maintains_store_incrementally(self):
+        db = _small_db()
+        store = db.columns.store("t")
+        store.column("a")
+        db.insert("t", {"a": 999, "b": 1})
+        assert db.columns.peek("t") is store  # still fresh, not dropped
+        assert db.columns.incremental_ops == 1
+        assert db.columns.builds == 1
+        assert len(store) == db.count("t")
+        assert store.column("a")[-1] == 999
+        assert db.verify_integrity() == []
+
+    def test_delete_swaps_with_last(self):
+        db = _small_db()
+        store = db.columns.store("t")
+        store.column("a")
+        victim = db.find_rowids("t", {"a": 3}).pop()
+        db.delete("t", [victim])
+        assert db.columns.peek("t") is store
+        assert len(store) == db.count("t")
+        assert victim not in store.rowids
+        assert db.verify_integrity() == []
+
+    def test_update_patches_materialized_arrays(self):
+        db = _small_db()
+        store = db.columns.store("t")
+        store.column("b")
+        rowid = db.find_rowids("t", {"a": 7}).pop()
+        db.update("t", rowid, {"b": 77})
+        assert db.columns.peek("t") is store
+        position = store.rowids.index(rowid)
+        assert store.column("b")[position] == 77
+        assert db.verify_integrity() == []
+
+    def test_rollback_drops_the_store(self):
+        db = _small_db()
+        db.columns.store("t")
+        expected = _byte(
+            execute_select(db, SelectPlan(from_items=[FromItem("t")]))
+        )
+        db.begin()
+        db.insert("t", {"a": 500, "b": 0})
+        db.insert("t", {"a": 501, "b": 1})
+        db.rollback()
+        # rollback replay coalesces version bumps: the per-op delta
+        # accounting cannot hold, so the store must be rebuilt
+        rebuilt = db.columns.store("t")
+        assert len(rebuilt) == db.count("t")
+        assert db.verify_integrity() == []
+        assert _byte(
+            execute_select(db, SelectPlan(from_items=[FromItem("t")]))
+        ) == expected
+
+    def test_recovery_rebuilds_the_store(self):
+        db = books.build_book_database()
+        db.attach_wal()
+        store = db.columns.store("book")
+        count = db.count("book")
+        db.begin()
+        db.insert("publisher", {"pubid": "Z01", "pubname": "Zed"})
+        db.update("book", 1, {"price": 1.23})
+        # the process dies here: nobody commits, nobody rolls back
+        report = db.recover()
+        assert report.recovered
+        assert db.columns.peek("book") is None
+        rebuilt = db.columns.store("book")
+        assert rebuilt is not store
+        assert len(rebuilt) == count
+        assert db.verify_integrity() == []
+
+    def test_drop_table_forgets_the_store(self):
+        db = _small_db()
+        db.columns.store("u")
+        db.drop_table("u")
+        assert "u" not in db.columns.cached_relations()
+
+    def test_verify_integrity_flags_tampered_array(self):
+        db = _small_db()
+        store = db.columns.store("t")
+        store.column("a")[0] = -12345
+        violations = db.verify_integrity()
+        assert any("column array diverges" in v for v in violations)
+        db.columns.forget("t")
+        assert db.verify_integrity() == []
+
+    def test_verify_integrity_flags_tampered_rowids(self):
+        db = _small_db()
+        store = db.columns.store("t")
+        store.rowids[0], store.rowids[1] = store.rowids[1], store.rowids[0]
+        assert db.verify_integrity() != []
+        db.columns.forget("t")
+        assert db.verify_integrity() == []
+
+
+# ---------------------------------------------------------------------------
+# executor policy + counters
+# ---------------------------------------------------------------------------
+
+
+class TestExecutorPolicy:
+    def test_forced_executors_agree_byte_identically(self):
+        db = _small_db()
+        plan = _join_plan()
+        oracle = _byte(execute_select(db, plan, optimize=False))
+        with forced("0"):
+            row = _byte(execute_select(db, plan))
+        with forced("1"):
+            vector = _byte(execute_select(db, plan))
+        assert row == oracle
+        assert vector == oracle
+
+    def test_estimate_threshold_picks_the_executor(self):
+        small = _small_db()
+        small.vectorize_threshold = 10**9
+        execute_select(small, _join_plan())
+        assert small.stats["vectorized_plans"] == 0
+
+        eager = _small_db()
+        eager.vectorize_threshold = 1
+        execute_select(eager, _join_plan())
+        assert eager.stats["vectorized_plans"] == 1
+        assert eager.stats["batches_processed"] > 0
+
+    def test_forced_flip_recompiles_and_counts(self):
+        db = _small_db()
+        plan = _join_plan()
+        with forced("1"):
+            first = _byte(execute_select(db, plan))
+        compiled_after_vector = db.stats["plans_compiled"]
+        assert db.stats["vectorized_plans"] == 1
+        with forced("0"):
+            second = _byte(execute_select(db, plan))
+        assert db.stats["plans_compiled"] == compiled_after_vector + 1
+        with forced("0"):
+            # same executor again: plan-cache hit, no recompile
+            third = _byte(execute_select(db, plan))
+        assert db.stats["plans_compiled"] == compiled_after_vector + 1
+        assert first == second == third
+
+    def test_rows_scanned_parity_between_executors(self):
+        db = _small_db()
+        plan = _join_plan()
+        with forced("0"):
+            before = db.stats["rows_scanned"]
+            execute_select(db, plan)
+            row_scanned = db.stats["rows_scanned"] - before
+        with forced("1"):
+            before = db.stats["rows_scanned"]
+            execute_select(db, plan)
+            vector_scanned = db.stats["rows_scanned"] - before
+        assert vector_scanned == row_scanned
+
+    def test_non_equi_join_falls_back_to_row_closures(self):
+        db = _small_db()
+        plan = SelectPlan(
+            from_items=[FromItem("t"), FromItem("u")],
+            where=Comparison("<", col("u.a"), col("t.a")),
+        )
+        oracle = _byte(execute_select(db, plan, optimize=False))
+        with forced("1"):
+            vector = _byte(execute_select(db, plan))
+        # no equi-key: the join subtree runs through the row closures
+        assert db.stats["vector_fallbacks"] >= 1
+        assert db.stats["vectorized_plans"] == 1
+        assert vector == oracle
+
+    def test_scan_filter_plan_is_natively_vectorized(self):
+        db = _small_db()
+        plan = SelectPlan(
+            from_items=[FromItem("t")],
+            where=Comparison("<", col("t.b"), lit(3)),
+        )
+        oracle = _byte(execute_select(db, plan, optimize=False))
+        with forced("1"):
+            vector = _byte(execute_select(db, plan))
+        assert vector == oracle
+        assert db.stats["vector_fallbacks"] == 0
+        assert db.stats["batches_processed"] > 0
+
+    def test_temp_table_hash_join_vectorizes(self):
+        db = _small_db()
+        db.create_temp_table(
+            "TAB_t",
+            ["a", "b"],
+            [
+                {"a": row["a"], "b": row["b"]}
+                for row in execute_select(
+                    db, SelectPlan(from_items=[FromItem("t")])
+                )
+            ],
+        )
+        plan = SelectPlan(
+            from_items=[FromItem("TAB_t"), FromItem("u")],
+            where=Comparison("=", col("TAB_t.a"), col("u.a")),
+        )
+        oracle = _byte(execute_select(db, plan, optimize=False))
+        with forced("1"):
+            vector = _byte(execute_select(db, plan))
+        assert vector == oracle
+        assert db.stats["vector_fallbacks"] == 0
+        assert db.stats["hash_joins"] >= 1

@@ -1,5 +1,7 @@
 """The table-statistics subsystem and its planner integration."""
 
+import random
+
 import pytest
 
 from repro.rdb import (
@@ -16,7 +18,7 @@ from repro.rdb import (
     order_from_items,
 )
 from repro.rdb.optimizer import estimate_access
-from repro.rdb.statistics import EquiDepthHistogram
+from repro.rdb.statistics import ColumnStatistics, EquiDepthHistogram
 
 
 def int_db(rows, relation_name="r", columns=("a", "b")):
@@ -191,3 +193,67 @@ def test_estimate_access_empty_relation_is_zero():
     db = int_db([])
     kind, emitted = estimate_access(db, FromItem("r"), [], set())
     assert (kind, emitted) == ("scan", 0)
+
+
+# ---------------------------------------------------------------------------
+# sampling mode
+# ---------------------------------------------------------------------------
+
+def test_sampling_scales_high_cardinality_distinct():
+    # 1000 unique values, sample cap 100: step 10, 100 sampled values,
+    # all unique -> scaled back up to min(total, 100 * 10) = 1000
+    stats = ColumnStatistics.build("a", list(range(1000)), 8, sample_rows=100)
+    assert stats.distinct == 1000
+
+
+def test_sampling_keeps_low_cardinality_distinct_exact():
+    # 5 distinct values repeated: the sample sees all of them, and the
+    # scaling heuristic must NOT inflate the count.  (Values come from a
+    # seeded PRNG — a periodic pattern like i % 5 would alias with the
+    # systematic every-step-th sample.)
+    rng = random.Random(7)
+    values = [rng.randrange(5) for _ in range(1000)]
+    stats = ColumnStatistics.build("a", values, 8, sample_rows=100)
+    assert stats.distinct == 5
+
+
+def test_sampling_never_exceeds_row_count():
+    stats = ColumnStatistics.build("a", list(range(101)), 8, sample_rows=100)
+    assert stats.distinct <= 101
+
+
+def test_small_columns_do_not_sample():
+    stats = ColumnStatistics.build("a", list(range(50)), 8, sample_rows=100)
+    assert stats.distinct == 50
+
+
+def test_manager_counts_sampled_builds_and_keeps_exact_counters():
+    db = int_db(
+        [{"a": i, "b": None if i % 4 else i} for i in range(400)]
+    )
+    db.statistics.sample_rows = 100
+    stats = db.statistics.table("r")
+    assert db.statistics.sampled_builds == 1
+    # row counts and null counts stay exact under sampling --
+    # verify_integrity audits them against the stored rows
+    assert stats.row_count == 400
+    assert stats.null_counts["b"] == 300
+    assert db.verify_integrity() == []
+
+
+def test_columnar_build_path_matches_scan_path():
+    rows = [{"a": i % 7, "b": None if i % 3 else i} for i in range(200)]
+    scanned = int_db(rows)
+    scanned.analyze("r")
+    mirrored = int_db(rows)
+    mirrored.columns.store("r")  # columnar fast path feeds the build
+    mirrored.analyze("r")
+    left = scanned.statistics.peek("r")
+    right = mirrored.statistics.peek("r")
+    assert left.row_count == right.row_count
+    assert left.null_counts == right.null_counts
+    for column in ("a", "b"):
+        assert left.columns[column].distinct == right.columns[column].distinct
+        lh, rh = left.columns[column].histogram, right.columns[column].histogram
+        assert (lh.fences if lh else None) == (rh.fences if rh else None)
+        assert (lh.counts if lh else None) == (rh.counts if rh else None)

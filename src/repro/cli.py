@@ -252,34 +252,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the engine executor benchmark (Fig. 15/16 workloads)",
     )
     bench.add_argument(
+        "--streaming",
+        action="store_true",
+        help="run the streaming-session benchmark instead (probe "
+        "maintenance vs invalidate-and-recompute, BENCH_streaming.json)",
+    )
+    bench.add_argument(
         "--scale",
         type=float,
         default=None,
         metavar="MB",
         help="nominal database size in MB (default: the benchmark's "
-        "full-run scale)",
+        "full-run scale; engine benchmark only)",
     )
     bench.add_argument(
         "--rounds",
         type=int,
         default=None,
-        help="best-of timing rounds per executor",
+        help="best-of timing rounds per executor (with --streaming: "
+        "live update rounds)",
     )
     bench.add_argument(
         "--quick",
         action="store_true",
-        help="0.5 MB scale, one timing round (CI smoke mode)",
+        help="reduced scale, one timing round (CI smoke mode)",
     )
     bench.add_argument(
         "--out",
         metavar="PATH",
-        help="output JSON path (default: the committed BENCH_engine.json)",
+        help="output JSON path (default: the committed benchmark file)",
     )
     bench.add_argument(
         "--check-against",
         metavar="COMMITTED",
         help="fail if rows_scanned regresses versus this committed "
-        "BENCH_engine.json (run at the committed scale)",
+        "benchmark file (run at the committed shape)",
     )
 
     return parser
@@ -476,12 +483,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # the benchmark harness lives in the repository's benchmarks/
     # package, next to src/ — importable from a checkout, not from an
     # installed wheel
+    module = (
+        "bench_batch_sessions" if args.streaming else "bench_engine_opt"
+    )
     try:
-        from benchmarks import bench_engine_opt
+        import importlib
+
+        bench = importlib.import_module(f"benchmarks.{module}")
     except ImportError:
         sys.path.insert(0, str(Path.cwd()))
         try:
-            from benchmarks import bench_engine_opt
+            bench = importlib.import_module(f"benchmarks.{module}")
         except ImportError:
             print(
                 "bench: the benchmarks/ package is not importable — run "
@@ -493,6 +505,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.quick:
         argv.append("--quick")
     if args.scale is not None:
+        if args.streaming:
+            print("bench: --scale only applies to the engine benchmark",
+                  file=sys.stderr)
+            return 2
         argv += ["--scale", str(args.scale)]
     if args.rounds is not None:
         argv += ["--rounds", str(args.rounds)]
@@ -501,7 +517,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.check_against:
         argv += ["--check-against", args.check_against]
     try:
-        bench_engine_opt.main(argv)
+        bench.main(argv)
     except SystemExit as exc:
         if exc.code in (0, None):
             return 0

@@ -45,6 +45,7 @@ to the smallest misbehaving seed.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
@@ -568,6 +569,33 @@ def run_scenario(
                     "*batch*",
                     "interleaved session final state differs from "
                     "per-update checking (probe-cache invalidation?)",
+                )
+
+            # third leg: the same session with probe maintenance forced
+            # (REPRO_IVM=1) — cached probes are delta-maintained instead
+            # of recomputed, and the final state must still agree
+            maintained = base.clone()
+            previous_ivm = os.environ.get("REPRO_IVM")
+            os.environ["REPRO_IVM"] = "1"
+            try:
+                session = UpdateSession(
+                    maintained, scenario.view_text, strategy="outside", qa=True
+                )
+                for name, text in scenario.updates:
+                    session.add(text, name=name)
+                session.execute(mode="interleaved", atomic=False)
+            finally:
+                if previous_ivm is None:
+                    os.environ.pop("REPRO_IVM", None)
+                else:
+                    os.environ["REPRO_IVM"] = previous_ivm
+
+            if _fingerprint(sequential) != _fingerprint(maintained):
+                bad(
+                    "ivm-mismatch",
+                    "*batch*",
+                    "maintained session final state differs from "
+                    "per-update checking (delta maintenance bug?)",
                 )
         # Session cross-check escapes are findings, not aborts.
         # repro: allow[REP003]

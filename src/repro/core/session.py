@@ -62,6 +62,7 @@ from ..errors import (
     UpdateTimeoutError,
 )
 from ..rdb.database import Database
+from ..rdb.ivm import ivm_forced
 from ..xquery.ast import ViewQuery
 from ..xquery.parser import parse_view_query
 from ..xquery.update_ast import ViewUpdate
@@ -186,6 +187,12 @@ class SessionResult:
     timeouts: int = 0
     #: the graceful-degradation policy this batch ran under
     policy: str = ""
+    #: incremental-maintenance accounting (see repro.rdb.ivm): cached
+    #: probes kept current by streaming DML deltas instead of being
+    #: invalidated, entries dropped to recompute, delta rows absorbed
+    ivm_maintained: int = 0
+    ivm_fallbacks: int = 0
+    ivm_delta_rows: int = 0
 
     @property
     def applied(self) -> list[SessionEntry]:
@@ -215,6 +222,12 @@ class SessionResult:
             f"{self.replans_avoided} replan(s) avoided, "
             f"{self.bushy_plans} bushy plan(s)",
         ]
+        if self.ivm_maintained or self.ivm_fallbacks:
+            lines.append(
+                f"  maintenance: {self.ivm_maintained} probe(s) maintained "
+                f"({self.ivm_delta_rows} delta row(s)), "
+                f"{self.ivm_fallbacks} fallback(s) to recompute"
+            )
         if self.retries_used or self.timeouts:
             lines.append(
                 f"  fault handling ({self.policy}): "
@@ -279,6 +292,12 @@ class UpdateSession:
         Injectable timing functions (``time.sleep`` /
         ``time.monotonic``), so retry/timeout tests run deterministic
         and instant.
+    ivm:
+        Maintain cached probe results incrementally from DML deltas
+        (:mod:`repro.rdb.ivm`) instead of invalidating and recomputing
+        them.  Default ``None`` means on, subject to
+        ``db.ivm_threshold``; the ``REPRO_IVM`` environment variable
+        (``0`` off / ``1`` forced) overrides either setting per run.
     """
 
     def __init__(
@@ -297,6 +316,7 @@ class UpdateSession:
         on_failure: Optional[str] = None,
         sleep: Optional[Callable[[float], None]] = None,
         clock: Optional[Callable[[], float]] = None,
+        ivm: Optional[bool] = None,
     ) -> None:
         self.db = db
         self.strategy = strategy
@@ -323,6 +343,13 @@ class UpdateSession:
         self.cache = ProbeCache() if cache is None else cache
         self.ufilter.checker.translator.cache = self.cache
         self._queue: list[ViewUpdate] = []
+        self.ivm = ivm
+        #: cascade closures memoized per FK-graph epoch (the closure
+        #: only changes when non-temp relations are created or dropped)
+        self._closure_cache: dict[frozenset[str], set[str]] = {}
+        self._closure_epoch = db.fk_epoch
+        if self._ivm_active():
+            db.deltas.enable()
 
     # ------------------------------------------------------------------
     # queueing
@@ -371,6 +398,11 @@ class UpdateSession:
             # every cached probe result is suspect
             self.cache.clear()
             self._recovery_epoch = self.db.recovery_epoch
+        if self._ivm_active():
+            # mutations since the last batch (other sessions, direct
+            # DML) stream into the cache before any probe trusts it
+            self.db.deltas.enable()
+            self.cache.maintain(self.db, self.db.deltas.take())
         stats_before = dict(self.db.stats)
         hits_before, misses_before = self.cache.hits, self.cache.misses
         invalidations_before = self.cache.invalidations
@@ -395,6 +427,15 @@ class UpdateSession:
             stats["replans_avoided"] - stats_before["replans_avoided"]
         )
         result.bushy_plans = stats["bushy_plans"] - stats_before["bushy_plans"]
+        result.ivm_maintained = (
+            stats["ivm_maintained"] - stats_before["ivm_maintained"]
+        )
+        result.ivm_fallbacks = (
+            stats["ivm_fallbacks"] - stats_before["ivm_fallbacks"]
+        )
+        result.ivm_delta_rows = (
+            stats["ivm_delta_rows"] - stats_before["ivm_delta_rows"]
+        )
         result.cache_hits = self.cache.hits - hits_before
         result.cache_misses = self.cache.misses - misses_before
         result.cache_invalidations = (
@@ -480,7 +521,7 @@ class UpdateSession:
             assert entry.report is not None and entry.report.data is not None
             mutated |= entry.report.data.mutated_relations()
         if mutated:
-            self.cache.invalidate(self._cascade_closure(mutated))
+            self._refresh_cache(mutated)
 
     def _apply_with_retry(
         self, entry: SessionEntry, result: SessionResult
@@ -860,7 +901,7 @@ class UpdateSession:
                     result.rows_affected += data.rows_affected
                     mutated = data.mutated_relations()
                     if mutated:
-                        self.cache.invalidate(self._cascade_closure(mutated))
+                        self._refresh_cache(mutated)
                 return "applied"
             entry.status = "failed" if engine_error else "rejected"
             entry.reason = reason
@@ -946,9 +987,42 @@ class UpdateSession:
                     raise
                 self._backoff_sleep(attempt)
 
+    def _ivm_active(self) -> bool:
+        """Whether mutations maintain the probe cache instead of
+        invalidating it (``REPRO_IVM`` overrides the session flag)."""
+        forced = ivm_forced()
+        if forced is not None:
+            return forced
+        return True if self.ivm is None else self.ivm
+
+    def _refresh_cache(self, mutated: set[str]) -> None:
+        """Bring the probe cache in line with applied mutations.
+
+        Under maintenance, the drained delta events stream into every
+        affected entry (unmaintainable ones drop, forcing a recompute
+        on next probe); otherwise the pre-IVM behaviour holds and the
+        FK-cascade closure of *mutated* is invalidated wholesale.
+        """
+        if self._ivm_active():
+            self.cache.maintain(self.db, self.db.deltas.take())
+        else:
+            self.cache.invalidate(self._cascade_closure(mutated))
+
     def _cascade_closure(self, relations: set[str]) -> set[str]:
         """*relations* plus everything reachable through incoming FKs —
-        a delete may cascade into any of those."""
+        a delete may cascade into any of those.
+
+        Memoized per FK-graph epoch: rebuilding the closure on every
+        invalidation walked the schema's FK edges once per applied
+        update, for a graph that only changes on non-temp DDL.
+        """
+        if self._closure_epoch != self.db.fk_epoch:
+            self._closure_cache.clear()
+            self._closure_epoch = self.db.fk_epoch
+        key = frozenset(relations)
+        cached = self._closure_cache.get(key)
+        if cached is not None:
+            return set(cached)
         closure = set(relations)
         frontier = list(relations)
         while frontier:
@@ -959,7 +1033,8 @@ class UpdateSession:
                 if fk.relation_name not in closure:
                     closure.add(fk.relation_name)
                     frontier.append(fk.relation_name)
-        return closure
+        self._closure_cache[key] = closure
+        return set(closure)
 
 
 def run_per_update(

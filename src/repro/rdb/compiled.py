@@ -760,7 +760,7 @@ class _TreeCompiler:
                 bucket = ()
             stats = ctx.stats
             rowids = ctx.rowids
-            if single_inner:
+            if single_key and single_inner:
                 name = inner_names[0]
                 for row, rowid in bucket:
                     stats["rows_scanned"] += 1

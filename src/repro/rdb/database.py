@@ -44,6 +44,7 @@ from .constraints import DeletePolicy, ForeignKey, PrimaryKey, Unique
 from .expr import ColumnRef, Comparison, Expr, Literal
 from .faults import FaultInjector
 from .index import HashIndex
+from .ivm import DeltaLog
 from .schema import Attribute, Relation, Schema
 from .statistics import StatisticsManager
 from .table import Table
@@ -131,6 +132,16 @@ class Database:
             #: vectorized-plan subtrees executed through the
             #: row-at-a-time closures (per-subtree fallback activations)
             "vector_fallbacks": 0,
+            #: cached probe results kept current by applying DML deltas
+            #: (one maintenance pass per entry per drain)
+            "ivm_maintained": 0,
+            #: maintained entries dropped to full recompute (bulk
+            #: markers, unsupported plan shapes, oversized deltas,
+            #: multiplicity conflicts)
+            "ivm_fallbacks": 0,
+            #: signed delta rows streamed into maintained entries
+            #: (an update counts as retract + assert)
+            "ivm_delta_rows": 0,
         }
         #: deterministic fault-injection registry shared with every
         #: table and index of this database (disarmed: near-zero cost)
@@ -161,6 +172,18 @@ class Database:
         #: when the summed row count of its Scan leaves clears this (the
         #: ``REPRO_VECTORIZE`` environment variable overrides per run)
         self.vectorize_threshold = 512
+        #: row-level DML event stream feeding incremental probe
+        #: maintenance (:mod:`repro.rdb.ivm`); recording starts when a
+        #: session opts in, so loads and engine-only workloads pay nothing
+        self.deltas = DeltaLog()
+        #: maintenance cost ceiling: a cached probe whose pending delta
+        #: exceeds this many rows recomputes instead (the ``REPRO_IVM``
+        #: environment variable overrides per run)
+        self.ivm_threshold = 256
+        #: bumped when the FK graph can change (CREATE/DROP of non-temp
+        #: relations) — sessions key their cascade-closure memo on it;
+        #: temp-table churn must not thrash that memo
+        self.fk_epoch = 0
         #: re-planning threshold: a cached plan survives DML drift of up
         #: to ``max(replan_min_ops, replan_threshold × rows-at-compile)``
         #: modified rows per read relation before the join order is
@@ -238,6 +261,7 @@ class Database:
         self.indexes[relation.name] = [
             self._adopt(index) for index in self._build_indexes(relation)
         ]
+        self.fk_epoch += 1
         self._bump_schema_version(relation.name)
 
     def create_temp_table(
@@ -307,6 +331,9 @@ class Database:
         return index
 
     def drop_table(self, name: str) -> None:
+        relation = self.schema.relations.get(name)
+        if relation is not None and not getattr(relation, "temp", False):
+            self.fk_epoch += 1
         self.schema.relations.pop(name, None)
         self.tables.pop(name, None)
         self.indexes.pop(name, None)
@@ -318,6 +345,10 @@ class Database:
         self.schema_versions[relation_name] = (
             self.schema_versions.get(relation_name, 0) + 1
         )
+        # DDL invalidates any maintained result over the relation the
+        # same way it invalidates compiled plans
+        if self.deltas.enabled:
+            self.deltas.record_bulk(relation_name)
 
     # ------------------------------------------------------------------
     # lookups
@@ -619,6 +650,11 @@ class Database:
         self.columns.on_insert(relation_name, rowid, stored)
         for index in self.indexes[relation_name]:
             index.add(rowid, stored)
+        # recorded only once the mutation fully landed: a fault above
+        # leaves no event, and the rollback that repairs the tear
+        # records a bulk marker instead (see _replay_undo)
+        if self.deltas.enabled and not self._replaying:
+            self.deltas.record_insert(relation_name, rowid, stored)
         return rowid
 
     def _physical_delete(self, relation_name: str, rowid: int) -> Row:
@@ -632,6 +668,8 @@ class Database:
         self.columns.on_delete(relation_name, rowid)
         for index in self.indexes[relation_name]:
             index.remove(rowid, removed)
+        if self.deltas.enabled and not self._replaying:
+            self.deltas.record_delete(relation_name, rowid, removed)
         return removed
 
     def _physical_update(
@@ -653,6 +691,8 @@ class Database:
         for index in self.indexes[relation_name]:
             index.remove(rowid, old)
             index.add(rowid, current)
+        if self.deltas.enabled and not self._replaying:
+            self.deltas.record_update(relation_name, rowid, old, current)
         return old
 
     # ------------------------------------------------------------------
@@ -930,6 +970,11 @@ class Database:
                     self.data_versions.get(relation_name, 0)
                     + touched[relation_name]
                 )
+                # the delta log coalesces with rollback exactly like the
+                # version bumps: no per-row compensation events replayed,
+                # one bulk marker per touched relation instead
+                if self.deltas.enabled:
+                    self.deltas.record_bulk(relation_name)
 
     def _undo_apply(self, action: UndoAction) -> None:
         """Apply one undo action conditionally (idempotent)."""
@@ -1010,6 +1055,11 @@ class Database:
                     self.wal.end_txn(txn_id, "abort")
                 self.recovery_epoch += 1
                 self.stats["recoveries"] += 1
+                # the crashed transaction's events (and the bulk markers
+                # the repair loop just recorded) describe state that no
+                # longer exists; the epoch bump makes every session drop
+                # its probe cache, so the log restarts empty
+                self.deltas.take()
             self.wal.checkpoint()
         if redo:
             self._redo_intents(report)

@@ -4,11 +4,11 @@ generator-backed random corpus."""
 
 from . import books
 
-__all__ = ["books"]
+__all__ = ["books", "chains"]
 
 
 def __getattr__(name):
-    if name in ("tpch", "w3c_usecases", "psd", "generated"):
+    if name in ("chains", "tpch", "w3c_usecases", "psd", "generated"):
         import importlib
 
         return importlib.import_module(f".{name}", __name__)

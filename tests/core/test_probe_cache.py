@@ -183,23 +183,43 @@ def test_invalidate_under_cascade_closure():
     assert cache.get(("context", "reads-grand", False, ())) is None
 
 
-def test_interleaved_session_invalidates_cascade_reachable_entries():
-    """End to end: applying a parent-level delete through an interleaved
-    session drops cached probes over the cascade-reachable relations."""
-    db = build_chain_db()
-    session = UpdateSession(db, CHAIN_VIEW)
-    entry(session.cache, "reads-grand", {"grand"})
-    entry(session.cache, "reads-offview", {"offview"})
-    session.add(
-        """
+DELETE_P2 = """
 FOR $root IN document("GenView.xml"),
     $p IN $root/parent
 WHERE $p/pid/text() = "P2"
 UPDATE $root {
     DELETE $p }
 """
-    )
+
+
+def test_interleaved_session_invalidates_cascade_reachable_entries():
+    """End to end: applying a parent-level delete through an interleaved
+    session (maintenance off) drops cached probes over the
+    cascade-reachable relations."""
+    db = build_chain_db()
+    session = UpdateSession(db, CHAIN_VIEW, ivm=False)
+    entry(session.cache, "reads-grand", {"grand"})
+    entry(session.cache, "reads-offview", {"offview"})
+    session.add(DELETE_P2)
     result = session.execute(mode="interleaved")
     assert result.committed
     assert session.cache.get(("context", "reads-offview", False, ())) is not None
     assert session.cache.get(("context", "reads-grand", False, ())) is None
+
+
+def test_interleaved_session_maintenance_is_delta_precise():
+    """Under maintenance the same delete keeps the entry over ``grand``:
+    no grand row actually changed (P2 has no FK descendants), so the
+    delta stream carries nothing for it — precision the cascade-closure
+    invalidation cannot offer.  An entry whose relation *did* change
+    (and which carries no maintainable plan) still drops."""
+    db = build_chain_db()
+    session = UpdateSession(db, CHAIN_VIEW, ivm=True)
+    entry(session.cache, "reads-grand", {"grand"})
+    entry(session.cache, "reads-parent", {"parent"})
+    session.add(DELETE_P2)
+    result = session.execute(mode="interleaved")
+    assert result.committed
+    assert session.cache.get(("context", "reads-grand", False, ())) is not None
+    assert session.cache.get(("context", "reads-parent", False, ())) is None
+    assert result.ivm_fallbacks >= 1  # the planless parent entry

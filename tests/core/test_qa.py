@@ -33,72 +33,11 @@ from repro.core.qa import (
 )
 from repro.core.translation import TupleDelete, TupleInsert, TupleUpdate
 from repro.errors import QAError
-from repro.rdb import Database, Schema, SQLEngine, parse_script
-
-CHAIN_DDL = """
-CREATE TABLE parent(
-    pid VARCHAR2(10),
-    pname VARCHAR2(20),
-    CONSTRAINTS QaParPK PRIMARYKEY (pid));
-
-CREATE TABLE child(
-    cid VARCHAR2(10),
-    pid VARCHAR2(10),
-    cname VARCHAR2(20),
-    cnum INTEGER,
-    CONSTRAINTS QaChPK PRIMARYKEY (cid),
-    FOREIGNKEY (pid) REFERENCES parent (pid));
-
-CREATE TABLE grand(
-    gid VARCHAR2(10),
-    cid VARCHAR2(10),
-    gname VARCHAR2(20),
-    CONSTRAINTS QaGrPK PRIMARYKEY (gid),
-    FOREIGNKEY (cid) REFERENCES child (cid));
-
-CREATE TABLE offview(
-    oid VARCHAR2(10),
-    CONSTRAINTS QaOffPK PRIMARYKEY (oid));
-"""
-
-CHAIN_VIEW = """
-<GenView>
-FOR $p IN document("default.xml")/parent/row
-RETURN {
-    <parent>
-        $p/pid, $p/pname,
-        FOR $c IN document("default.xml")/child/row
-        WHERE ($c/pid = $p/pid)
-        RETURN {
-            <child>
-                $c/cid, $c/cname, $c/cnum,
-                FOR $g IN document("default.xml")/grand/row
-                WHERE ($g/cid = $c/cid)
-                RETURN {
-                    <grand>
-                        $g/gid, $g/gname
-                    </grand>}
-            </child>}
-    </parent>}
-</GenView>
-"""
-
-
-def build_chain_db() -> Database:
-    db = Database(Schema())
-    engine = SQLEngine(db)
-    for statement in parse_script(CHAIN_DDL):
-        engine.execute(statement)
-    db.load("parent", [{"pid": "P1", "pname": "a"}, {"pid": "P2", "pname": "b"}])
-    db.load(
-        "child",
-        [
-            {"cid": "C1", "pid": "P1", "cname": "c", "cnum": 1},
-            {"cid": "C2", "pid": "P2", "cname": "d", "cnum": 7},
-        ],
-    )
-    db.load("grand", [{"gid": "G1", "cid": "C1", "gname": "g"}])
-    return db
+from repro.workloads.chains import (  # noqa: F401 — re-exported for sibling tests
+    CHAIN_DDL,
+    CHAIN_VIEW,
+    build_chain_db,
+)
 
 
 @pytest.fixture()
